@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Shared harness code for the figure/table benchmarks: autotune a
+ * benchmark for each of the paper's machines, cross-evaluate every
+ * tuned config on every machine, and print the normalized table the
+ * paper plots (execution time normalized to the natively autotuned
+ * configuration; lower is better).
+ */
+
+#ifndef PETABRICKS_BENCH_COMMON_H
+#define PETABRICKS_BENCH_COMMON_H
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "benchmarks/benchmark.h"
+#include "support/table.h"
+
+namespace petabricks {
+namespace bench {
+
+/** Tuner sizing used by the figure harnesses (deterministic). */
+inline tuner::TunerOptions
+figureTunerOptions(const apps::Benchmark &benchmark,
+                   const sim::MachineProfile &machine)
+{
+    tuner::TunerOptions options;
+    options.seed = 20130316 ^ std::hash<std::string>()(machine.name);
+    options.populationSize = 10;
+    options.generationsPerSize = 20;
+    options.minInputSize = benchmark.minTuningSize();
+    options.maxInputSize = benchmark.testingInputSize();
+    options.kernelCompileSeconds = machine.kernelCompileSeconds;
+    options.irCacheSavings = machine.irCacheSavings;
+    return options;
+}
+
+/** Autotune @p benchmark for @p machine with the figure settings. */
+inline tuner::TuningResult
+tuneFor(const apps::Benchmark &benchmark,
+        const sim::MachineProfile &machine)
+{
+    apps::MachineEvaluator evaluator(benchmark, machine);
+    tuner::EvolutionaryTuner tuner(
+        evaluator, benchmark.seedConfig(),
+        figureTunerOptions(benchmark, machine));
+    return tuner.run();
+}
+
+/** A named configuration column of a Figure 7 style table. */
+struct NamedConfig
+{
+    std::string name;
+    tuner::Config config;
+};
+
+/**
+ * Print the Figure 7 cross-product: every config on every machine,
+ * normalized per machine to that machine's native config (the first
+ * three entries of @p configs must be Desktop/Server/Laptop configs).
+ * Extra baseline rows may follow.
+ */
+inline void
+printCrossTable(const apps::Benchmark &benchmark,
+                const std::vector<NamedConfig> &configs,
+                const std::map<std::string, double> &extraBaselines = {})
+{
+    auto machines = sim::MachineProfile::all();
+    int64_t n = benchmark.testingInputSize();
+
+    std::vector<std::string> header{"Config"};
+    for (const auto &machine : machines)
+        header.push_back("on " + machine.name);
+    TextTable table(header);
+
+    // Native times used for normalization (config i on machine i).
+    std::map<std::string, double> native;
+    for (size_t m = 0; m < machines.size(); ++m) {
+        native[machines[m].name] =
+            benchmark.evaluate(configs[m].config, n, machines[m]);
+    }
+
+    for (const NamedConfig &config : configs) {
+        std::vector<std::string> row{config.name};
+        for (const auto &machine : machines) {
+            double t;
+            try {
+                t = benchmark.evaluate(config.config, n, machine);
+            } catch (const FatalError &) {
+                row.push_back("n/a");
+                continue;
+            }
+            row.push_back(TextTable::num(t / native[machine.name], 2) +
+                          "x");
+        }
+        table.addRow(row);
+    }
+    for (const auto &[name, desktopSeconds] : extraBaselines) {
+        std::vector<std::string> row{name};
+        for (const auto &machine : machines) {
+            if (machine.name == "Desktop") {
+                row.push_back(
+                    TextTable::num(desktopSeconds /
+                                       native[machine.name], 2) + "x");
+            } else {
+                row.push_back("-"); // NVIDIA-specific: Desktop only
+            }
+        }
+        table.addRow(row);
+    }
+    std::cout << table.toString();
+
+    std::cout << "\nNative absolute times (modeled):\n";
+    for (const auto &machine : machines)
+        std::cout << "  " << machine.name << ": "
+                  << TextTable::num(native[machine.name] * 1e3, 3)
+                  << " ms\n";
+}
+
+/** Tune on all three machines and return the three named configs. */
+inline std::vector<NamedConfig>
+tuneAllMachines(const apps::Benchmark &benchmark)
+{
+    std::vector<NamedConfig> configs;
+    for (const auto &machine : sim::MachineProfile::all()) {
+        tuner::TuningResult result = tuneFor(benchmark, machine);
+        configs.push_back({machine.name + " Config", result.best});
+    }
+    return configs;
+}
+
+/** Print the per-machine tuned-choice summary (a Figure 6 row). */
+inline void
+printConfigSummaries(const apps::Benchmark &benchmark,
+                     const std::vector<NamedConfig> &configs)
+{
+    std::cout << "\nAutotuned configurations (Figure 6 row):\n";
+    for (const NamedConfig &config : configs) {
+        std::cout << "  " << config.name << ": "
+                  << benchmark.describeConfig(
+                         config.config, benchmark.testingInputSize())
+                  << "\n";
+    }
+}
+
+} // namespace bench
+} // namespace petabricks
+
+#endif // PETABRICKS_BENCH_COMMON_H

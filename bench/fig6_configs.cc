@@ -1,0 +1,34 @@
+/**
+ * Figure 6: the table summarizing the autotuned configuration of every
+ * benchmark on every machine — what each machine's tuner actually
+ * chose.
+ */
+
+#include <iostream>
+
+#include "benchmarks/registry.h"
+#include "common.h"
+
+using namespace petabricks;
+using namespace petabricks::apps;
+
+int
+main()
+{
+    std::cout << "=== Figure 6: autotuned configurations per benchmark "
+                 "and machine ===\n\n";
+    TextTable table(
+        {"Benchmark", "Desktop Config", "Server Config", "Laptop Config"});
+    for (const BenchmarkPtr &benchmark : allBenchmarks()) {
+        std::vector<std::string> row{benchmark->name()};
+        for (const auto &machine : sim::MachineProfile::all()) {
+            tuner::TuningResult result =
+                bench::tuneFor(*benchmark, machine);
+            row.push_back(benchmark->describeConfig(
+                result.best, benchmark->testingInputSize()));
+        }
+        table.addRow(row);
+    }
+    std::cout << table.toString();
+    return 0;
+}

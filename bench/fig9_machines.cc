@@ -1,0 +1,42 @@
+/**
+ * Figure 9: properties of the representative test systems (as machine
+ * profiles; see DESIGN.md Section 2 for the substitution).
+ */
+
+#include <iostream>
+
+#include "common.h"
+#include "sim/machine.h"
+
+using namespace petabricks;
+
+int
+main()
+{
+    std::cout << "=== Figure 9: test systems ===\n\n";
+    TextTable table({"Codename", "CPU(s)", "Cores", "GPU / OpenCL device",
+                     "OS", "OpenCL Runtime"});
+    for (const auto &m : sim::MachineProfile::all()) {
+        table.addRow({m.name, m.cpu.name, std::to_string(m.cpu.cores),
+                      m.ocl.name, m.os, m.openclRuntime});
+    }
+    std::cout << table.toString();
+
+    std::cout << "\nCalibrated model parameters:\n";
+    TextTable params({"Codename", "CPU GFLOP/s", "CPU GB/s",
+                      "OpenCL GFLOP/s (double)", "OpenCL GB/s",
+                      "PCIe GB/s", "Workers"});
+    for (const auto &m : sim::MachineProfile::all()) {
+        params.addRow(
+            {m.name, TextTable::num(m.cpu.peakGflops(), 0),
+             TextTable::num(m.cpu.memBandwidthGBs, 0),
+             TextTable::num(m.ocl.peakGflops(), 0),
+             TextTable::num(m.ocl.memBandwidthGBs, 0),
+             m.transfer.isFree() ? std::string("shared")
+                                 : TextTable::num(
+                                       m.transfer.bandwidthGBs, 1),
+             std::to_string(m.workerThreads)});
+    }
+    std::cout << params.toString();
+    return 0;
+}

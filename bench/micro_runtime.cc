@@ -1,0 +1,123 @@
+/**
+ * Microbenchmarks of the runtime substrates (google-benchmark): deque
+ * operations, task lifecycle, steal throughput, command-queue
+ * round-trips, GPU memory table dedup, and the schedule simulator.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compiler/simulator.h"
+#include "ocl/queue.h"
+#include "runtime/runtime.h"
+#include "sim/machine.h"
+
+using namespace petabricks;
+
+namespace {
+
+void
+BM_DequePushPop(benchmark::State &state)
+{
+    runtime::WorkDeque deque;
+    runtime::TaskPtr task = runtime::Task::cpu("t", [] {});
+    for (auto _ : state) {
+        deque.pushTop(task);
+        benchmark::DoNotOptimize(deque.popTop());
+    }
+}
+BENCHMARK(BM_DequePushPop);
+
+void
+BM_DequeSteal(benchmark::State &state)
+{
+    runtime::WorkDeque deque;
+    runtime::TaskPtr task = runtime::Task::cpu("t", [] {});
+    for (auto _ : state) {
+        deque.pushTop(task);
+        benchmark::DoNotOptimize(deque.stealBottom());
+    }
+}
+BENCHMARK(BM_DequeSteal);
+
+void
+BM_TaskLifecycle(benchmark::State &state)
+{
+    for (auto _ : state) {
+        runtime::TaskPtr a = runtime::Task::cpu("a", [] {});
+        runtime::TaskPtr b = runtime::Task::cpu("b", [] {});
+        b->dependsOn(a);
+        a->finishCreation();
+        b->finishCreation();
+        runtime::TaskContext ctx;
+        std::vector<runtime::TaskPtr> runnable;
+        a->run(ctx, runnable);
+        runtime::TaskContext ctx2;
+        runnable[0]->run(ctx2, runnable);
+    }
+}
+BENCHMARK(BM_TaskLifecycle);
+
+void
+BM_RuntimeSpawnThroughput(benchmark::State &state)
+{
+    runtime::Runtime rt(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        for (int i = 0; i < 1000; ++i)
+            rt.spawn(runtime::Task::cpu("t", [] {}));
+        rt.wait();
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_RuntimeSpawnThroughput)->Arg(1)->Arg(4);
+
+void
+BM_CommandQueueRoundTrip(benchmark::State &state)
+{
+    ocl::Device device(sim::MachineProfile::desktop().ocl);
+    ocl::CommandQueue queue(device);
+    auto buf = std::make_shared<ocl::Buffer>(4096);
+    std::vector<double> host(512, 1.0);
+    for (auto _ : state) {
+        queue.enqueueWrite(buf, host.data(), 4096);
+        queue.enqueueRead(buf, host.data(), 4096)->wait();
+    }
+}
+BENCHMARK(BM_CommandQueueRoundTrip);
+
+void
+BM_GpuMemoryCopyInDedup(benchmark::State &state)
+{
+    ocl::Device device(sim::MachineProfile::desktop().ocl);
+    ocl::CommandQueue queue(device);
+    runtime::GpuMemoryTable table(queue);
+    MatrixD m(256, 256);
+    table.prepare(m);
+    table.copyIn(m, m.fullRegion());
+    queue.finish();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(table.copyIn(m, m.fullRegion()));
+}
+BENCHMARK(BM_GpuMemoryCopyInDedup);
+
+void
+BM_ScheduleSimulator(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::ScheduleSimulator sched(
+            sim::MachineProfile::desktop());
+        sim::SimTaskId prev = -1;
+        for (int i = 0; i < 256; ++i) {
+            std::vector<sim::SimTaskId> deps;
+            if (prev >= 0)
+                deps.push_back(prev);
+            prev = sched.addTask(sim::SimResource::CpuWorker, 1e-6,
+                                 deps);
+        }
+        benchmark::DoNotOptimize(sched.run());
+    }
+}
+BENCHMARK(BM_ScheduleSimulator);
+
+} // namespace
+
+BENCHMARK_MAIN();

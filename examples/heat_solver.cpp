@@ -1,0 +1,65 @@
+/**
+ * Heat/Laplace solver: red-black SOR via the Poisson2D transform, with
+ * the split phase on the CPU and the iterations on the emulated GPU —
+ * the paper's Desktop-style placement.
+ *
+ * Build & run:  ./build/examples/heat_solver
+ */
+
+#include <iostream>
+
+#include "benchmarks/backend_util.h"
+#include "benchmarks/poisson.h"
+#include "compiler/executor.h"
+
+using namespace petabricks;
+using namespace petabricks::apps;
+
+int
+main()
+{
+    const int64_t n = 64;
+    const int iterations = 8;
+    PoissonBenchmark bench(iterations);
+    Rng rng(3);
+
+    ocl::Device gpu(sim::MachineProfile::desktop().ocl);
+    runtime::Runtime rt(4, &gpu);
+    compiler::TransformExecutor exec(rt);
+
+    tuner::Config config = bench.seedConfig();
+    config.selector("Poisson.split.backend").setAlgorithm(0, kBackendCpu);
+    config.selector("Poisson.iterate.backend")
+        .setAlgorithm(0, kBackendOpenClLocal);
+
+    lang::Binding binding = bench.makeBinding(n, rng);
+    MatrixD initial = binding.matrix("In").clone();
+    exec.execute(bench.transform(), binding, bench.planFor(config, n));
+    exec.syncOutputs(bench.transform(), binding);
+
+    MatrixD got = bench.unpackResult(binding);
+    MatrixD ref =
+        PoissonBenchmark::reference(initial, iterations,
+                                    PoissonBenchmark::kOmega);
+    double err = 0.0;
+    for (int64_t i = 0; i < got.size(); ++i)
+        err = std::max(err, std::abs(got[i] - ref[i]));
+
+    // Residual decrease as a sanity check that SOR is converging.
+    auto residual = [](const MatrixD &g) {
+        double r = 0.0;
+        for (int64_t y = 1; y < g.height() - 1; ++y)
+            for (int64_t x = 1; x < g.width() - 1; ++x)
+                r += std::abs(4 * g.at(x, y) - g.at(x - 1, y) -
+                              g.at(x + 1, y) - g.at(x, y - 1) -
+                              g.at(x, y + 1));
+        return r;
+    };
+    std::cout << iterations << " red-black SOR iterations on a " << n
+              << "x" << n << " grid\n"
+              << "  split on CPU, iterate on GPU (local memory)\n"
+              << "  max error vs direct SOR: " << err << "\n"
+              << "  residual: " << residual(initial) << " -> "
+              << residual(got) << "\n";
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * Poly-algorithm sorting: build the paper's Desktop-style sort
+ * configuration (2-way merge sort at the top, quicksort in the middle,
+ * 4-way merge sort lower, insertion sort at the base) with selectors,
+ * then sort with it and compare algorithm choices.
+ *
+ * Build & run:  ./build/examples/poly_sort
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "benchmarks/sort.h"
+#include "support/rng.h"
+
+using namespace petabricks;
+using namespace petabricks::apps;
+
+int
+main()
+{
+    SortBenchmark bench;
+
+    // The paper's Desktop config: "above 174762 2MS (PM), then QS
+    // until 64294, then 4MS until 341, then IS" (Figure 6).
+    tuner::Config config = bench.seedConfig();
+    tuner::Selector &s = config.selector("Sort.algorithm");
+    s.setAlgorithm(0, kSortInsertion);
+    s.insertLevel(341, kSortMerge4);
+    s.insertLevel(64294, kSortQuick);
+    s.insertLevel(174762, kSortMerge2);
+
+    Rng rng(99);
+    std::vector<double> data(500000);
+    for (double &d : data)
+        d = rng.uniformReal(-1e9, 1e9);
+    std::vector<double> expect = data;
+    std::sort(expect.begin(), expect.end());
+
+    std::vector<double> work = data;
+    SortBenchmark::sortWithConfig(config, work);
+    std::cout << "poly-algorithm sort of " << data.size() << " doubles: "
+              << (work == expect ? "correct" : "WRONG") << "\n";
+    std::cout << "configuration: " << bench.describeConfig(
+                     config, static_cast<int64_t>(data.size()))
+              << "\n";
+
+    // Compare modeled cost against single-algorithm configs per machine.
+    for (const auto &machine : sim::MachineProfile::all()) {
+        tuner::Config merge = bench.seedConfig();
+        merge.selector("Sort.algorithm").setAlgorithm(0, kSortMerge2);
+        double poly = bench.evaluate(config, 1 << 20, machine);
+        double mono = bench.evaluate(merge, 1 << 20, machine);
+        double gpu = bench.evaluate(SortBenchmark::gpuOnlyConfig(),
+                                    1 << 20, machine);
+        std::cout << machine.name << ": poly " << poly * 1e3
+                  << " ms, pure 2MS " << mono * 1e3
+                  << " ms, GPU bitonic " << gpu * 1e3 << " ms\n";
+    }
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Shared glue mapping tuner configurations onto stage placements.
+ *
+ * Convention used by the transform-style benchmarks: a backend selector
+ * named "<Rule>.backend" with the algorithm set
+ *   0 = CPU, 1 = OpenCL (global memory), 2 = OpenCL + local memory,
+ * plus tunables "<Rule>.lws" (local work size), "<Rule>.ratio"
+ * (GPU-CPU workload ratio in eighths), and a per-benchmark
+ * "<Bench>.split" (CPU chunking) — the Section 5.3 choice encoding.
+ */
+
+#ifndef PETABRICKS_BENCHMARKS_BACKEND_UTIL_H
+#define PETABRICKS_BENCHMARKS_BACKEND_UTIL_H
+
+#include <string>
+
+#include "compiler/backend.h"
+#include "tuner/config.h"
+
+namespace petabricks {
+namespace apps {
+
+/** Backend algorithm ids used by backend selectors. */
+enum BackendAlg
+{
+    kBackendCpu = 0,
+    kBackendOpenCl = 1,
+    kBackendOpenClLocal = 2,
+};
+
+/** Register the standard per-rule choice structure on @p config. */
+inline void
+addBackendChoices(tuner::Config &config, const std::string &rule,
+                  bool hasLocalVariant)
+{
+    config.addSelector(tuner::Selector(rule + ".backend",
+                                       hasLocalVariant ? 3 : 2, 0));
+    config.addTunable({rule + ".lws", 1, 1024, 64, false});
+    config.addTunable({rule + ".ratio", 0, 8, 8, false});
+}
+
+/** Build the stage placement the configuration selects at size @p n. */
+inline compiler::StageConfig
+stageFor(const tuner::Config &config, const std::string &rule, int64_t n,
+         int cpuSplit)
+{
+    compiler::StageConfig stage;
+    switch (config.selector(rule + ".backend").select(n)) {
+      case kBackendCpu:
+        stage.backend = compiler::Backend::Cpu;
+        break;
+      case kBackendOpenCl:
+        stage.backend = compiler::Backend::OpenClGlobal;
+        break;
+      case kBackendOpenClLocal:
+        stage.backend = compiler::Backend::OpenClLocal;
+        break;
+      default:
+        PB_PANIC("bad backend algorithm for rule '" << rule << "'");
+    }
+    stage.localWorkSize =
+        static_cast<int>(config.tunableValue(rule + ".lws"));
+    stage.gpuRatioEighths =
+        static_cast<int>(config.tunableValue(rule + ".ratio"));
+    stage.cpuSplit = cpuSplit;
+    return stage;
+}
+
+/** Human-readable backend description for the Figure 6 table. */
+inline std::string
+describeStage(const compiler::StageConfig &stage)
+{
+    switch (stage.backend) {
+      case compiler::Backend::Cpu:
+        return "CPU";
+      case compiler::Backend::OpenClGlobal:
+        if (stage.gpuRatioEighths >= 8)
+            return "OpenCL";
+        return "OpenCL " + std::to_string(stage.gpuRatioEighths * 100 / 8) +
+               "% / CPU " +
+               std::to_string(100 - stage.gpuRatioEighths * 100 / 8) + "%";
+      case compiler::Backend::OpenClLocal:
+        if (stage.gpuRatioEighths >= 8)
+            return "OpenCL+local";
+        return "OpenCL+local " +
+               std::to_string(stage.gpuRatioEighths * 100 / 8) + "%";
+    }
+    return "?";
+}
+
+/** Kernel source ids a stage JIT-compiles under the Section 5.4 model. */
+inline void
+appendKernelSources(std::vector<std::string> &sources,
+                    const compiler::StageConfig &stage,
+                    const std::string &rule)
+{
+    if (stage.backend == compiler::Backend::OpenClGlobal)
+        sources.push_back("pbcl:" + rule + ":global");
+    else if (stage.backend == compiler::Backend::OpenClLocal)
+        sources.push_back("pbcl:" + rule + ":local");
+}
+
+} // namespace apps
+} // namespace petabricks
+
+#endif // PETABRICKS_BENCHMARKS_BACKEND_UTIL_H

@@ -1,0 +1,23 @@
+#include "benchmarks/benchmark.h"
+
+namespace petabricks {
+namespace apps {
+
+tuner::TuningResult
+tuneOnMachine(const Benchmark &benchmark,
+              const sim::MachineProfile &machine, uint64_t seed)
+{
+    MachineEvaluator evaluator(benchmark, machine);
+    tuner::TunerOptions options;
+    options.seed = seed ^ std::hash<std::string>()(machine.name);
+    options.minInputSize = benchmark.minTuningSize();
+    options.maxInputSize = benchmark.testingInputSize();
+    options.kernelCompileSeconds = machine.kernelCompileSeconds;
+    options.irCacheSavings = machine.irCacheSavings;
+    tuner::EvolutionaryTuner tuner(evaluator, benchmark.seedConfig(),
+                                   options);
+    return tuner.run();
+}
+
+} // namespace apps
+} // namespace petabricks

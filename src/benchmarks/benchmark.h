@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Common interface of the seven paper benchmarks (Section 6).
+ *
+ * Every benchmark exposes the structure the experiments need:
+ *  - a seed tuner configuration (the searchable choice space),
+ *  - a model-mode evaluator pricing a configuration on a machine
+ *    profile (used by the autotuner and the figure harnesses),
+ *  - the kernel-source list for the tuning-time model (Figure 8),
+ *  - metadata for the Figure 8 table, and
+ *  - a human-readable config summary for the Figure 6 table.
+ *
+ * Functional (real-mode) implementations and their correctness tests
+ * live with each benchmark's own header.
+ */
+
+#ifndef PETABRICKS_BENCHMARKS_BENCHMARK_H
+#define PETABRICKS_BENCHMARKS_BENCHMARK_H
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/backend.h"
+#include "sim/machine.h"
+#include "support/error.h"
+#include "tuner/evolution.h"
+
+namespace petabricks {
+namespace apps {
+
+/** See file comment. */
+class Benchmark
+{
+  public:
+    virtual ~Benchmark() = default;
+
+    /** Display name, as in the paper's tables. */
+    virtual std::string name() const = 0;
+
+    /** Structurally complete starting configuration. */
+    virtual tuner::Config seedConfig() const = 0;
+
+    /**
+     * Modeled execution seconds of @p config at input size @p n on
+     * @p machine; +inf for infeasible configurations.
+     */
+    virtual double evaluate(const tuner::Config &config, int64_t n,
+                            const sim::MachineProfile &machine) const = 0;
+
+    /** Kernel source identities @p config JIT-compiles. */
+    virtual std::vector<std::string>
+    kernelSources(const tuner::Config &config, int64_t n) const
+    {
+        (void)config;
+        (void)n;
+        return {};
+    }
+
+    /** Figure 8: the "Testing Input Size" column. */
+    virtual int64_t testingInputSize() const = 0;
+
+    /** Smallest input size worth testing during tuning. */
+    virtual int64_t minTuningSize() const { return 256; }
+
+    /** Figure 8: synthetic OpenCL kernels the compiler generates. */
+    virtual int openclKernelCount() const = 0;
+
+    /** Figure 6: one-line summary of what @p config chose. */
+    virtual std::string describeConfig(const tuner::Config &config,
+                                       int64_t n) const = 0;
+};
+
+using BenchmarkPtr = std::shared_ptr<Benchmark>;
+
+/** tuner::Evaluator binding a benchmark to one machine profile. */
+class MachineEvaluator : public tuner::Evaluator
+{
+  public:
+    MachineEvaluator(const Benchmark &benchmark,
+                     const sim::MachineProfile &machine)
+        : benchmark_(benchmark), machine_(machine)
+    {}
+
+    double
+    evaluate(const tuner::Config &config, int64_t inputSize) override
+    {
+        try {
+            return benchmark_.evaluate(config, inputSize, machine_);
+        } catch (const FatalError &) {
+            // Infeasible placement (local memory overflow, inadmissible
+            // backend, ...): never selected.
+            return std::numeric_limits<double>::infinity();
+        }
+    }
+
+    std::vector<std::string>
+    kernelSources(const tuner::Config &config, int64_t inputSize) override
+    {
+        return benchmark_.kernelSources(config, inputSize);
+    }
+
+  private:
+    const Benchmark &benchmark_;
+    const sim::MachineProfile &machine_;
+};
+
+/**
+ * Autotune @p benchmark for @p machine (the experiment's "X Config"
+ * step). Deterministic for a given seed.
+ */
+tuner::TuningResult tuneOnMachine(const Benchmark &benchmark,
+                                  const sim::MachineProfile &machine,
+                                  uint64_t seed = 20130316);
+
+} // namespace apps
+} // namespace petabricks
+
+#endif // PETABRICKS_BENCHMARKS_BENCHMARK_H

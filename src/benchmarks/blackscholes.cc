@@ -1,0 +1,189 @@
+#include "benchmarks/blackscholes.h"
+
+#include <cmath>
+
+#include "benchmarks/backend_util.h"
+#include "compiler/simulator.h"
+
+namespace petabricks {
+namespace apps {
+
+namespace {
+
+using lang::AccessPattern;
+using lang::ParamEnv;
+using lang::PointArgs;
+using lang::RuleDef;
+
+/** Abramowitz-Stegun style normal CDF via erf. */
+double
+normCdf(double x)
+{
+    return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+/**
+ * flops one option costs. The transcendental-heavy inner loop (log,
+ * sqrt, exp, and two erfc evaluations, each a polynomial expansion in
+ * scalar code) makes pricing strongly compute bound.
+ */
+constexpr double kFlopsPerOption = 2500.0;
+
+lang::RulePtr
+blackScholesRule()
+{
+    return RuleDef::makePoint(
+        "BlackScholes", "Price",
+        {AccessPattern::point("Spot"), AccessPattern::point("Strike"),
+         AccessPattern::point("Years")},
+        [](const PointArgs &pt) {
+            double spot = pt.input(0).at(pt.x, pt.y);
+            double strike = pt.input(1).at(pt.x, pt.y);
+            double years = pt.input(2).at(pt.x, pt.y);
+            double rate = static_cast<double>(pt.param(0)) * 1e-4;
+            double vol = static_cast<double>(pt.param(1)) * 1e-4;
+            return blackScholesCall(spot, strike, years, rate, vol);
+        },
+        [](const ParamEnv &) { return kFlopsPerOption; });
+}
+
+compiler::SlotSizes
+sizesFor(int64_t n)
+{
+    int64_t rows = BlackScholesBenchmark::rowsFor(n);
+    int64_t cols = (n + rows - 1) / rows;
+    std::pair<int64_t, int64_t> shape{cols, rows};
+    return {{"Spot", shape},
+            {"Strike", shape},
+            {"Years", shape},
+            {"Price", shape}};
+}
+
+} // namespace
+
+double
+blackScholesCall(double spot, double strike, double years,
+                 double riskFree, double volatility)
+{
+    double sigmaSqrtT = volatility * std::sqrt(years);
+    double d1 = (std::log(spot / strike) +
+                 (riskFree + 0.5 * volatility * volatility) * years) /
+                sigmaSqrtT;
+    double d2 = d1 - sigmaSqrtT;
+    return spot * normCdf(d1) -
+           strike * std::exp(-riskFree * years) * normCdf(d2);
+}
+
+BlackScholesBenchmark::BlackScholesBenchmark()
+{
+    transform_ = std::make_shared<lang::Transform>("BlackScholes");
+    transform_->slot("Spot", lang::SlotRole::Input)
+        .slot("Strike", lang::SlotRole::Input)
+        .slot("Years", lang::SlotRole::Input)
+        .slot("Price", lang::SlotRole::Output);
+    transform_->choice("formula", {blackScholesRule()});
+}
+
+int64_t
+BlackScholesBenchmark::rowsFor(int64_t n)
+{
+    int64_t rows = static_cast<int64_t>(std::sqrt(
+        static_cast<double>(std::max<int64_t>(n, 1))));
+    return std::max<int64_t>(rows, 1);
+}
+
+tuner::Config
+BlackScholesBenchmark::seedConfig() const
+{
+    tuner::Config config;
+    addBackendChoices(config, "BlackScholes",
+                      /*hasLocalVariant=*/false);
+    config.addTunable({"BlackScholes.split", 1, 256, 16, true});
+    return config;
+}
+
+compiler::TransformConfig
+BlackScholesBenchmark::planFor(const tuner::Config &config,
+                               int64_t n) const
+{
+    compiler::TransformConfig plan;
+    plan.choiceIndex = 0;
+    plan.stages = {stageFor(
+        config, "BlackScholes", n,
+        static_cast<int>(config.tunableValue("BlackScholes.split")))};
+    return plan;
+}
+
+double
+BlackScholesBenchmark::evaluate(const tuner::Config &config, int64_t n,
+                                const sim::MachineProfile &machine) const
+{
+    auto outcome = compiler::simulateTransform(
+        *transform_, planFor(config, n), sizesFor(n), {500, 2000},
+        machine);
+    return outcome.seconds;
+}
+
+std::vector<std::string>
+BlackScholesBenchmark::kernelSources(const tuner::Config &config,
+                                     int64_t n) const
+{
+    std::vector<std::string> sources;
+    appendKernelSources(sources, planFor(config, n).stages[0],
+                        "BlackScholes");
+    return sources;
+}
+
+std::string
+BlackScholesBenchmark::describeConfig(const tuner::Config &config,
+                                      int64_t n) const
+{
+    return describeStage(planFor(config, n).stages[0]);
+}
+
+lang::Binding
+BlackScholesBenchmark::makeBinding(int64_t n, Rng &rng) const
+{
+    int64_t rows = rowsFor(n);
+    int64_t cols = (n + rows - 1) / rows;
+    lang::Binding binding;
+    MatrixD spot(cols, rows), strike(cols, rows), years(cols, rows);
+    for (int64_t i = 0; i < spot.size(); ++i) {
+        spot[i] = rng.uniformReal(10.0, 200.0);
+        strike[i] = rng.uniformReal(10.0, 200.0);
+        years[i] = rng.uniformReal(0.1, 5.0);
+    }
+    binding.matrices.emplace("Spot", spot);
+    binding.matrices.emplace("Strike", strike);
+    binding.matrices.emplace("Years", years);
+    binding.matrices.emplace("Price", MatrixD(cols, rows));
+    binding.params = {500, 2000}; // rate 5%, volatility 20%
+    return binding;
+}
+
+MatrixD
+BlackScholesBenchmark::reference(const lang::Binding &binding)
+{
+    const MatrixD &spot = binding.matrix("Spot");
+    const MatrixD &strike = binding.matrix("Strike");
+    const MatrixD &years = binding.matrix("Years");
+    double rate = static_cast<double>(binding.params[0]) * 1e-4;
+    double vol = static_cast<double>(binding.params[1]) * 1e-4;
+    MatrixD out(spot.width(), spot.height());
+    for (int64_t i = 0; i < out.size(); ++i)
+        out[i] = blackScholesCall(spot[i], strike[i], years[i], rate,
+                                  vol);
+    return out;
+}
+
+tuner::Config
+BlackScholesBenchmark::cpuOnlyConfig()
+{
+    BlackScholesBenchmark proto;
+    tuner::Config config = proto.seedConfig();
+    config.selector("BlackScholes.backend").setAlgorithm(0, kBackendCpu);
+    return config;
+}
+
+} // namespace apps
+} // namespace petabricks

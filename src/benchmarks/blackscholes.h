@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Black-Scholes benchmark (paper Figure 7(a)).
+ *
+ * Prices n European call options with the closed-form Black-Scholes
+ * formula — one output cell per option, a perfectly data-parallel rule
+ * with a bounding box of one (so no local-memory variant exists). The
+ * interesting choice is placement: all CPU, all OpenCL, or a
+ * GPU-CPU ratio split computing different regions of the same output
+ * concurrently on both processors; the paper's Laptop picks a 25%/75%
+ * split for a 1.3x speedup over GPU-only.
+ */
+
+#ifndef PETABRICKS_BENCHMARKS_BLACKSCHOLES_H
+#define PETABRICKS_BENCHMARKS_BLACKSCHOLES_H
+
+#include <memory>
+
+#include "benchmarks/benchmark.h"
+#include "lang/transform.h"
+#include "support/rng.h"
+
+namespace petabricks {
+namespace apps {
+
+/** The Black-Scholes formula for a European call (for references). */
+double blackScholesCall(double spot, double strike, double years,
+                        double riskFree, double volatility);
+
+/** See file comment. */
+class BlackScholesBenchmark : public Benchmark
+{
+  public:
+    BlackScholesBenchmark();
+
+    std::string name() const override { return "Black-Sholes"; }
+    tuner::Config seedConfig() const override;
+    double evaluate(const tuner::Config &config, int64_t n,
+                    const sim::MachineProfile &machine) const override;
+    std::vector<std::string>
+    kernelSources(const tuner::Config &config, int64_t n) const override;
+    int64_t testingInputSize() const override { return 500000; }
+    int64_t minTuningSize() const override { return 4096; }
+    int openclKernelCount() const override { return 1; }
+    std::string describeConfig(const tuner::Config &config,
+                               int64_t n) const override;
+
+    const lang::Transform &transform() const { return *transform_; }
+
+    /**
+     * Bind a batch of n options (shaped into a near-square matrix so
+     * the GPU-CPU ratio can split rows). Inputs: Spot, Strike, Years —
+     * all drawn from realistic ranges; rate and volatility are
+     * transform params scaled by 1e4.
+     */
+    lang::Binding makeBinding(int64_t n, Rng &rng) const;
+
+    /** Row count of the matrix shape used for n options. */
+    static int64_t rowsFor(int64_t n);
+
+    /** Reference pricing for correctness checks. */
+    static MatrixD reference(const lang::Binding &binding);
+
+    compiler::TransformConfig planFor(const tuner::Config &config,
+                                      int64_t n) const;
+
+    /** The Figure 7(a) "CPU-only Config" baseline. */
+    static tuner::Config cpuOnlyConfig();
+
+  private:
+    std::shared_ptr<lang::Transform> transform_;
+};
+
+} // namespace apps
+} // namespace petabricks
+
+#endif // PETABRICKS_BENCHMARKS_BLACKSCHOLES_H

@@ -1,0 +1,29 @@
+#include "benchmarks/registry.h"
+
+#include "benchmarks/blackscholes.h"
+#include "benchmarks/convolution.h"
+#include "benchmarks/poisson.h"
+#include "benchmarks/sort.h"
+#include "benchmarks/strassen.h"
+#include "benchmarks/svd.h"
+#include "benchmarks/tridiagonal.h"
+
+namespace petabricks {
+namespace apps {
+
+std::vector<BenchmarkPtr>
+allBenchmarks()
+{
+    return {
+        std::make_shared<BlackScholesBenchmark>(),
+        std::make_shared<PoissonBenchmark>(),
+        std::make_shared<ConvolutionBenchmark>(),
+        std::make_shared<SortBenchmark>(),
+        std::make_shared<StrassenBenchmark>(),
+        std::make_shared<SvdBenchmark>(),
+        std::make_shared<TridiagBenchmark>(),
+    };
+}
+
+} // namespace apps
+} // namespace petabricks

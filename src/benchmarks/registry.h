@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Registry of the paper's seven benchmarks, in Figure 8 order.
+ */
+
+#ifndef PETABRICKS_BENCHMARKS_REGISTRY_H
+#define PETABRICKS_BENCHMARKS_REGISTRY_H
+
+#include <vector>
+
+#include "benchmarks/benchmark.h"
+
+namespace petabricks {
+namespace apps {
+
+/** All seven benchmarks, in the paper's table order. */
+std::vector<BenchmarkPtr> allBenchmarks();
+
+} // namespace apps
+} // namespace petabricks
+
+#endif // PETABRICKS_BENCHMARKS_REGISTRY_H

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Strassen benchmark: dense matrix-matrix multiply (paper Figure 7(e)).
+ *
+ * The choice set follows the paper: naive multiplication, a blocked
+ * native variant, recursive 8-multiply decomposition, Strassen's
+ * 7-multiply recursion, a call to the external library (src/blas
+ * standing in for LAPACK), and the data-parallel OpenCL kernel
+ * synthesized from the matmul rule. Recursion consults the selector at
+ * every level, so configurations like the Server's "8-way parallel
+ * recursive decomposition, call LAPACK when < 682 x 682" arise
+ * naturally from selector cutoffs.
+ *
+ * The matmul machinery is exposed with a configurable selector prefix
+ * because SVD reuses it as a sub-transform — with different data
+ * locality, hence the paper's observation that the best matmul config
+ * inside SVD differs from Strassen in isolation.
+ */
+
+#ifndef PETABRICKS_BENCHMARKS_STRASSEN_H
+#define PETABRICKS_BENCHMARKS_STRASSEN_H
+
+#include "benchmarks/benchmark.h"
+#include "support/matrix.h"
+#include "support/rng.h"
+
+namespace petabricks {
+namespace apps {
+
+/** Algorithm ids of the matmul selector. */
+enum MatmulAlg
+{
+    kMmLapack = 0,
+    kMmRecursive8 = 1,
+    kMmStrassen = 2,
+    kMmBlocked = 3,
+    kMmNaive = 4,
+    kMmOpenCl = 5,
+    kMmAlgCount = 6,
+};
+
+/** Register the matmul choice structure under @p prefix. */
+void addMatmulChoices(tuner::Config &config, const std::string &prefix);
+
+/**
+ * Modeled seconds of an n x n matmul under @p config's "<prefix>.mm"
+ * selector on @p machine. @p localityPenalty scales CPU/GPU memory
+ * costs for calls on sub-regions of larger arrays (SVD).
+ */
+double modelMatmulSeconds(const tuner::Config &config,
+                          const std::string &prefix, int64_t n,
+                          const sim::MachineProfile &machine,
+                          double localityPenalty = 1.0);
+
+/** Kernel sources the matmul selector may JIT for size @p n. */
+std::vector<std::string> matmulKernelSources(const tuner::Config &config,
+                                             const std::string &prefix,
+                                             int64_t n);
+
+/** Execute C = A * B honoring the selector (real mode). */
+void runMatmul(const tuner::Config &config, const std::string &prefix,
+               const MatrixD &a, const MatrixD &b, MatrixD &c);
+
+/** One-line description of the matmul poly-algorithm at size @p n. */
+std::string describeMatmul(const tuner::Config &config,
+                           const std::string &prefix, int64_t n);
+
+/** See file comment. */
+class StrassenBenchmark : public Benchmark
+{
+  public:
+    std::string name() const override { return "Strassen"; }
+    tuner::Config seedConfig() const override;
+    double evaluate(const tuner::Config &config, int64_t n,
+                    const sim::MachineProfile &machine) const override;
+    std::vector<std::string>
+    kernelSources(const tuner::Config &config, int64_t n) const override;
+    int64_t testingInputSize() const override { return 1024; }
+    int64_t minTuningSize() const override { return 64; }
+    int openclKernelCount() const override { return 1; }
+    std::string describeConfig(const tuner::Config &config,
+                               int64_t n) const override;
+
+    /**
+     * Modeled seconds of the NVIDIA-SDK-style hand-coded local-memory
+     * matmul kernel (the Figure 7(e) baseline; ~1.4x faster than the
+     * synthesized global-memory kernel on Desktop).
+     */
+    static double handCodedMatmulSeconds(int64_t n,
+                                         const sim::MachineProfile &m);
+};
+
+} // namespace apps
+} // namespace petabricks
+
+#endif // PETABRICKS_BENCHMARKS_STRASSEN_H

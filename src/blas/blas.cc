@@ -1,0 +1,164 @@
+#include "blas/blas.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace petabricks {
+namespace blas {
+
+namespace {
+
+/** Cache block edge (elements) for the blocked gemm. */
+constexpr int64_t kBlock = 64;
+
+} // namespace
+
+void
+gemmInto(const MatrixD &a, const MatrixD &b, MatrixD &c, int64_t x0,
+         int64_t y0)
+{
+    int64_t m = a.height(), k = a.width(), n = b.width();
+    PB_ASSERT(b.height() == k, "gemm inner dims disagree: " << k << " vs "
+                                                            << b.height());
+    PB_ASSERT(x0 + n <= c.width() && y0 + m <= c.height(),
+              "gemm output region out of bounds");
+    const double *A = a.data();
+    const double *B = b.data();
+    double *C = c.data();
+    int64_t cw = c.width();
+
+    for (int64_t i = 0; i < m; ++i)
+        for (int64_t j = 0; j < n; ++j)
+            C[(y0 + i) * cw + (x0 + j)] = 0.0;
+
+    // i-k-j loop order with blocking: streams B rows, accumulates C rows.
+    for (int64_t ii = 0; ii < m; ii += kBlock) {
+        int64_t iEnd = std::min(m, ii + kBlock);
+        for (int64_t kk = 0; kk < k; kk += kBlock) {
+            int64_t kEnd = std::min(k, kk + kBlock);
+            for (int64_t i = ii; i < iEnd; ++i) {
+                for (int64_t p = kk; p < kEnd; ++p) {
+                    double aip = A[i * k + p];
+                    const double *brow = B + p * n;
+                    double *crow = C + (y0 + i) * cw + x0;
+                    for (int64_t j = 0; j < n; ++j)
+                        crow[j] += aip * brow[j];
+                }
+            }
+        }
+    }
+}
+
+void
+gemm(const MatrixD &a, const MatrixD &b, MatrixD &c)
+{
+    PB_ASSERT(c.width() == b.width() && c.height() == a.height(),
+              "gemm output shape mismatch");
+    gemmInto(a, b, c, 0, 0);
+}
+
+void
+gemmAccumulate(const MatrixD &a, const MatrixD &b, MatrixD &c)
+{
+    int64_t m = a.height(), k = a.width(), n = b.width();
+    PB_ASSERT(b.height() == k && c.width() == n && c.height() == m,
+              "gemmAccumulate shape mismatch");
+    const double *A = a.data();
+    const double *B = b.data();
+    double *C = c.data();
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t p = 0; p < k; ++p) {
+            double aip = A[i * k + p];
+            const double *brow = B + p * n;
+            double *crow = C + i * n;
+            for (int64_t j = 0; j < n; ++j)
+                crow[j] += aip * brow[j];
+        }
+    }
+}
+
+void
+transpose(const MatrixD &a, MatrixD &b)
+{
+    PB_ASSERT(b.width() == a.height() && b.height() == a.width(),
+              "transpose shape mismatch");
+    for (int64_t y = 0; y < a.height(); ++y)
+        for (int64_t x = 0; x < a.width(); ++x)
+            b.at(y, x) = a.at(x, y);
+}
+
+void
+gemv(const MatrixD &a, const MatrixD &x, MatrixD &y)
+{
+    PB_ASSERT(x.size() == a.width() && y.size() == a.height(),
+              "gemv shape mismatch");
+    for (int64_t i = 0; i < a.height(); ++i) {
+        double sum = 0.0;
+        for (int64_t j = 0; j < a.width(); ++j)
+            sum += a.at(j, i) * x[j];
+        y[i] = sum;
+    }
+}
+
+double
+dot(const MatrixD &x, const MatrixD &y)
+{
+    PB_ASSERT(x.size() == y.size(), "dot length mismatch");
+    double sum = 0.0;
+    for (int64_t i = 0; i < x.size(); ++i)
+        sum += x[i] * y[i];
+    return sum;
+}
+
+double
+norm2(const MatrixD &x)
+{
+    return std::sqrt(dot(x, x));
+}
+
+void
+scale(MatrixD &x, double alpha)
+{
+    for (int64_t i = 0; i < x.size(); ++i)
+        x[i] *= alpha;
+}
+
+void
+axpy(double alpha, const MatrixD &x, MatrixD &y)
+{
+    PB_ASSERT(x.size() == y.size(), "axpy length mismatch");
+    for (int64_t i = 0; i < x.size(); ++i)
+        y[i] += alpha * x[i];
+}
+
+double
+frobeniusDiff(const MatrixD &a, const MatrixD &b)
+{
+    PB_ASSERT(a.width() == b.width() && a.height() == b.height(),
+              "frobeniusDiff shape mismatch");
+    double sum = 0.0;
+    for (int64_t i = 0; i < a.size(); ++i) {
+        double d = a[i] - b[i];
+        sum += d * d;
+    }
+    return std::sqrt(sum);
+}
+
+sim::CostReport
+gemmCost(int64_t m, int64_t k, int64_t n)
+{
+    sim::CostReport cost;
+    // Library code is vectorized: report the flops it would take the
+    // scalar backend to match (2mkn real flops / speedup).
+    cost.flops = 2.0 * static_cast<double>(m) * static_cast<double>(k) *
+                 static_cast<double>(n) / kLibraryFlopSpeedup;
+    cost.globalBytesRead =
+        (static_cast<double>(m) * k + static_cast<double>(k) * n) * 8.0;
+    cost.globalBytesWritten = static_cast<double>(m) * n * 8.0;
+    cost.sequentialFraction = 1.0; // single-threaded library call
+    return cost;
+}
+
+} // namespace blas
+} // namespace petabricks

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Native dense linear algebra kernels — the "external library" choice.
+ *
+ * The paper's Strassen and SVD benchmarks include "calling the LAPACK
+ * external library" among their algorithmic choices. No LAPACK is
+ * available offline, so this module plays that role: cache-blocked,
+ * single-threaded kernels that are markedly faster than naive loops
+ * (modeled via kLibraryFlopSpeedup) but opaque to the compiler — rules
+ * wrapping them carry callsExternalLibrary() and can never be mapped to
+ * OpenCL, exactly like LAPACK calls in PetaBricks.
+ */
+
+#ifndef PETABRICKS_BLAS_BLAS_H
+#define PETABRICKS_BLAS_BLAS_H
+
+#include "sim/cost_model.h"
+#include "support/matrix.h"
+
+namespace petabricks {
+namespace blas {
+
+/**
+ * Effective arithmetic-throughput multiple of tuned library code over
+ * the scalar native backend (vectorization + register blocking). Used
+ * by the cost model for rules that call into this module.
+ */
+inline constexpr double kLibraryFlopSpeedup = 8.0;
+
+/** C = A * B (dimensions must agree; C is overwritten). */
+void gemm(const MatrixD &a, const MatrixD &b, MatrixD &c);
+
+/** C = A * B into the region c[x0.., y0..] (for recursive combines). */
+void gemmInto(const MatrixD &a, const MatrixD &b, MatrixD &c, int64_t x0,
+              int64_t y0);
+
+/** C += A * B. */
+void gemmAccumulate(const MatrixD &a, const MatrixD &b, MatrixD &c);
+
+/** B = A^T. */
+void transpose(const MatrixD &a, MatrixD &b);
+
+/** y = A * x for a column vector x (x, y are 1-D matrices). */
+void gemv(const MatrixD &a, const MatrixD &x, MatrixD &y);
+
+/** Dot product of two equal-length vectors. */
+double dot(const MatrixD &x, const MatrixD &y);
+
+/** Euclidean norm of a vector. */
+double norm2(const MatrixD &x);
+
+/** x *= alpha. */
+void scale(MatrixD &x, double alpha);
+
+/** y += alpha * x. */
+void axpy(double alpha, const MatrixD &x, MatrixD &y);
+
+/** Frobenius norm of the difference of two equal-shape matrices. */
+double frobeniusDiff(const MatrixD &a, const MatrixD &b);
+
+/** Modeled cost of a library dgemm of (m x k) * (k x n). */
+sim::CostReport gemmCost(int64_t m, int64_t k, int64_t n);
+
+} // namespace blas
+} // namespace petabricks
+
+#endif // PETABRICKS_BLAS_BLAS_H

@@ -1,0 +1,77 @@
+#include "compiler/admissibility.h"
+
+#include <set>
+
+namespace petabricks {
+namespace compiler {
+
+Admissibility
+analyzeRule(const lang::ChoiceDependencyGraph &graph, size_t ruleIndex)
+{
+    Admissibility result;
+    const lang::ChoiceEdge &edge = graph.edges()[ruleIndex];
+    const lang::RuleDef &rule = *edge.rule;
+
+    // Phase 1: dependency pattern of the output's strongly connected
+    // component must fit the OpenCL execution model.
+    lang::DependencyPattern pattern = graph.pattern(ruleIndex);
+    if (pattern == lang::DependencyPattern::Wavefront) {
+        result.reason = "wavefront dependency pattern cannot be mapped";
+        return result;
+    }
+
+    // Phase 2: body constructs that cannot be converted.
+    if (!rule.isPointRule()) {
+        result.reason = "opaque native region body";
+        return result;
+    }
+    if (rule.callsExternalLibrary()) {
+        result.reason = "calls an external library";
+        return result;
+    }
+    if (rule.hasInlineNativeCode()) {
+        result.reason = "contains inline native code";
+        return result;
+    }
+    if (rule.openclCompileFails()) {
+        // The paper detects these by attempting compilation and
+        // rejecting synthetic rules that fail to compile.
+        result.reason = "rejected by trial OpenCL compilation";
+        return result;
+    }
+
+    result.convertible = true;
+
+    // Phase 3 eligibility: a constant bounding box greater than one on
+    // some input enables the local-memory variant; a bounding box of
+    // one would mean threads sharing a work-group never share data.
+    for (const lang::AccessPattern &access : rule.accesses()) {
+        if (access.constantBoundingBoxArea() > 1) {
+            result.localMemCandidate = true;
+            break;
+        }
+    }
+    return result;
+}
+
+int
+countSynthesizedKernels(const lang::Transform &transform)
+{
+    std::set<std::string> global;
+    std::set<std::string> local;
+    for (size_t c = 0; c < transform.choices().size(); ++c) {
+        lang::ChoiceDependencyGraph graph(transform, c);
+        for (size_t r = 0; r < graph.edges().size(); ++r) {
+            Admissibility adm = analyzeRule(graph, r);
+            const std::string &name = graph.edges()[r].rule->name();
+            if (adm.convertible)
+                global.insert(name);
+            if (adm.localMemCandidate)
+                local.insert(name);
+        }
+    }
+    return static_cast<int>(global.size() + local.size());
+}
+
+} // namespace compiler
+} // namespace petabricks

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * OpenCL conversion admissibility (paper Section 3.1, phases 1-2).
+ *
+ * Phase 1 analyzes the choice dependency graph: the dependency
+ * direction of each rule's output must fit the OpenCL execution model —
+ * data-parallel and sequential patterns map, wavefront does not.
+ *
+ * Phase 2 inspects the rule body for unconvertible constructs: calls to
+ * external libraries, inline native code, and (modeled here by a flag,
+ * as in the paper it is detected "by attempting to compile the
+ * resulting transform") OpenCL-implementation-specific failures.
+ */
+
+#ifndef PETABRICKS_COMPILER_ADMISSIBILITY_H
+#define PETABRICKS_COMPILER_ADMISSIBILITY_H
+
+#include <string>
+
+#include "lang/choice_graph.h"
+
+namespace petabricks {
+namespace compiler {
+
+/** Outcome of the conversion analysis for one rule. */
+struct Admissibility
+{
+    /** True if an OpenCL (global memory) kernel can be generated. */
+    bool convertible = false;
+
+    /**
+     * True if additionally the phase-3 local-memory variant exists:
+     * some input has a constant per-point bounding box larger than one.
+     */
+    bool localMemCandidate = false;
+
+    /** Human-readable reason when not convertible. */
+    std::string reason;
+};
+
+/** Analyze rule @p ruleIndex of @p graph. */
+Admissibility analyzeRule(const lang::ChoiceDependencyGraph &graph,
+                          size_t ruleIndex);
+
+/** Count the synthetic OpenCL kernels a transform generates (Figure 8):
+ * one per convertible rule plus one per local-memory candidate,
+ * deduplicated by rule name across choices. */
+int countSynthesizedKernels(const lang::Transform &transform);
+
+} // namespace compiler
+} // namespace petabricks
+
+#endif // PETABRICKS_COMPILER_ADMISSIBILITY_H

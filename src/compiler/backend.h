@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Per-rule backend placement choices exposed to the autotuner
+ * (paper Section 5.3).
+ *
+ * Every rule application gets: a backend (CPU native, OpenCL with
+ * global memory only, or OpenCL with the local-memory optimization), a
+ * local work size tunable, and a GPU-CPU workload ratio in eighths
+ * ("the possible ratios [are] restricted to multiples of 1/8").
+ */
+
+#ifndef PETABRICKS_COMPILER_BACKEND_H
+#define PETABRICKS_COMPILER_BACKEND_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+
+namespace petabricks {
+namespace compiler {
+
+/** Execution backend for one rule application. */
+enum class Backend
+{
+    Cpu = 0,
+    OpenClGlobal = 1,
+    OpenClLocal = 2,
+};
+
+inline const char *
+backendName(Backend backend)
+{
+    switch (backend) {
+      case Backend::Cpu: return "CPU";
+      case Backend::OpenClGlobal: return "OpenCL-global";
+      case Backend::OpenClLocal: return "OpenCL-local";
+    }
+    return "?";
+}
+
+/** Choices for one rule application within a transform choice. */
+struct StageConfig
+{
+    Backend backend = Backend::Cpu;
+
+    /** OpenCL work-items per work-group (1-D groups over output rows). */
+    int localWorkSize = 64;
+
+    /**
+     * Portion of the output computed on the GPU, in eighths (0..8).
+     * 8 = everything on the GPU; intermediate values split the output
+     * with the first rows on the GPU and the rest on the CPU.
+     * Ignored when backend == Cpu.
+     */
+    int gpuRatioEighths = 8;
+
+    /** CPU-side chunking: number of worker tasks for the CPU part. */
+    int cpuSplit = 8;
+
+    void
+    validate() const
+    {
+        PB_ASSERT(localWorkSize >= 1 && localWorkSize <= 1024,
+                  "bad local work size " << localWorkSize);
+        PB_ASSERT(gpuRatioEighths >= 0 && gpuRatioEighths <= 8,
+                  "GPU ratio " << gpuRatioEighths << " not in eighths");
+        PB_ASSERT(cpuSplit >= 1, "cpuSplit must be positive");
+    }
+
+    /** Rows of an h-row output that land on the GPU. */
+    int64_t
+    gpuRows(int64_t h) const
+    {
+        if (backend == Backend::Cpu)
+            return 0;
+        return h * gpuRatioEighths / 8;
+    }
+};
+
+/** Full placement of one transform invocation. */
+struct TransformConfig
+{
+    size_t choiceIndex = 0;
+    std::vector<StageConfig> stages; // one per rule of the chosen choice
+
+    const StageConfig &
+    stage(size_t i) const
+    {
+        PB_ASSERT(i < stages.size(), "stage " << i << " unconfigured");
+        return stages[i];
+    }
+};
+
+} // namespace compiler
+} // namespace petabricks
+
+#endif // PETABRICKS_COMPILER_BACKEND_H

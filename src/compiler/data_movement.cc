@@ -1,0 +1,111 @@
+#include "compiler/data_movement.h"
+
+#include "compiler/admissibility.h"
+#include "support/error.h"
+
+namespace petabricks {
+namespace compiler {
+
+const char *
+copyOutPolicyName(CopyOutPolicy policy)
+{
+    switch (policy) {
+      case CopyOutPolicy::None: return "none";
+      case CopyOutPolicy::Reused: return "reused";
+      case CopyOutPolicy::MustCopyOut: return "must-copy-out";
+      case CopyOutPolicy::MayCopyOut: return "may-copy-out";
+    }
+    return "?";
+}
+
+std::vector<StagePlan>
+planStages(const lang::Transform &transform, const TransformConfig &config,
+           const SlotSizes &sizes)
+{
+    const lang::Choice &choice = transform.choiceAt(config.choiceIndex);
+    PB_ASSERT(config.stages.size() == choice.rules.size(),
+              "config has " << config.stages.size() << " stages, choice '"
+                            << choice.name << "' has "
+                            << choice.rules.size() << " rules");
+
+    lang::ChoiceDependencyGraph graph(transform, config.choiceIndex);
+    std::vector<size_t> order = graph.executionOrder();
+
+    std::vector<StagePlan> plans;
+    plans.reserve(order.size());
+    for (size_t ruleIndex : order) {
+        const lang::RulePtr &rule = choice.rules[ruleIndex];
+        StagePlan plan;
+        plan.ruleIndex = ruleIndex;
+        plan.rule = rule;
+        plan.config = config.stage(ruleIndex);
+        plan.config.validate();
+
+        auto sizeIt = sizes.find(rule->outputSlot());
+        PB_ASSERT(sizeIt != sizes.end(),
+                  "no extent for slot '" << rule->outputSlot() << "'");
+        plan.outW = sizeIt->second.first;
+        plan.outH = sizeIt->second.second;
+
+        if (plan.config.backend != Backend::Cpu) {
+            Admissibility adm = analyzeRule(graph, ruleIndex);
+            if (!adm.convertible) {
+                PB_FATAL("rule '" << rule->name()
+                                  << "' placed on OpenCL backend but is "
+                                     "not convertible: "
+                                  << adm.reason);
+            }
+            if (plan.config.backend == Backend::OpenClLocal &&
+                !adm.localMemCandidate) {
+                PB_FATAL("rule '" << rule->name()
+                                  << "' has no local-memory variant "
+                                     "(bounding box is not a constant "
+                                     "greater than one)");
+            }
+            plan.gpuRows = plan.config.gpuRows(plan.outH);
+        }
+        plans.push_back(std::move(plan));
+    }
+
+    // Copy-out classification, in schedule order.
+    for (size_t i = 0; i < plans.size(); ++i) {
+        StagePlan &plan = plans[i];
+        if (!plan.hasGpuPart()) {
+            plan.copyOut = CopyOutPolicy::None;
+            continue;
+        }
+        const std::string &slot = plan.rule->outputSlot();
+        bool consumedByCpu = false;
+        bool consumedByGpu = false;
+        for (size_t j = i + 1; j < plans.size(); ++j) {
+            const StagePlan &later = plans[j];
+            bool reads = false;
+            for (const std::string &input : later.rule->inputSlots())
+                if (input == slot)
+                    reads = true;
+            if (!reads)
+                continue;
+            if (later.config.backend == Backend::Cpu || later.hasCpuPart())
+                consumedByCpu = true;
+            else
+                consumedByGpu = true;
+        }
+        if (consumedByCpu) {
+            plan.copyOut = CopyOutPolicy::MustCopyOut;
+        } else if (consumedByGpu) {
+            plan.copyOut = CopyOutPolicy::Reused;
+        } else if (transform.slotRole(slot) == lang::SlotRole::Output) {
+            // Past the transform boundary the consumer is dynamic
+            // control flow we cannot analyze: lazy copy-out.
+            plan.copyOut = CopyOutPolicy::MayCopyOut;
+        } else {
+            // Dead intermediate produced on the GPU; nothing reads it,
+            // so the data can simply stay there.
+            plan.copyOut = CopyOutPolicy::Reused;
+        }
+    }
+    return plans;
+}
+
+} // namespace compiler
+} // namespace petabricks

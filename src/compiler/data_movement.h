@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Data movement analysis (paper Section 3.2).
+ *
+ * Performed at scheduling time, once the backend placement of every
+ * rule application is known. Output regions generated on the GPU are
+ * classified into three states:
+ *
+ *  - *must copy-out*: immediately followed by a rule that executes (at
+ *    least partly) on the CPU — data is copied back eagerly, via a
+ *    non-blocking read polled by a copy-out completion task;
+ *  - *reused*: immediately followed by another rule on the GPU — the
+ *    data stays in GPU memory between rule applications;
+ *  - *may copy-out*: followed by dynamic control flow the compiler
+ *    cannot analyze (here: the region is a transform output consumed by
+ *    the unknown caller) — a lazy check-and-copy runs when the data is
+ *    actually requested.
+ *
+ * planStages() combines this classification with the per-stage GPU-CPU
+ * ratio split into the stage plan that both the real executor and the
+ * model-mode simulator interpret.
+ */
+
+#ifndef PETABRICKS_COMPILER_DATA_MOVEMENT_H
+#define PETABRICKS_COMPILER_DATA_MOVEMENT_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compiler/backend.h"
+#include "lang/choice_graph.h"
+
+namespace petabricks {
+namespace compiler {
+
+/** Copy-out state of a GPU-produced region (Section 3.2). */
+enum class CopyOutPolicy
+{
+    /** No GPU part, nothing to classify. */
+    None,
+    /** Next consumer runs on the GPU: leave the data there. */
+    Reused,
+    /** Next consumer (partly) on the CPU: eager non-blocking copy. */
+    MustCopyOut,
+    /** Consumed by dynamic control flow: lazy check-and-copy. */
+    MayCopyOut,
+};
+
+const char *copyOutPolicyName(CopyOutPolicy policy);
+
+/** (w, h) extents of every slot of one transform invocation. */
+using SlotSizes = std::map<std::string, std::pair<int64_t, int64_t>>;
+
+/** One rule application with placement and movement decisions. */
+struct StagePlan
+{
+    size_t ruleIndex = 0; // position in the choice's rule list
+    lang::RulePtr rule;
+    StageConfig config;
+
+    /** Output rows [0, gpuRows) on the GPU, [gpuRows, outH) on CPU. */
+    int64_t gpuRows = 0;
+    int64_t outW = 0;
+    int64_t outH = 0;
+
+    /** Classification of the GPU-written part of the output. */
+    CopyOutPolicy copyOut = CopyOutPolicy::None;
+
+    bool hasGpuPart() const { return gpuRows > 0; }
+    bool hasCpuPart() const { return gpuRows < outH; }
+
+    Region gpuRegion() const { return Region(0, 0, outW, gpuRows); }
+    Region
+    cpuRegion() const
+    {
+        return Region(0, gpuRows, outW, outH - gpuRows);
+    }
+};
+
+/**
+ * Build the stage plans for @p config applied to @p transform: resolve
+ * execution order from the choice dependency graph, split each output
+ * by the GPU-CPU ratio, and run the copy-out classification.
+ *
+ * @param sizes extents of all bound slots.
+ * @throws FatalError if the config places an inadmissible rule on an
+ *         OpenCL backend.
+ */
+std::vector<StagePlan> planStages(const lang::Transform &transform,
+                                  const TransformConfig &config,
+                                  const SlotSizes &sizes);
+
+} // namespace compiler
+} // namespace petabricks
+
+#endif // PETABRICKS_COMPILER_DATA_MOVEMENT_H

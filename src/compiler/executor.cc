@@ -1,0 +1,306 @@
+#include "compiler/executor.h"
+
+#include "compiler/rule_cost.h"
+#include "support/error.h"
+
+namespace petabricks {
+namespace compiler {
+
+namespace {
+
+using lang::Binding;
+using lang::RulePtr;
+using lang::Transform;
+using runtime::Task;
+using runtime::TaskClass;
+using runtime::TaskContext;
+using runtime::TaskPtr;
+
+SlotSizes
+sizesOf(const Transform &transform, const Binding &binding)
+{
+    SlotSizes sizes;
+    for (const lang::MatrixSlot &slot : transform.slots()) {
+        const MatrixD &m = binding.matrix(slot.name);
+        sizes[slot.name] = {m.width(), m.height()};
+    }
+    return sizes;
+}
+
+/** Split @p region into up to @p parts row bands. */
+std::vector<Region>
+rowChunks(const Region &region, int parts)
+{
+    std::vector<Region> chunks;
+    if (region.empty())
+        return chunks;
+    int64_t n = std::min<int64_t>(parts, region.h);
+    for (int64_t i = 0; i < n; ++i) {
+        int64_t y0 = region.y + region.h * i / n;
+        int64_t y1 = region.y + region.h * (i + 1) / n;
+        if (y1 > y0)
+            chunks.emplace_back(region.x, y0, region.w, y1 - y0);
+    }
+    return chunks;
+}
+
+} // namespace
+
+void
+runPointRuleOnHost(const lang::RuleDef &rule, Binding &binding,
+                   const Region &region)
+{
+    MatrixD &out = binding.matrix(rule.outputSlot());
+    std::vector<lang::CellReader> readers;
+    readers.reserve(rule.accesses().size());
+    for (const lang::AccessPattern &access : rule.accesses()) {
+        const MatrixD &in = binding.matrix(access.inputSlot);
+        readers.emplace_back(in.data(), in.width(), 0, 0);
+    }
+    lang::PointArgs pt;
+    pt.inputs = &readers;
+    pt.params = &binding.params;
+    for (int64_t y = region.y; y < region.y + region.h; ++y) {
+        for (int64_t x = region.x; x < region.x + region.w; ++x) {
+            pt.x = x;
+            pt.y = y;
+            out.at(x, y) = rule.pointBody()(pt);
+        }
+    }
+}
+
+const SynthesizedKernel &
+TransformExecutor::kernelsFor(const RulePtr &rule)
+{
+    auto it = kernelCache_.find(rule->name());
+    if (it == kernelCache_.end())
+        it = kernelCache_.emplace(rule->name(), synthesizeKernels(rule))
+                 .first;
+    return it->second;
+}
+
+void
+TransformExecutor::execute(const Transform &transform, Binding &binding,
+                           const TransformConfig &config)
+{
+    transform.validateBinding(binding);
+    SlotSizes sizes = sizesOf(transform, binding);
+    std::vector<StagePlan> plans = planStages(transform, config, sizes);
+
+    // Per-slot join task the consumers of that slot depend on.
+    std::map<std::string, TaskPtr> slotReady;
+    std::vector<TaskPtr> allTasks;
+
+    auto dependOnInputs = [&](const TaskPtr &task, const RulePtr &rule) {
+        for (const std::string &input : rule->inputSlots()) {
+            auto it = slotReady.find(input);
+            if (it != slotReady.end())
+                task->dependsOn(it->second);
+        }
+    };
+
+    for (const StagePlan &plan : plans) {
+        const RulePtr &rule = plan.rule;
+        TaskPtr stageJoin = Task::join(rule->name() + ":done");
+
+        // ---- CPU part -------------------------------------------------
+        if (plan.hasCpuPart()) {
+            Region cpuRegion = rule->isPointRule()
+                                   ? plan.cpuRegion()
+                                   : Region(0, 0, plan.outW, plan.outH);
+            if (rule->isPointRule()) {
+                for (const Region &chunk :
+                     rowChunks(cpuRegion, plan.config.cpuSplit)) {
+                    TaskPtr task = Task::cpu(
+                        rule->name() + ":cpu",
+                        [this, rule, &binding, chunk] {
+                            // Lazy copy-out check before consuming any
+                            // possibly device-resident input.
+                            if (rt_.hasGpu()) {
+                                for (const auto &acc : rule->accesses()) {
+                                    MatrixD &in =
+                                        binding.matrix(acc.inputSlot);
+                                    rt_.gpuMemory().ensureOnHost(
+                                        in, in.fullRegion());
+                                }
+                            }
+                            runPointRuleOnHost(*rule, binding, chunk);
+                            if (rt_.hasGpu()) {
+                                // Device copies of this band are stale.
+                                rt_.gpuMemory().invalidateRegion(
+                                    binding.matrix(rule->outputSlot()),
+                                    chunk);
+                            }
+                        });
+                    dependOnInputs(task, rule);
+                    stageJoin->dependsOn(task);
+                    allTasks.push_back(std::move(task));
+                }
+            } else {
+                int threads = rt_.workerCount();
+                TaskPtr task = Task::cpu(
+                    rule->name() + ":native",
+                    [this, rule, &binding, cpuRegion, threads] {
+                        if (rt_.hasGpu()) {
+                            for (const std::string &slot :
+                                 rule->inputSlots()) {
+                                MatrixD &in = binding.matrix(slot);
+                                rt_.gpuMemory().ensureOnHost(
+                                    in, in.fullRegion());
+                            }
+                        }
+                        lang::RuleDef::RegionRunArgs args;
+                        args.region = cpuRegion;
+                        args.output = binding.matrix(rule->outputSlot());
+                        for (const std::string &slot : rule->inputSlots())
+                            args.inputs.push_back(binding.matrix(slot));
+                        args.params = &binding.params;
+                        args.threads = threads;
+                        rule->regionBody()(args);
+                        if (rt_.hasGpu()) {
+                            rt_.gpuMemory().invalidateRegion(
+                                binding.matrix(rule->outputSlot()),
+                                cpuRegion);
+                        }
+                    });
+                dependOnInputs(task, rule);
+                stageJoin->dependsOn(task);
+                allTasks.push_back(std::move(task));
+            }
+        }
+
+        // ---- GPU part -------------------------------------------------
+        if (plan.hasGpuPart()) {
+            PB_ASSERT(rt_.hasGpu(), "GPU placement on CPU-only runtime");
+            const SynthesizedKernel &kernels = kernelsFor(rule);
+            ocl::KernelPtr kernel =
+                plan.config.backend == Backend::OpenClLocal
+                    ? kernels.local
+                    : kernels.global;
+            PB_ASSERT(kernel != nullptr, "missing kernel variant");
+
+            Region gpuRegion = plan.gpuRegion();
+
+            // Prepare: allocate consolidated buffers, update metadata.
+            TaskPtr prepare = std::make_shared<Task>(
+                rule->name() + ":prepare", TaskClass::Gpu,
+                [this, rule, &binding](TaskContext &) -> TaskPtr {
+                    rt_.gpuMemory().prepare(
+                        binding.matrix(rule->outputSlot()));
+                    for (const std::string &slot : rule->inputSlots())
+                        rt_.gpuMemory().prepare(binding.matrix(slot));
+                    return nullptr;
+                });
+            dependOnInputs(prepare, rule);
+            allTasks.push_back(prepare);
+
+            // Copy-in: one task per input, non-blocking writes with the
+            // memory table deduplicating already-resident regions.
+            std::vector<TaskPtr> copyIns;
+            for (size_t i = 0; i < rule->accesses().size(); ++i) {
+                const lang::AccessPattern &access = rule->accesses()[i];
+                MatrixD &in = binding.matrix(access.inputSlot);
+                Region needed = inputRegionFor(access, gpuRegion,
+                                               in.width(), in.height());
+                if (needed.empty())
+                    continue;
+                TaskPtr copyIn = std::make_shared<Task>(
+                    rule->name() + ":copyin:" + access.inputSlot,
+                    TaskClass::Gpu,
+                    [this, &binding, slot = access.inputSlot,
+                     needed](TaskContext &) -> TaskPtr {
+                        rt_.gpuMemory().copyIn(binding.matrix(slot),
+                                               needed);
+                        return nullptr;
+                    });
+                copyIn->dependsOn(prepare);
+                copyIns.push_back(copyIn);
+                allTasks.push_back(copyIn);
+            }
+
+            // Execute: initiate the asynchronous kernel, then the eager
+            // non-blocking read for must-copy-out regions.
+            auto readEvent = std::make_shared<ocl::EventPtr>();
+            CopyOutPolicy policy = plan.copyOut;
+            TaskPtr executeTask = std::make_shared<Task>(
+                rule->name() + ":execute", TaskClass::Gpu,
+                [this, rule, &binding, kernel, gpuRegion, plan, policy,
+                 readEvent](TaskContext &) -> TaskPtr {
+                    auto &table = rt_.gpuMemory();
+                    MatrixD &outM = binding.matrix(rule->outputSlot());
+                    std::vector<ocl::BufferPtr> inputBufs;
+                    std::vector<std::pair<int64_t, int64_t>> extents;
+                    for (const std::string &slot : rule->inputSlots()) {
+                        MatrixD &in = binding.matrix(slot);
+                        inputBufs.push_back(table.buffer(in));
+                        extents.emplace_back(in.width(), in.height());
+                    }
+                    ocl::KernelArgs args = makeKernelArgs(
+                        *rule, table.buffer(outM), std::move(inputBufs),
+                        outM.width(), outM.height(), gpuRegion, extents,
+                        binding.params);
+                    ocl::NDRange range = groupShapeFor(
+                        *rule, gpuRegion, plan.config.localWorkSize);
+                    rt_.gpuCommandQueue().enqueueKernel(kernel, args,
+                                                        range);
+                    table.markDeviceWritten(outM, gpuRegion);
+                    if (policy == CopyOutPolicy::MustCopyOut)
+                        *readEvent = table.copyOut(outM, gpuRegion);
+                    return nullptr;
+                });
+            executeTask->dependsOn(prepare);
+            for (const TaskPtr &copyIn : copyIns)
+                executeTask->dependsOn(copyIn);
+            allTasks.push_back(executeTask);
+
+            if (policy == CopyOutPolicy::MustCopyOut) {
+                // Copy-out completion: poll the non-blocking read; the
+                // GPU manager requeues us while it is still in flight.
+                TaskPtr completion = std::make_shared<Task>(
+                    rule->name() + ":copyout",
+                    TaskClass::Gpu,
+                    [readEvent](TaskContext &ctx) -> TaskPtr {
+                        PB_ASSERT(*readEvent != nullptr,
+                                  "copy-out ran before execute");
+                        if (!(*readEvent)->isComplete())
+                            ctx.requeue();
+                        return nullptr;
+                    });
+                completion->dependsOn(executeTask);
+                stageJoin->dependsOn(completion);
+                allTasks.push_back(completion);
+            } else {
+                // Reused / may-copy-out: downstream GPU work is ordered
+                // by the in-order command queue; nothing to wait for
+                // beyond the execute task itself.
+                stageJoin->dependsOn(executeTask);
+            }
+        }
+
+        slotReady[rule->outputSlot()] = stageJoin;
+        allTasks.push_back(stageJoin);
+    }
+
+    for (const TaskPtr &task : allTasks)
+        rt_.spawn(task);
+    rt_.wait();
+    if (rt_.hasGpu())
+        rt_.gpuCommandQueue().finish();
+}
+
+void
+TransformExecutor::syncOutputs(const Transform &transform,
+                               Binding &binding)
+{
+    if (!rt_.hasGpu())
+        return;
+    for (const lang::MatrixSlot &slot : transform.slots()) {
+        if (slot.role != lang::SlotRole::Output)
+            continue;
+        MatrixD &m = binding.matrix(slot.name);
+        rt_.gpuMemory().ensureOnHost(m, m.fullRegion());
+    }
+}
+
+} // namespace compiler
+} // namespace petabricks

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Real-mode transform execution: interprets stage plans as task graphs
+ * on the heterogeneous runtime.
+ *
+ * For each stage, the CPU part of the output is chunked across
+ * work-stealing CPU tasks while the GPU part becomes the paper's four
+ * GPU task classes (Section 4.2), pushed through the GPU management
+ * thread:
+ *   prepare -> copy-in (one per input) -> execute -> copy-out completion
+ * The execute task initiates the kernel and the eager (must-copy-out)
+ * read without blocking; the completion task polls the read's event and
+ * requeues itself while the read is in flight. May-copy-out outputs
+ * stay on the device until syncOutputs() (the compiler-inserted lazy
+ * check) requests them.
+ */
+
+#ifndef PETABRICKS_COMPILER_EXECUTOR_H
+#define PETABRICKS_COMPILER_EXECUTOR_H
+
+#include <map>
+#include <string>
+
+#include "compiler/data_movement.h"
+#include "compiler/kernel_synth.h"
+#include "lang/transform.h"
+#include "runtime/runtime.h"
+
+namespace petabricks {
+namespace compiler {
+
+/** Executes transforms on a runtime::Runtime. */
+class TransformExecutor
+{
+  public:
+    explicit TransformExecutor(runtime::Runtime &rt) : rt_(rt) {}
+
+    /**
+     * Execute @p transform over @p binding with placement @p config and
+     * block until done. Outputs produced on the GPU under a
+     * may-copy-out policy remain device-resident; call syncOutputs()
+     * before reading them on the host.
+     */
+    void execute(const lang::Transform &transform, lang::Binding &binding,
+                 const TransformConfig &config);
+
+    /**
+     * The lazy copy-out check the compiler inserts before consuming
+     * code: ensure every output slot is valid in host memory.
+     */
+    void syncOutputs(const lang::Transform &transform,
+                     lang::Binding &binding);
+
+  private:
+    const SynthesizedKernel &kernelsFor(const lang::RulePtr &rule);
+
+    runtime::Runtime &rt_;
+    std::map<std::string, SynthesizedKernel> kernelCache_;
+};
+
+/** Run a point rule's body over @p region against host matrices. */
+void runPointRuleOnHost(const lang::RuleDef &rule, lang::Binding &binding,
+                        const Region &region);
+
+} // namespace compiler
+} // namespace petabricks
+
+#endif // PETABRICKS_COMPILER_EXECUTOR_H

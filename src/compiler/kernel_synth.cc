@@ -1,0 +1,234 @@
+#include "compiler/kernel_synth.h"
+
+#include "compiler/rule_cost.h"
+#include "support/error.h"
+
+namespace petabricks {
+namespace compiler {
+
+namespace {
+
+/** Decoded view of the synthesized-kernel argument convention. */
+struct DecodedArgs
+{
+    int64_t outW, outH, outX0, outY0;
+    std::vector<std::pair<int64_t, int64_t>> inputExtents;
+    lang::ParamEnv params;
+};
+
+DecodedArgs
+decode(const lang::RuleDef &rule, const ocl::KernelArgs &args)
+{
+    size_t numInputs = rule.accesses().size();
+    PB_ASSERT(args.buffers.size() == 1 + numInputs,
+              "kernel '" << rule.name() << "' expects " << 1 + numInputs
+                         << " buffers, got " << args.buffers.size());
+    PB_ASSERT(args.ints.size() >= 4 + 2 * numInputs,
+              "kernel '" << rule.name() << "' missing int args");
+    DecodedArgs d;
+    d.outW = args.ints[0];
+    d.outH = args.ints[1];
+    d.outX0 = args.ints[2];
+    d.outY0 = args.ints[3];
+    for (size_t i = 0; i < numInputs; ++i)
+        d.inputExtents.emplace_back(args.ints[4 + 2 * i],
+                                    args.ints[5 + 2 * i]);
+    d.params.assign(args.ints.begin() +
+                        static_cast<int64_t>(4 + 2 * numInputs),
+                    args.ints.end());
+    return d;
+}
+
+/** Output region computed by a launch, from the args and range. */
+Region
+launchRegion(const DecodedArgs &d, const ocl::NDRange &range)
+{
+    return Region(d.outX0, d.outY0, range.globalW, range.globalH);
+}
+
+SlotExtents
+extentsOf(const DecodedArgs &d)
+{
+    SlotExtents e;
+    e.inputs = d.inputExtents;
+    e.outputW = d.outW;
+    e.outputH = d.outH;
+    return e;
+}
+
+} // namespace
+
+ocl::KernelArgs
+makeKernelArgs(const lang::RuleDef &rule, ocl::BufferPtr out,
+               std::vector<ocl::BufferPtr> inputs, int64_t outW,
+               int64_t outH, const Region &outRegion,
+               const std::vector<std::pair<int64_t, int64_t>> &inputExtents,
+               const lang::ParamEnv &params)
+{
+    PB_ASSERT(inputs.size() == rule.accesses().size(),
+              "input buffer count mismatch for '" << rule.name() << "'");
+    PB_ASSERT(inputExtents.size() == inputs.size(),
+              "input extent count mismatch for '" << rule.name() << "'");
+    ocl::KernelArgs args;
+    args.buffers.push_back(std::move(out));
+    for (auto &in : inputs)
+        args.buffers.push_back(std::move(in));
+    args.ints = {outW, outH, outRegion.x, outRegion.y};
+    for (auto [w, h] : inputExtents) {
+        args.ints.push_back(w);
+        args.ints.push_back(h);
+    }
+    for (int64_t p : params)
+        args.ints.push_back(p);
+    return args;
+}
+
+SynthesizedKernel
+synthesizeKernels(const lang::RulePtr &rule)
+{
+    PB_ASSERT(rule && rule->isPointRule(),
+              "can only synthesize kernels for point rules");
+    SynthesizedKernel out;
+
+    // ---- Basic variant: one work-item per output cell, global memory.
+    auto globalBody = [rule](ocl::GroupCtx &ctx) {
+        DecodedArgs d = decode(*rule, ctx.args());
+        double *outBase = ctx.args().buffer(0).as<double>();
+        std::vector<lang::CellReader> readers;
+        for (size_t i = 0; i < rule->accesses().size(); ++i) {
+            readers.emplace_back(
+                ctx.args().buffer(1 + i).as<double>(),
+                d.inputExtents[i].first, 0, 0);
+        }
+        lang::PointArgs pt;
+        pt.inputs = &readers;
+        pt.params = &d.params;
+        ctx.forEachItem([&](int64_t gx, int64_t gy, int64_t, int64_t) {
+            pt.x = d.outX0 + gx;
+            pt.y = d.outY0 + gy;
+            outBase[pt.y * d.outW + pt.x] = rule->pointBody()(pt);
+        });
+    };
+    auto globalCost = [rule](const ocl::KernelArgs &args,
+                             const ocl::NDRange &range) {
+        DecodedArgs d = decode(*rule, args);
+        return pointRuleGlobalCost(*rule, launchRegion(d, range),
+                                   extentsOf(d), d.params, range);
+    };
+    out.global = std::make_shared<ocl::Kernel>(
+        rule->name() + "_ocl", "pbcl:" + rule->name() + ":global",
+        globalBody, globalCost);
+
+    // ---- Local-memory variant (phase 3), when some input has a
+    // constant bounding box greater than one.
+    bool anyStaged = false;
+    for (const lang::AccessPattern &access : rule->accesses())
+        if (access.constantBoundingBoxArea() > 1)
+            anyStaged = true;
+    if (!anyStaged)
+        return out;
+
+    auto localBody = [rule](ocl::GroupCtx &ctx) {
+        DecodedArgs d = decode(*rule, ctx.args());
+        double *outBase = ctx.args().buffer(0).as<double>();
+        const ocl::NDRange &range = ctx.range();
+
+        // Cooperative load phase: stage each windowed input's tile.
+        struct StagedTile
+        {
+            int64_t arenaOffset;
+            int64_t tileW, tileH;
+            int64_t originX, originY;
+        };
+        std::vector<StagedTile> tiles(rule->accesses().size(),
+                                      StagedTile{-1, 0, 0, 0, 0});
+        int64_t arena = 0;
+        int64_t liveItems = std::max<int64_t>(ctx.liveItems(), 1);
+        for (size_t i = 0; i < rule->accesses().size(); ++i) {
+            const lang::AccessPattern &access = rule->accesses()[i];
+            if (access.constantBoundingBoxArea() <= 1)
+                continue;
+            auto [inW, inH] = d.inputExtents[i];
+            StagedTile tile;
+            tile.arenaOffset = arena;
+            // The tile is NOT clamped to the input extent: with a
+            // negative window offset the tile origin sits outside the
+            // matrix and clamping would lose coverage of the last
+            // columns. Out-of-range cells are simply skipped below.
+            tile.tileW =
+                access.x.stride * (range.localW - 1) + access.x.extent;
+            tile.tileH =
+                access.y.stride * (range.localH - 1) + access.y.extent;
+            tile.originX =
+                access.x.stride * (d.outX0 + ctx.originX()) +
+                access.x.offset;
+            tile.originY =
+                access.y.stride * (d.outY0 + ctx.originY()) +
+                access.y.offset;
+            arena += tile.tileW * tile.tileH;
+            const double *inBase = ctx.args().buffer(1 + i).as<double>();
+            double *local = ctx.localMem();
+            int64_t tileCells = tile.tileW * tile.tileH;
+            // Each work-item loads cells strided by the group size — the
+            // multi-phase cooperative load of Section 3.1. Item ids are
+            // contiguous over the *live* (edge-clipped) group so the
+            // strided sweep covers every tile cell.
+            int64_t liveW = std::max<int64_t>(ctx.liveWidth(), 1);
+            ctx.forEachItem([&](int64_t, int64_t, int64_t lx, int64_t ly) {
+                int64_t itemId = ly * liveW + lx;
+                for (int64_t cell = itemId; cell < tileCells;
+                     cell += liveItems) {
+                    int64_t tx = cell % tile.tileW;
+                    int64_t ty = cell / tile.tileW;
+                    int64_t ax = tile.originX + tx;
+                    int64_t ay = tile.originY + ty;
+                    if (ax < 0 || ax >= inW || ay < 0 || ay >= inH)
+                        continue; // edge groups clamp to the matrix
+                    local[tile.arenaOffset + ty * tile.tileW + tx] =
+                        inBase[ay * inW + ax];
+                }
+            });
+            tiles[i] = tile;
+        }
+        ctx.barrier();
+
+        // Compute phase: window reads served from the scratchpad.
+        std::vector<lang::CellReader> readers;
+        for (size_t i = 0; i < rule->accesses().size(); ++i) {
+            if (tiles[i].arenaOffset >= 0) {
+                readers.emplace_back(ctx.localMem() + tiles[i].arenaOffset,
+                                     tiles[i].tileW, tiles[i].originX,
+                                     tiles[i].originY);
+            } else {
+                readers.emplace_back(
+                    ctx.args().buffer(1 + i).as<double>(),
+                    d.inputExtents[i].first, 0, 0);
+            }
+        }
+        lang::PointArgs pt;
+        pt.inputs = &readers;
+        pt.params = &d.params;
+        ctx.forEachItem([&](int64_t gx, int64_t gy, int64_t, int64_t) {
+            pt.x = d.outX0 + gx;
+            pt.y = d.outY0 + gy;
+            outBase[pt.y * d.outW + pt.x] = rule->pointBody()(pt);
+        });
+    };
+    auto localCost = [rule](const ocl::KernelArgs &args,
+                            const ocl::NDRange &range) {
+        DecodedArgs d = decode(*rule, args);
+        return pointRuleLocalCost(*rule, launchRegion(d, range),
+                                  extentsOf(d), d.params, range);
+    };
+    auto localMem = [rule](const ocl::KernelArgs &,
+                           const ocl::NDRange &range) {
+        return localMemElemsFor(*rule, range);
+    };
+    out.local = std::make_shared<ocl::Kernel>(
+        rule->name() + "_ocl_local", "pbcl:" + rule->name() + ":local",
+        localBody, localCost, localMem);
+    return out;
+}
+
+} // namespace compiler
+} // namespace petabricks

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * OpenCL kernel generation from point rules (Section 3.1, phases 2-3).
+ *
+ * Phase 2 produces the basic variant: every work-item computes exactly
+ * one output cell, reading inputs through global memory (the paper
+ * notes this one-cell-per-item structure beat the NVIDIA SDK's
+ * multi-output convolution sample on their Desktop).
+ *
+ * Phase 3 produces the local-memory variant for rules with a constant
+ * bounding box greater than one: work-items first cooperate to load the
+ * group's input tile into the scratchpad (a strided multi-phase load),
+ * barrier, then compute with all window reads served from local memory.
+ *
+ * Synthesized kernel launch-argument convention:
+ *   buffers: [out, in0, in1, ...] — full matrices, row-major;
+ *   ints:    [outW, outH, outX0, outY0,
+ *             in0W, in0H, in1W, in1H, ..., params...]
+ * Work-item (gx, gy) computes output cell (outX0+gx, outY0+gy), which
+ * is how the executor maps a *part* of the output onto the GPU when the
+ * GPU-CPU ratio splits the work.
+ */
+
+#ifndef PETABRICKS_COMPILER_KERNEL_SYNTH_H
+#define PETABRICKS_COMPILER_KERNEL_SYNTH_H
+
+#include "lang/rule.h"
+#include "ocl/kernel.h"
+
+namespace petabricks {
+namespace compiler {
+
+/** The kernels generated for one rule. */
+struct SynthesizedKernel
+{
+    ocl::KernelPtr global;
+    /** Non-null only for local-memory candidates. */
+    ocl::KernelPtr local;
+};
+
+/**
+ * Generate the OpenCL variants for @p rule (which must be a point
+ * rule that passed the admissibility analysis).
+ */
+SynthesizedKernel synthesizeKernels(const lang::RulePtr &rule);
+
+/** Build the launch arguments for a synthesized kernel. */
+ocl::KernelArgs makeKernelArgs(
+    const lang::RuleDef &rule, ocl::BufferPtr out,
+    std::vector<ocl::BufferPtr> inputs, int64_t outW, int64_t outH,
+    const Region &outRegion,
+    const std::vector<std::pair<int64_t, int64_t>> &inputExtents,
+    const lang::ParamEnv &params);
+
+} // namespace compiler
+} // namespace petabricks
+
+#endif // PETABRICKS_COMPILER_KERNEL_SYNTH_H

@@ -1,0 +1,199 @@
+#include "compiler/rule_cost.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace petabricks {
+namespace compiler {
+
+namespace {
+
+/** CPU caches absorb essentially all window overlap for these sizes.
+ * GPU hit rates are per rule (RuleDef::gpuCacheHitRate): they measure
+ * how much of the redundant-load overlap the device caches absorb; the
+ * remainder is what explicit local-memory staging eliminates. */
+constexpr double kCpuCacheHitRate = 1.0;
+
+/** Per-point bounding-box area, resolving full-extent dims. */
+int64_t
+bboxArea(const lang::AccessPattern &access, int64_t inputW, int64_t inputH)
+{
+    int64_t w = access.x.full ? inputW : access.x.extent;
+    int64_t h = access.y.full ? inputH : access.y.extent;
+    return std::max<int64_t>(w, 1) * std::max<int64_t>(h, 1);
+}
+
+/** Global read bytes with a cache model absorbing redundant loads. */
+double
+cachedReadBytes(const lang::RuleDef &rule, const Region &outRegion,
+                const SlotExtents &extents, double hitRate)
+{
+    double unique = 0.0;
+    double total = 0.0;
+    const auto &accesses = rule.accesses();
+    for (size_t i = 0; i < accesses.size(); ++i) {
+        auto [inW, inH] = extents.inputs[i];
+        Region needed = inputRegionFor(accesses[i], outRegion, inW, inH);
+        unique += static_cast<double>(needed.area()) * kElemBytes;
+        total += static_cast<double>(outRegion.area()) *
+                 bboxArea(accesses[i], inW, inH) * kElemBytes;
+    }
+    double redundant = std::max(0.0, total - unique);
+    return unique + redundant * (1.0 - hitRate);
+}
+
+} // namespace
+
+Region
+inputRegionFor(const lang::AccessPattern &access, const Region &outRegion,
+               int64_t inputW, int64_t inputH)
+{
+    int64_t x0, x1, y0, y1;
+    if (access.x.full) {
+        x0 = 0;
+        x1 = inputW;
+    } else {
+        x0 = access.x.stride * outRegion.x + access.x.offset;
+        x1 = access.x.stride * (outRegion.x + outRegion.w - 1) +
+             access.x.offset + access.x.extent;
+    }
+    if (access.y.full) {
+        y0 = 0;
+        y1 = inputH;
+    } else {
+        y0 = access.y.stride * outRegion.y + access.y.offset;
+        y1 = access.y.stride * (outRegion.y + outRegion.h - 1) +
+             access.y.offset + access.y.extent;
+    }
+    x0 = std::clamp<int64_t>(x0, 0, inputW);
+    x1 = std::clamp<int64_t>(x1, 0, inputW);
+    y0 = std::clamp<int64_t>(y0, 0, inputH);
+    y1 = std::clamp<int64_t>(y1, 0, inputH);
+    return Region(x0, y0, x1 - x0, y1 - y0);
+}
+
+sim::CostReport
+pointRuleGlobalCost(const lang::RuleDef &rule, const Region &outRegion,
+                    const SlotExtents &extents,
+                    const lang::ParamEnv &params, const ocl::NDRange &range)
+{
+    PB_ASSERT(rule.isPointRule(), "cost of non-point rule");
+    PB_ASSERT(extents.inputs.size() == rule.accesses().size(),
+              "extents/access arity mismatch");
+    sim::CostReport cost;
+    double area = static_cast<double>(outRegion.area());
+    cost.flops = area * rule.flopsPerPoint(params);
+    cost.globalBytesRead = cachedReadBytes(rule, outRegion, extents,
+                                           rule.gpuCacheHitRate());
+    cost.globalBytesWritten = area * kElemBytes;
+    cost.workItems = static_cast<double>(range.items());
+    cost.invocations = 1;
+    return cost;
+}
+
+sim::CostReport
+pointRuleLocalCost(const lang::RuleDef &rule, const Region &outRegion,
+                   const SlotExtents &extents,
+                   const lang::ParamEnv &params, const ocl::NDRange &range)
+{
+    PB_ASSERT(rule.isPointRule(), "cost of non-point rule");
+    sim::CostReport cost;
+    double area = static_cast<double>(outRegion.area());
+    cost.flops = area * rule.flopsPerPoint(params);
+    cost.globalBytesWritten = area * kElemBytes;
+    cost.workItems = static_cast<double>(range.items());
+    cost.invocations = 1;
+
+    double groups = static_cast<double>(range.groups());
+    bool anyStaged = false;
+    const auto &accesses = rule.accesses();
+    for (size_t i = 0; i < accesses.size(); ++i) {
+        auto [inW, inH] = extents.inputs[i];
+        const lang::AccessPattern &access = accesses[i];
+        int64_t bbox = access.constantBoundingBoxArea();
+        if (bbox > 1) {
+            // Staged: one cooperative tile load per group, then all
+            // per-point reads hit the scratchpad.
+            anyStaged = true;
+            double tileW = static_cast<double>(std::min<int64_t>(
+                access.x.stride * (range.localW - 1) + access.x.extent,
+                inW));
+            double tileH = static_cast<double>(std::min<int64_t>(
+                access.y.stride * (range.localH - 1) + access.y.extent,
+                inH));
+            double tileBytes = tileW * tileH * kElemBytes;
+            cost.globalBytesRead += groups * tileBytes;
+            // Stores into local memory plus per-point reads from it.
+            cost.localBytes += groups * tileBytes;
+            cost.localBytes += area * static_cast<double>(bbox) *
+                               kElemBytes;
+        } else {
+            // Bounding box of one (or non-constant): read from global
+            // memory exactly as the basic variant does.
+            Region needed =
+                inputRegionFor(access, outRegion, inW, inH);
+            double unique =
+                static_cast<double>(needed.area()) * kElemBytes;
+            double total = area * bboxArea(access, inW, inH) * kElemBytes;
+            double redundant = std::max(0.0, total - unique);
+            cost.globalBytesRead +=
+                unique + redundant * (1.0 - rule.gpuCacheHitRate());
+        }
+    }
+    if (anyStaged)
+        cost.barriers = groups; // one barrier between load and compute
+    return cost;
+}
+
+sim::CostReport
+pointRuleCpuCost(const lang::RuleDef &rule, const Region &outRegion,
+                 const SlotExtents &extents, const lang::ParamEnv &params)
+{
+    PB_ASSERT(rule.isPointRule(), "cost of non-point rule");
+    sim::CostReport cost;
+    double area = static_cast<double>(outRegion.area());
+    cost.flops = area * rule.flopsPerPoint(params);
+    cost.globalBytesRead =
+        cachedReadBytes(rule, outRegion, extents, kCpuCacheHitRate);
+    cost.globalBytesWritten = area * kElemBytes;
+    cost.invocations = 1;
+    return cost;
+}
+
+ocl::NDRange
+groupShapeFor(const lang::RuleDef &rule, const Region &outRegion,
+              int totalItems)
+{
+    bool windowInY = false;
+    for (const lang::AccessPattern &access : rule.accesses()) {
+        if (!access.y.full &&
+            (access.y.extent > 1 || access.y.stride > 1))
+            windowInY = true;
+    }
+    int64_t lh = 1;
+    if (windowInY) {
+        while (lh < 16 && lh * lh < totalItems)
+            lh *= 2;
+    }
+    int64_t lw = std::max<int64_t>(1, totalItems / lh);
+    return ocl::NDRange(outRegion.w, outRegion.h, lw, lh);
+}
+
+int64_t
+localMemElemsFor(const lang::RuleDef &rule, const ocl::NDRange &range)
+{
+    int64_t elems = 0;
+    for (const lang::AccessPattern &access : rule.accesses()) {
+        if (access.constantBoundingBoxArea() > 1) {
+            elems += (access.x.stride * (range.localW - 1) +
+                      access.x.extent) *
+                     (access.y.stride * (range.localH - 1) +
+                      access.y.extent);
+        }
+    }
+    return elems;
+}
+
+} // namespace compiler
+} // namespace petabricks

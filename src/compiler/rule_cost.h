@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Analytic cost estimation for point rules, shared by the synthesized
+ * kernels' cost functions and the model-mode simulator so both always
+ * agree.
+ *
+ * The estimates encode the tradeoff at the heart of the paper's
+ * Figure 2: the global-memory variant re-reads each input's bounding
+ * box per output point (redundant loads through the slow path), while
+ * the local-memory variant loads each input tile once per work-group
+ * and replaces the per-point global reads with local-memory reads, at
+ * the price of barriers and the staging traffic itself — which is pure
+ * overhead on devices without a dedicated scratchpad.
+ */
+
+#ifndef PETABRICKS_COMPILER_RULE_COST_H
+#define PETABRICKS_COMPILER_RULE_COST_H
+
+#include "lang/rule.h"
+#include "lang/transform.h"
+#include "ocl/ndrange.h"
+#include "sim/cost_model.h"
+
+namespace petabricks {
+namespace compiler {
+
+/** Extents of the matrices a rule touches (model mode has no data). */
+struct SlotExtents
+{
+    /** (w, h) per input slot, aligned with the rule's access order. */
+    std::vector<std::pair<int64_t, int64_t>> inputs;
+    int64_t outputW = 0;
+    int64_t outputH = 0;
+};
+
+/** Bytes per element of every matrix in this library. */
+inline constexpr double kElemBytes = sizeof(double);
+
+/**
+ * Input region a point rule needs to compute @p outRegion of its
+ * output: the union of per-point bounding boxes, clamped to the input's
+ * bounds.
+ */
+Region inputRegionFor(const lang::AccessPattern &access,
+                      const Region &outRegion, int64_t inputW,
+                      int64_t inputH);
+
+/**
+ * Cost of computing @p outRegion of point rule @p rule with the
+ * OpenCL *global-memory* variant.
+ */
+sim::CostReport pointRuleGlobalCost(const lang::RuleDef &rule,
+                                    const Region &outRegion,
+                                    const SlotExtents &extents,
+                                    const lang::ParamEnv &params,
+                                    const ocl::NDRange &range);
+
+/**
+ * Cost of the *local-memory* variant: inputs with a constant bounding
+ * box larger than one are staged into the scratchpad cooperatively.
+ */
+sim::CostReport pointRuleLocalCost(const lang::RuleDef &rule,
+                                   const Region &outRegion,
+                                   const SlotExtents &extents,
+                                   const lang::ParamEnv &params,
+                                   const ocl::NDRange &range);
+
+/**
+ * Cost of computing @p outRegion on the CPU backend with native code
+ * (one chunk task; callers divide regions into chunks themselves).
+ */
+sim::CostReport pointRuleCpuCost(const lang::RuleDef &rule,
+                                 const Region &outRegion,
+                                 const SlotExtents &extents,
+                                 const lang::ParamEnv &params);
+
+/** Local-memory elements per work-group for the local variant. */
+int64_t localMemElemsFor(const lang::RuleDef &rule,
+                         const ocl::NDRange &range);
+
+/**
+ * Work-group shape for @p totalItems work-items: rules whose windows
+ * extend in y get square-ish 2-D groups (so vertically overlapping
+ * tiles are reused within a group), pure-row rules get 1-D groups.
+ */
+ocl::NDRange groupShapeFor(const lang::RuleDef &rule,
+                           const Region &outRegion, int totalItems);
+
+} // namespace compiler
+} // namespace petabricks
+
+#endif // PETABRICKS_COMPILER_RULE_COST_H

@@ -1,0 +1,286 @@
+#include "compiler/simulator.h"
+
+#include "compiler/rule_cost.h"
+#include "ocl/device.h"
+#include "support/error.h"
+
+namespace petabricks {
+namespace compiler {
+
+namespace {
+
+using sim::ScheduleSimulator;
+using sim::SimResource;
+using sim::SimTaskId;
+
+/** Modeled device residency for copy-in deduplication. */
+class ResidencyModel
+{
+  public:
+    /** Bytes that actually need transferring to make @p region valid. */
+    double
+    bytesToCopyIn(const std::string &slot, const Region &region)
+    {
+        std::vector<Region> uncovered{region};
+        for (const Region &valid : valid_[slot]) {
+            std::vector<Region> next;
+            for (const Region &hole : uncovered)
+                for (const Region &part : subtractRegion(hole, valid))
+                    next.push_back(part);
+            uncovered.swap(next);
+            if (uncovered.empty())
+                break;
+        }
+        double bytes = 0.0;
+        for (const Region &part : uncovered)
+            bytes += static_cast<double>(part.area()) * kElemBytes;
+        if (!uncovered.empty())
+            valid_[slot].push_back(region);
+        return bytes;
+    }
+
+    void
+    markWritten(const std::string &slot, const Region &region)
+    {
+        valid_[slot].push_back(region);
+        stale_[slot].push_back(region);
+    }
+
+    void
+    markCopiedOut(const std::string &slot, const Region &region)
+    {
+        std::vector<Region> still;
+        for (const Region &s : stale_[slot])
+            for (const Region &part : subtractRegion(s, region))
+                still.push_back(part);
+        stale_[slot] = std::move(still);
+    }
+
+    /** Device-fresh bytes of @p slot never copied back. */
+    double
+    staleBytes(const std::string &slot) const
+    {
+        auto it = stale_.find(slot);
+        if (it == stale_.end())
+            return 0.0;
+        double bytes = 0.0;
+        for (const Region &s : it->second)
+            bytes += static_cast<double>(s.area()) * kElemBytes;
+        return bytes;
+    }
+
+    const std::vector<Region> &
+    staleRegions(const std::string &slot)
+    {
+        return stale_[slot];
+    }
+
+  private:
+    std::map<std::string, std::vector<Region>> valid_;
+    std::map<std::string, std::vector<Region>> stale_;
+};
+
+/** Split @p region into up to @p parts row bands (mirrors executor). */
+std::vector<Region>
+rowChunks(const Region &region, int parts)
+{
+    std::vector<Region> chunks;
+    if (region.empty())
+        return chunks;
+    int64_t n = std::min<int64_t>(parts, region.h);
+    for (int64_t i = 0; i < n; ++i) {
+        int64_t y0 = region.y + region.h * i / n;
+        int64_t y1 = region.y + region.h * (i + 1) / n;
+        if (y1 > y0)
+            chunks.emplace_back(region.x, y0, region.w, y1 - y0);
+    }
+    return chunks;
+}
+
+} // namespace
+
+SimOutcome
+simulateTransform(const lang::Transform &transform,
+                  const TransformConfig &config, const SlotSizes &sizes,
+                  const lang::ParamEnv &params,
+                  const sim::MachineProfile &machine)
+{
+    std::vector<StagePlan> plans = planStages(transform, config, sizes);
+    for (const StagePlan &plan : plans) {
+        PB_ASSERT(!plan.hasGpuPart() || machine.hasOpenCL,
+                  "OpenCL placement on machine without OpenCL");
+    }
+
+    ScheduleSimulator sched(machine);
+    ResidencyModel residency;
+    SimOutcome outcome;
+
+    // Concurrent CPU chunk tasks share the memory system: price each
+    // chunk against a per-worker slice of the machine's bandwidth.
+    sim::DeviceSpec cpuShared = machine.cpu;
+    cpuShared.memBandwidthGBs /=
+        std::max(1, std::min(machine.workerThreads, machine.cpu.cores));
+
+    // Join task id per slot, as in the real executor.
+    std::map<std::string, SimTaskId> slotReady;
+    auto depsOf = [&](const lang::RulePtr &rule) {
+        std::vector<SimTaskId> deps;
+        for (const std::string &input : rule->inputSlots()) {
+            auto it = slotReady.find(input);
+            if (it != slotReady.end())
+                deps.push_back(it->second);
+        }
+        return deps;
+    };
+
+    for (const StagePlan &plan : plans) {
+        const lang::RulePtr &rule = plan.rule;
+        std::vector<SimTaskId> deps = depsOf(rule);
+        std::vector<SimTaskId> stageParts;
+
+        SlotExtents extents;
+        extents.outputW = plan.outW;
+        extents.outputH = plan.outH;
+        if (rule->isPointRule()) {
+            for (const lang::AccessPattern &access : rule->accesses()) {
+                auto it = sizes.find(access.inputSlot);
+                PB_ASSERT(it != sizes.end(), "no extent for slot '"
+                                                 << access.inputSlot
+                                                 << "'");
+                extents.inputs.push_back(it->second);
+            }
+        }
+
+        // ---- CPU part ------------------------------------------------
+        if (plan.hasCpuPart()) {
+            if (rule->isPointRule()) {
+                for (const Region &chunk :
+                     rowChunks(plan.cpuRegion(), plan.config.cpuSplit)) {
+                    sim::CostReport cost =
+                        pointRuleCpuCost(*rule, chunk, extents, params);
+                    double sec =
+                        sim::CostModel::cpuSeconds(cpuShared, cost, 1);
+                    stageParts.push_back(sched.addTask(
+                        SimResource::CpuWorker, sec, deps,
+                        rule->name() + ":cpu"));
+                }
+            } else {
+                Region whole(0, 0, plan.outW, plan.outH);
+                sim::CostReport cost = rule->regionCost(whole, params);
+                bool sequential = cost.sequentialFraction >= 0.99;
+                double sec = sim::CostModel::cpuSeconds(
+                    machine.cpu, cost,
+                    sequential ? 1 : machine.workerThreads);
+                stageParts.push_back(sched.addTask(
+                    sequential ? SimResource::CpuWorker
+                               : SimResource::CpuPool,
+                    sec, deps, rule->name() + ":native"));
+            }
+        }
+
+        // ---- GPU part ------------------------------------------------
+        if (plan.hasGpuPart()) {
+            Region gpuRegion = plan.gpuRegion();
+            ocl::NDRange range = groupShapeFor(
+                *rule, gpuRegion, plan.config.localWorkSize);
+
+            // Copy-in transfers (deduplicated against residency).
+            std::vector<SimTaskId> copyIns;
+            for (size_t i = 0; i < rule->accesses().size(); ++i) {
+                const lang::AccessPattern &access = rule->accesses()[i];
+                auto [inW, inH] = extents.inputs[i];
+                Region needed =
+                    inputRegionFor(access, gpuRegion, inW, inH);
+                if (needed.empty())
+                    continue;
+                double bytes =
+                    residency.bytesToCopyIn(access.inputSlot, needed);
+                if (bytes <= 0.0)
+                    continue;
+                outcome.bytesToDevice += bytes;
+                copyIns.push_back(sched.addTask(
+                    SimResource::Transfer,
+                    machine.transfer.seconds(bytes), deps,
+                    rule->name() + ":copyin"));
+            }
+
+            // A launch whose local-memory demand exceeds the device
+            // fails, exactly as clEnqueueNDRangeKernel would.
+            if (plan.config.backend == Backend::OpenClLocal) {
+                int64_t localBytes =
+                    localMemElemsFor(*rule, range) *
+                    static_cast<int64_t>(sizeof(double));
+                if (localBytes > ocl::Device::kDefaultLocalMemBytes)
+                    PB_FATAL("local work size "
+                             << plan.config.localWorkSize << " needs "
+                             << localBytes
+                             << "B of local memory for rule '"
+                             << rule->name() << "'");
+            }
+
+            // Kernel execution on the in-order GPU queue.
+            sim::CostReport kcost =
+                plan.config.backend == Backend::OpenClLocal
+                    ? pointRuleLocalCost(*rule, gpuRegion, extents,
+                                         params, range)
+                    : pointRuleGlobalCost(*rule, gpuRegion, extents,
+                                          params, range);
+            double ksec = sim::CostModel::kernelSeconds(
+                machine.ocl, kcost, plan.config.localWorkSize);
+            std::vector<SimTaskId> kdeps = deps;
+            kdeps.insert(kdeps.end(), copyIns.begin(), copyIns.end());
+            SimTaskId kernel =
+                sched.addTask(SimResource::GpuQueue, ksec, kdeps,
+                              rule->name() + ":kernel");
+            ++outcome.kernelLaunches;
+            residency.markWritten(rule->outputSlot(), gpuRegion);
+
+            if (plan.copyOut == CopyOutPolicy::MustCopyOut) {
+                double bytes =
+                    static_cast<double>(gpuRegion.area()) * kElemBytes;
+                outcome.bytesFromDevice += bytes;
+                SimTaskId copyOut = sched.addTask(
+                    SimResource::Transfer,
+                    machine.transfer.seconds(bytes), {kernel},
+                    rule->name() + ":copyout");
+                residency.markCopiedOut(rule->outputSlot(), gpuRegion);
+                stageParts.push_back(copyOut);
+            } else {
+                // Reused or may-copy-out: downstream consumption is
+                // ordered by the in-order queue.
+                stageParts.push_back(kernel);
+            }
+        }
+
+        slotReady[rule->outputSlot()] = sched.addTask(
+            SimResource::None, 0.0, stageParts, rule->name() + ":done");
+    }
+
+    // Final lazy copy-out: the caller consumes the transform outputs,
+    // triggering the inserted may-copy-out checks.
+    std::vector<SimTaskId> tail;
+    for (const lang::MatrixSlot &slot : transform.slots()) {
+        if (slot.role != lang::SlotRole::Output)
+            continue;
+        double bytes = residency.staleBytes(slot.name);
+        if (bytes <= 0.0)
+            continue;
+        outcome.bytesFromDevice += bytes;
+        std::vector<SimTaskId> deps;
+        auto it = slotReady.find(slot.name);
+        if (it != slotReady.end())
+            deps.push_back(it->second);
+        tail.push_back(sched.addTask(SimResource::Transfer,
+                                     machine.transfer.seconds(bytes),
+                                     deps, slot.name + ":lazy-copyout"));
+    }
+    (void)tail;
+
+    outcome.seconds = sched.run();
+    outcome.gpuBusySeconds = sched.gpuBusySeconds();
+    outcome.cpuBusySeconds = sched.cpuBusySeconds();
+    return outcome;
+}
+
+} // namespace compiler
+} // namespace petabricks

@@ -1,0 +1,159 @@
+#include "lang/choice_graph.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace petabricks {
+namespace lang {
+
+ChoiceDependencyGraph::ChoiceDependencyGraph(const Transform &transform,
+                                             size_t choiceIndex)
+    : transform_(transform), choiceIndex_(choiceIndex)
+{
+    const Choice &choice = transform.choiceAt(choiceIndex);
+    auto addVertex = [this](const std::string &slot) {
+        if (std::find(vertices_.begin(), vertices_.end(), slot) ==
+            vertices_.end())
+            vertices_.push_back(slot);
+    };
+    for (const RulePtr &rule : choice.rules) {
+        ChoiceEdge edge;
+        edge.rule = rule;
+        edge.sink = rule->outputSlot();
+        addVertex(edge.sink);
+        for (const std::string &input : rule->inputSlots()) {
+            addVertex(input);
+            edge.sources.push_back(input);
+        }
+        edges_.push_back(std::move(edge));
+    }
+}
+
+DependencyPattern
+ChoiceDependencyGraph::pattern(size_t index) const
+{
+    PB_ASSERT(index < edges_.size(), "rule index out of range");
+    const ChoiceEdge &edge = edges_[index];
+    if (!edge.rule->isPointRule()) {
+        // Opaque native bodies: assume the worst for mapping purposes.
+        return DependencyPattern::Sequential;
+    }
+
+    bool sawEarlierRow = false;
+    bool sawEarlierCol = false;
+    for (const AccessPattern &access : edge.rule->accesses()) {
+        if (access.inputSlot != edge.sink)
+            continue; // dependency on other data, not a self dependency
+        if (access.x.full || access.y.full) {
+            // Reads an unbounded slice of its own output.
+            return DependencyPattern::Wavefront;
+        }
+        // Window of relative cells [x0,x1) x [y0,y1).
+        int64_t x0 = access.x.offset, x1 = access.x.offset + access.x.extent;
+        int64_t y0 = access.y.offset, y1 = access.y.offset + access.y.extent;
+        if (x0 == 0 && x1 == 1 && y0 == 0 && y1 == 1)
+            continue; // in-place read of the cell being computed
+        if (y1 <= 0) {
+            sawEarlierRow = true; // strictly earlier rows
+        } else if (y0 == 0 && y1 == 1 && x1 <= 0) {
+            sawEarlierCol = true; // strictly left in the same row
+        } else {
+            // Forward reads or windows straddling the current cell.
+            return DependencyPattern::Wavefront;
+        }
+    }
+    if (sawEarlierRow && sawEarlierCol)
+        return DependencyPattern::Wavefront; // diagonal frontier
+    if (sawEarlierRow || sawEarlierCol)
+        return DependencyPattern::Sequential;
+    return DependencyPattern::DataParallel;
+}
+
+int
+ChoiceDependencyGraph::producerOf(const std::string &slot) const
+{
+    for (size_t i = 0; i < edges_.size(); ++i)
+        if (edges_[i].sink == slot)
+            return static_cast<int>(i);
+    return -1;
+}
+
+bool
+ChoiceDependencyGraph::isAcyclic() const
+{
+    // Kahn's algorithm over rule->rule dependencies induced by slots.
+    size_t n = edges_.size();
+    std::vector<int> indegree(n, 0);
+    std::vector<std::vector<size_t>> succ(n);
+    for (size_t i = 0; i < n; ++i) {
+        for (const std::string &input : edges_[i].sources) {
+            if (input == edges_[i].sink)
+                continue; // self dependency handled by pattern analysis
+            int producer = producerOf(input);
+            if (producer >= 0 && static_cast<size_t>(producer) != i) {
+                succ[static_cast<size_t>(producer)].push_back(i);
+                ++indegree[i];
+            }
+        }
+    }
+    std::vector<size_t> ready;
+    for (size_t i = 0; i < n; ++i)
+        if (indegree[i] == 0)
+            ready.push_back(i);
+    size_t visited = 0;
+    while (!ready.empty()) {
+        size_t cur = ready.back();
+        ready.pop_back();
+        ++visited;
+        for (size_t next : succ[cur])
+            if (--indegree[next] == 0)
+                ready.push_back(next);
+    }
+    return visited == n;
+}
+
+std::vector<size_t>
+ChoiceDependencyGraph::executionOrder() const
+{
+    size_t n = edges_.size();
+    std::vector<int> indegree(n, 0);
+    std::vector<std::vector<size_t>> succ(n);
+    for (size_t i = 0; i < n; ++i) {
+        for (const std::string &input : edges_[i].sources) {
+            if (input == edges_[i].sink)
+                continue;
+            int producer = producerOf(input);
+            if (producer >= 0 && static_cast<size_t>(producer) != i) {
+                succ[static_cast<size_t>(producer)].push_back(i);
+                ++indegree[i];
+            }
+        }
+    }
+    // Stable order: prefer the declaration order among ready rules.
+    std::vector<size_t> order;
+    std::vector<bool> done(n, false);
+    for (size_t round = 0; round < n; ++round) {
+        bool advanced = false;
+        for (size_t i = 0; i < n; ++i) {
+            if (done[i] || indegree[i] != 0)
+                continue;
+            done[i] = true;
+            order.push_back(i);
+            for (size_t next : succ[i])
+                --indegree[next];
+            advanced = true;
+            break;
+        }
+        if (!advanced)
+            break;
+    }
+    if (order.size() != n)
+        PB_FATAL("choice '" << transform_.choiceAt(choiceIndex_).name
+                            << "' of transform '" << transform_.name()
+                            << "' has cyclic rule dependencies");
+    return order;
+}
+
+} // namespace lang
+} // namespace petabricks

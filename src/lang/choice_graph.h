@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The choice dependency graph (paper Section 3).
+ *
+ * The primary transform-level representation: an "inverse" of the data
+ * dependency graph, where data (matrix slots) are vertices and rules
+ * are hyperedges from their input slots to their output slot. The
+ * compiler uses it to order rule applications and — via the direction
+ * analysis on each rule's self-dependencies — to decide whether a
+ * rule's dependency pattern fits the OpenCL execution model
+ * (Section 3.1 phase 1).
+ *
+ * Note: the full PetaBricks representation can split one matrix into
+ * several vertices when rules touch subregions; the rules in this
+ * library write whole slots, so vertices are 1:1 with slots.
+ */
+
+#ifndef PETABRICKS_LANG_CHOICE_GRAPH_H
+#define PETABRICKS_LANG_CHOICE_GRAPH_H
+
+#include <string>
+#include <vector>
+
+#include "lang/transform.h"
+
+namespace petabricks {
+namespace lang {
+
+/** Hyperedge: one rule, from its input vertices to its output vertex. */
+struct ChoiceEdge
+{
+    RulePtr rule;
+    std::vector<std::string> sources;
+    std::string sink;
+};
+
+/** Dependency graph of one algorithmic choice of a transform. */
+class ChoiceDependencyGraph
+{
+  public:
+    ChoiceDependencyGraph(const Transform &transform, size_t choiceIndex);
+
+    /** Data vertices (slot names) touched by this choice. */
+    const std::vector<std::string> &vertices() const { return vertices_; }
+
+    /** Rule hyperedges in choice order. */
+    const std::vector<ChoiceEdge> &edges() const { return edges_; }
+
+    /**
+     * Dependency pattern of rule @p index, derived from the direction
+     * of its self-dependency (reads of its own output slot):
+     *  - no self reads, or only the in-place cell => DataParallel;
+     *  - self reads strictly in earlier rows, or strictly to the left
+     *    in the same row => Sequential;
+     *  - mixed directions, forward reads, or unbounded (full-extent)
+     *    self reads => Wavefront.
+     */
+    DependencyPattern pattern(size_t index) const;
+
+    /**
+     * Index of the rule producing @p slot in this choice, or -1 if the
+     * slot is a transform input (produced externally).
+     */
+    int producerOf(const std::string &slot) const;
+
+    /**
+     * True if rules can be ordered so each one's inputs are available
+     * (transform inputs, earlier rules, or its own self-dependency).
+     */
+    bool isAcyclic() const;
+
+    /** Rule indices in a valid execution order; fatal if cyclic. */
+    std::vector<size_t> executionOrder() const;
+
+  private:
+    const Transform &transform_;
+    size_t choiceIndex_;
+    std::vector<std::string> vertices_;
+    std::vector<ChoiceEdge> edges_;
+};
+
+} // namespace lang
+} // namespace petabricks
+
+#endif // PETABRICKS_LANG_CHOICE_GRAPH_H

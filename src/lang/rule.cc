@@ -1,0 +1,83 @@
+#include "lang/rule.h"
+
+namespace petabricks {
+namespace lang {
+
+const char *
+dependencyPatternName(DependencyPattern pattern)
+{
+    switch (pattern) {
+      case DependencyPattern::DataParallel: return "data-parallel";
+      case DependencyPattern::Sequential: return "sequential";
+      case DependencyPattern::Wavefront: return "wavefront";
+    }
+    return "?";
+}
+
+std::shared_ptr<RuleDef>
+RuleDef::makePoint(std::string name, std::string outputSlot,
+                   std::vector<AccessPattern> accesses, PointBody body,
+                   PointFlops flopsPerPoint)
+{
+    PB_ASSERT(body != nullptr, "point rule needs a body");
+    PB_ASSERT(flopsPerPoint != nullptr, "point rule needs a cost");
+    auto rule = std::shared_ptr<RuleDef>(new RuleDef());
+    rule->name_ = std::move(name);
+    rule->outputSlot_ = std::move(outputSlot);
+    rule->accesses_ = std::move(accesses);
+    for (const AccessPattern &access : rule->accesses_)
+        rule->inputSlots_.push_back(access.inputSlot);
+    rule->pointBody_ = std::move(body);
+    rule->pointFlops_ = std::move(flopsPerPoint);
+    return rule;
+}
+
+std::shared_ptr<RuleDef>
+RuleDef::makeRegion(std::string name, std::string outputSlot,
+                    std::vector<std::string> inputSlots, RegionBody body,
+                    RegionCost cost)
+{
+    PB_ASSERT(body != nullptr, "region rule needs a body");
+    PB_ASSERT(cost != nullptr, "region rule needs a cost");
+    auto rule = std::shared_ptr<RuleDef>(new RuleDef());
+    rule->name_ = std::move(name);
+    rule->outputSlot_ = std::move(outputSlot);
+    rule->inputSlots_ = std::move(inputSlots);
+    rule->regionBody_ = std::move(body);
+    rule->regionCost_ = std::move(cost);
+    // Opaque native code cannot be converted to OpenCL.
+    rule->hasInlineNativeCode_ = true;
+    return rule;
+}
+
+RuleDef &
+RuleDef::setGpuCacheHitRate(double rate)
+{
+    PB_ASSERT(rate >= 0.0 && rate <= 1.0, "cache hit rate out of range");
+    gpuCacheHitRate_ = rate;
+    return *this;
+}
+
+RuleDef &
+RuleDef::setCallsExternalLibrary(bool v)
+{
+    callsExternalLibrary_ = v;
+    return *this;
+}
+
+RuleDef &
+RuleDef::setHasInlineNativeCode(bool v)
+{
+    hasInlineNativeCode_ = v;
+    return *this;
+}
+
+RuleDef &
+RuleDef::setOpenclCompileFails(bool v)
+{
+    openclCompileFails_ = v;
+    return *this;
+}
+
+} // namespace lang
+} // namespace petabricks

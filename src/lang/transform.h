@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Transforms: PetaBricks functions with algorithmic choices (Section 2).
+ *
+ * A transform declares input, output, and intermediate matrix *slots*
+ * (the `from` / `to` / `using` clauses) and one or more *choices*, each
+ * an ordered list of rules converting the inputs to the outputs (e.g.
+ * SeparableConvolution's single-pass 2D rule vs. its two-pass
+ * row/column pipeline). The autotuner selects among choices per input
+ * size via selectors; the compiler analyses consume the structure.
+ */
+
+#ifndef PETABRICKS_LANG_TRANSFORM_H
+#define PETABRICKS_LANG_TRANSFORM_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lang/rule.h"
+
+namespace petabricks {
+namespace lang {
+
+/** Role of a matrix slot in a transform signature. */
+enum class SlotRole
+{
+    Input,        ///< `from` clause
+    Output,       ///< `to` clause
+    Intermediate, ///< `using` clause (e.g. conv's row buffer)
+};
+
+/** A named matrix position in the transform signature. */
+struct MatrixSlot
+{
+    std::string name;
+    SlotRole role = SlotRole::Input;
+};
+
+/** One algorithmic choice: rules applied in order. */
+struct Choice
+{
+    std::string name;
+    std::vector<RulePtr> rules;
+};
+
+/**
+ * Matrices and parameters bound to a transform's slots for one
+ * invocation.
+ */
+struct Binding
+{
+    std::map<std::string, MatrixD> matrices;
+    ParamEnv params;
+
+    MatrixD &
+    matrix(const std::string &slot)
+    {
+        auto it = matrices.find(slot);
+        PB_ASSERT(it != matrices.end(), "slot '" << slot << "' unbound");
+        return it->second;
+    }
+
+    const MatrixD &
+    matrix(const std::string &slot) const
+    {
+        auto it = matrices.find(slot);
+        PB_ASSERT(it != matrices.end(), "slot '" << slot << "' unbound");
+        return it->second;
+    }
+};
+
+/** See file comment. */
+class Transform
+{
+  public:
+    explicit Transform(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    /** Declare a slot; order is the signature order. */
+    Transform &
+    slot(std::string slotName, SlotRole role)
+    {
+        for (const MatrixSlot &s : slots_)
+            PB_ASSERT(s.name != slotName,
+                      "duplicate slot '" << slotName << "'");
+        slots_.push_back({std::move(slotName), role});
+        return *this;
+    }
+
+    /** Declare an algorithmic choice. */
+    Transform &
+    choice(std::string choiceName, std::vector<RulePtr> rules)
+    {
+        PB_ASSERT(!rules.empty(), "empty choice '" << choiceName << "'");
+        for (const RulePtr &rule : rules) {
+            PB_ASSERT(rule != nullptr, "null rule in '" << choiceName
+                                                        << "'");
+            PB_ASSERT(hasSlot(rule->outputSlot()),
+                      "rule '" << rule->name() << "' writes unknown slot '"
+                               << rule->outputSlot() << "'");
+            for (const std::string &input : rule->inputSlots())
+                PB_ASSERT(hasSlot(input), "rule '"
+                                              << rule->name()
+                                              << "' reads unknown slot '"
+                                              << input << "'");
+        }
+        choices_.push_back({std::move(choiceName), std::move(rules)});
+        return *this;
+    }
+
+    const std::vector<MatrixSlot> &slots() const { return slots_; }
+    const std::vector<Choice> &choices() const { return choices_; }
+
+    const Choice &
+    choiceAt(size_t index) const
+    {
+        PB_ASSERT(index < choices_.size(),
+                  "choice " << index << " out of range for '" << name_
+                            << "'");
+        return choices_[index];
+    }
+
+    bool
+    hasSlot(const std::string &slotName) const
+    {
+        for (const MatrixSlot &s : slots_)
+            if (s.name == slotName)
+                return true;
+        return false;
+    }
+
+    SlotRole
+    slotRole(const std::string &slotName) const
+    {
+        for (const MatrixSlot &s : slots_)
+            if (s.name == slotName)
+                return s.role;
+        PB_PANIC("unknown slot '" << slotName << "' in transform '"
+                                  << name_ << "'");
+    }
+
+    /**
+     * Check a binding covers every slot and that intermediate/output
+     * sizes are consistent with use (sizes themselves are caller
+     * responsibility, as slot extents are benchmark-specific).
+     */
+    void
+    validateBinding(const Binding &binding) const
+    {
+        for (const MatrixSlot &s : slots_)
+            PB_ASSERT(binding.matrices.count(s.name),
+                      "binding for transform '"
+                          << name_ << "' is missing slot '" << s.name
+                          << "'");
+    }
+
+  private:
+    std::string name_;
+    std::vector<MatrixSlot> slots_;
+    std::vector<Choice> choices_;
+};
+
+} // namespace lang
+} // namespace petabricks
+
+#endif // PETABRICKS_LANG_TRANSFORM_H

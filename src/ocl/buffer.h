@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Device-side memory buffers for the emulated OpenCL runtime.
+ *
+ * A Buffer models a `cl_mem` allocation: an untyped byte range living in
+ * "device memory". The emulation backs it with host memory, but all
+ * access from benchmarks/runtime code goes through explicit copy-in /
+ * copy-out operations (ocl/queue.h) so the data-movement analyses and
+ * the GPU memory table operate exactly as they would against a real
+ * device.
+ */
+
+#ifndef PETABRICKS_OCL_BUFFER_H
+#define PETABRICKS_OCL_BUFFER_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "support/error.h"
+
+namespace petabricks {
+namespace ocl {
+
+/** An untyped device memory allocation. */
+class Buffer
+{
+  public:
+    /** Allocate @p bytes of device memory (zero-filled). */
+    explicit Buffer(int64_t bytes)
+        : id_(nextId()), bytes_(static_cast<size_t>(bytes))
+    {
+        PB_ASSERT(bytes >= 0, "negative buffer size");
+    }
+
+    /** Process-unique id (for the GPU memory table). */
+    uint64_t id() const { return id_; }
+
+    int64_t size() const { return static_cast<int64_t>(bytes_.size()); }
+
+    /** Raw device bytes; used by the queue's copy engines. */
+    std::byte *raw() { return bytes_.data(); }
+    const std::byte *raw() const { return bytes_.data(); }
+
+    /**
+     * Typed view of the device memory, for kernel bodies. The length is
+     * in elements of T.
+     */
+    template <typename T>
+    T *
+    as()
+    {
+        return reinterpret_cast<T *>(bytes_.data());
+    }
+
+    template <typename T>
+    const T *
+    as() const
+    {
+        return reinterpret_cast<const T *>(bytes_.data());
+    }
+
+    /** Element count when interpreted as T. */
+    template <typename T>
+    int64_t
+    count() const
+    {
+        return size() / static_cast<int64_t>(sizeof(T));
+    }
+
+  private:
+    static uint64_t
+    nextId()
+    {
+        static std::atomic<uint64_t> counter{1};
+        return counter.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    uint64_t id_;
+    std::vector<std::byte> bytes_;
+};
+
+using BufferPtr = std::shared_ptr<Buffer>;
+
+} // namespace ocl
+} // namespace petabricks
+
+#endif // PETABRICKS_OCL_BUFFER_H

@@ -1,0 +1,45 @@
+#include "ocl/device.h"
+
+#include <vector>
+
+#include "support/error.h"
+
+namespace petabricks {
+namespace ocl {
+
+sim::CostReport
+Device::launch(const Kernel &kernel, const KernelArgs &args,
+               const NDRange &range)
+{
+    int64_t localElems = kernel.localMemElems(args, range);
+    int64_t localBytes = localElems * static_cast<int64_t>(sizeof(double));
+    if (localBytes > localMemBytes_) {
+        PB_FATAL("kernel '" << kernel.name() << "' needs " << localBytes
+                 << " bytes of local memory; device '" << spec_.name
+                 << "' provides " << localMemBytes_);
+    }
+
+    std::vector<double> localMem(static_cast<size_t>(localElems));
+    int64_t barriers = 0;
+    for (int64_t gy = 0; gy < range.groupsY(); ++gy) {
+        for (int64_t gx = 0; gx < range.groupsX(); ++gx) {
+            // Local memory is per-group scratch; clear between groups so
+            // kernels cannot accidentally rely on cross-group state.
+            std::fill(localMem.begin(), localMem.end(), 0.0);
+            GroupCtx ctx(range, gx, gy, args, localMem);
+            kernel.runGroup(ctx);
+            barriers += ctx.barriersExecuted();
+        }
+    }
+
+    sim::CostReport report = kernel.cost(args, range);
+    ++stats_.launches;
+    stats_.itemsExecuted += range.items();
+    stats_.groupsExecuted += range.groups();
+    stats_.barriersExecuted += barriers;
+    stats_.accumulated += report;
+    return report;
+}
+
+} // namespace ocl
+} // namespace petabricks

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The emulated OpenCL device: functional kernel execution plus stats.
+ */
+
+#ifndef PETABRICKS_OCL_DEVICE_H
+#define PETABRICKS_OCL_DEVICE_H
+
+#include <cstdint>
+
+#include "ocl/kernel.h"
+#include "ocl/ndrange.h"
+#include "sim/device_spec.h"
+
+namespace petabricks {
+namespace ocl {
+
+/** Running totals of device activity. */
+struct DeviceStats
+{
+    int64_t launches = 0;
+    int64_t itemsExecuted = 0;
+    int64_t groupsExecuted = 0;
+    int64_t barriersExecuted = 0;
+    sim::CostReport accumulated;
+};
+
+/**
+ * An emulated compute device.
+ *
+ * launch() executes the kernel body for every work-group (sequentially,
+ * for determinism) and returns the kernel's analytic cost report, which
+ * callers price with sim::CostModel against the device's spec.
+ */
+class Device
+{
+  public:
+    /** Default OpenCL local memory capacity per work-group (48 KiB). */
+    static constexpr int64_t kDefaultLocalMemBytes = 48 * 1024;
+
+    explicit Device(sim::DeviceSpec spec,
+                    int64_t localMemBytes = kDefaultLocalMemBytes)
+        : spec_(std::move(spec)), localMemBytes_(localMemBytes)
+    {}
+
+    const sim::DeviceSpec &spec() const { return spec_; }
+    int64_t localMemBytes() const { return localMemBytes_; }
+
+    /**
+     * Execute a kernel over @p range with @p args.
+     *
+     * @return the kernel's analytic cost for this launch.
+     * @throws FatalError if the kernel's local-memory demand exceeds the
+     *         device capacity (a real clEnqueueNDRangeKernel failure).
+     */
+    sim::CostReport launch(const Kernel &kernel, const KernelArgs &args,
+                           const NDRange &range);
+
+    const DeviceStats &stats() const { return stats_; }
+    void resetStats() { stats_ = DeviceStats(); }
+
+  private:
+    sim::DeviceSpec spec_;
+    int64_t localMemBytes_;
+    DeviceStats stats_;
+};
+
+} // namespace ocl
+} // namespace petabricks
+
+#endif // PETABRICKS_OCL_DEVICE_H

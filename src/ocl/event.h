@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Completion events for asynchronous device operations.
+ *
+ * The paper's GPU management design hinges on *non-blocking* reads and
+ * writes (Section 4.2): copy-in tasks complete immediately after issuing
+ * the write, and copy-out completion tasks poll read status instead of
+ * blocking the manager thread. Event provides exactly that interface:
+ * poll with isComplete(), or block with wait() where blocking is safe.
+ */
+
+#ifndef PETABRICKS_OCL_EVENT_H
+#define PETABRICKS_OCL_EVENT_H
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+namespace petabricks {
+namespace ocl {
+
+/** Status of an enqueued device operation. */
+enum class EventStatus
+{
+    Queued,
+    Running,
+    Complete,
+};
+
+/** Thread-safe completion flag for one enqueued operation. */
+class Event
+{
+  public:
+    Event() = default;
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Current status (non-blocking poll). */
+    EventStatus
+    status() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return status_;
+    }
+
+    /** True once the operation has finished executing. */
+    bool isComplete() const { return status() == EventStatus::Complete; }
+
+    /** Block until the operation completes. */
+    void
+    wait() const
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return status_ == EventStatus::Complete; });
+    }
+
+    /** @{ Transitions driven by the command queue worker. */
+    void
+    markRunning()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        status_ = EventStatus::Running;
+    }
+
+    void
+    markComplete()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            status_ = EventStatus::Complete;
+        }
+        cv_.notify_all();
+    }
+    /** @} */
+
+  private:
+    mutable std::mutex mutex_;
+    mutable std::condition_variable cv_;
+    EventStatus status_ = EventStatus::Queued;
+};
+
+using EventPtr = std::shared_ptr<Event>;
+
+} // namespace ocl
+} // namespace petabricks
+
+#endif // PETABRICKS_OCL_EVENT_H

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Emulated OpenCL kernels.
+ *
+ * A Kernel couples three things:
+ *  - a *functional body* executed per work-group on the host (so results
+ *    are bit-correct and testable),
+ *  - an analytic *cost function* reporting the arithmetic and memory
+ *    traffic of a launch (consumed by sim::CostModel to price the launch
+ *    on a machine profile), and
+ *  - a *source identity* string standing in for the OpenCL C source,
+ *    used by the JIT compile-cache model (Section 5.4 of the paper).
+ *
+ * Work-group semantics: the body runs once per group and iterates its
+ * work-items with GroupCtx::forEachItem. A barrier between cooperative
+ * phases is expressed by calling GroupCtx::barrier() between two
+ * forEachItem sweeps (loop fission), which is semantically equivalent to
+ * an intra-group barrier when items run sequentially.
+ */
+
+#ifndef PETABRICKS_OCL_KERNEL_H
+#define PETABRICKS_OCL_KERNEL_H
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ocl/buffer.h"
+#include "ocl/ndrange.h"
+#include "sim/cost_model.h"
+
+namespace petabricks {
+namespace ocl {
+
+/** Arguments bound to a kernel launch (buffers + scalars). */
+struct KernelArgs
+{
+    std::vector<BufferPtr> buffers;
+    std::vector<int64_t> ints;
+    std::vector<double> doubles;
+
+    Buffer &
+    buffer(size_t i) const
+    {
+        PB_ASSERT(i < buffers.size(), "kernel buffer arg " << i
+                                                           << " missing");
+        return *buffers[i];
+    }
+
+    int64_t
+    intArg(size_t i) const
+    {
+        PB_ASSERT(i < ints.size(), "kernel int arg " << i << " missing");
+        return ints[i];
+    }
+
+    double
+    doubleArg(size_t i) const
+    {
+        PB_ASSERT(i < doubles.size(), "kernel double arg " << i
+                                                           << " missing");
+        return doubles[i];
+    }
+};
+
+/**
+ * Per-work-group execution context handed to kernel bodies.
+ *
+ * Provides the group's coordinates, clipped work-item iteration, the
+ * group's local-memory arena, and barrier bookkeeping.
+ */
+class GroupCtx
+{
+  public:
+    GroupCtx(const NDRange &range, int64_t groupX, int64_t groupY,
+             const KernelArgs &args, std::vector<double> &localMem)
+        : range_(range), groupX_(groupX), groupY_(groupY), args_(args),
+          localMem_(localMem)
+    {}
+
+    int64_t groupX() const { return groupX_; }
+    int64_t groupY() const { return groupY_; }
+    const NDRange &range() const { return range_; }
+    const KernelArgs &args() const { return args_; }
+
+    /** First global x coordinate of this group. */
+    int64_t originX() const { return groupX_ * range_.localW; }
+    /** First global y coordinate of this group. */
+    int64_t originY() const { return groupY_ * range_.localH; }
+
+    /** In-range width of this group (clipped at the global edge). */
+    int64_t
+    liveWidth() const
+    {
+        return std::max<int64_t>(
+            0, std::min(range_.localW, range_.globalW - originX()));
+    }
+
+    /** In-range height of this group. */
+    int64_t
+    liveHeight() const
+    {
+        return std::max<int64_t>(
+            0, std::min(range_.localH, range_.globalH - originY()));
+    }
+
+    /** Work-items of this group that fall inside the global range. */
+    int64_t liveItems() const { return liveWidth() * liveHeight(); }
+
+    /**
+     * Run @p fn once per in-range work-item of this group.
+     * @param fn callback (globalX, globalY, localX, localY).
+     */
+    template <typename Fn>
+    void
+    forEachItem(Fn &&fn)
+    {
+        int64_t ox = originX();
+        int64_t oy = originY();
+        int64_t w = std::min(range_.localW, range_.globalW - ox);
+        int64_t h = std::min(range_.localH, range_.globalH - oy);
+        for (int64_t ly = 0; ly < h; ++ly)
+            for (int64_t lx = 0; lx < w; ++lx)
+                fn(ox + lx, oy + ly, lx, ly);
+    }
+
+    /** Record an intra-group barrier between cooperative phases. */
+    void barrier() { ++barriers_; }
+
+    /** Barriers executed by this group so far. */
+    int64_t barriersExecuted() const { return barriers_; }
+
+    /** This group's local-memory arena (elements of double). */
+    double *localMem() { return localMem_.data(); }
+    int64_t localMemElems() const
+    {
+        return static_cast<int64_t>(localMem_.size());
+    }
+
+  private:
+    const NDRange &range_;
+    int64_t groupX_;
+    int64_t groupY_;
+    const KernelArgs &args_;
+    std::vector<double> &localMem_;
+    int64_t barriers_ = 0;
+};
+
+/** An emulated OpenCL kernel (see file comment). */
+class Kernel
+{
+  public:
+    using Body = std::function<void(GroupCtx &)>;
+    using CostFn =
+        std::function<sim::CostReport(const KernelArgs &, const NDRange &)>;
+    using LocalMemFn =
+        std::function<int64_t(const KernelArgs &, const NDRange &)>;
+
+    /**
+     * @param name kernel entry-point name.
+     * @param source stand-in for the kernel source (hashed by the
+     *        compile-cache model; distinct sources => distinct compiles).
+     * @param body per-group functional body.
+     * @param cost analytic launch cost.
+     * @param localMem elements of local memory required per group
+     *        (nullptr => none).
+     */
+    Kernel(std::string name, std::string source, Body body, CostFn cost,
+           LocalMemFn localMem = nullptr)
+        : name_(std::move(name)), source_(std::move(source)),
+          body_(std::move(body)), cost_(std::move(cost)),
+          localMem_(std::move(localMem))
+    {
+        PB_ASSERT(body_ != nullptr, "kernel body required");
+        PB_ASSERT(cost_ != nullptr, "kernel cost function required");
+    }
+
+    const std::string &name() const { return name_; }
+    const std::string &source() const { return source_; }
+
+    /** True if this kernel uses OpenCL local memory. */
+    bool usesLocalMem() const { return localMem_ != nullptr; }
+
+    /** Local memory elements per group for a launch. */
+    int64_t
+    localMemElems(const KernelArgs &args, const NDRange &range) const
+    {
+        return localMem_ ? localMem_(args, range) : 0;
+    }
+
+    /** Analytic cost of one launch. */
+    sim::CostReport
+    cost(const KernelArgs &args, const NDRange &range) const
+    {
+        return cost_(args, range);
+    }
+
+    void
+    runGroup(GroupCtx &ctx) const
+    {
+        body_(ctx);
+    }
+
+  private:
+    std::string name_;
+    std::string source_;
+    Body body_;
+    CostFn cost_;
+    LocalMemFn localMem_;
+};
+
+using KernelPtr = std::shared_ptr<const Kernel>;
+
+} // namespace ocl
+} // namespace petabricks
+
+#endif // PETABRICKS_OCL_KERNEL_H

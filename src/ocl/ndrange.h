@@ -1,0 +1,63 @@
+/**
+ * @file
+ * OpenCL NDRange descriptions: global work size plus work-group shape.
+ */
+
+#ifndef PETABRICKS_OCL_NDRANGE_H
+#define PETABRICKS_OCL_NDRANGE_H
+
+#include <cstdint>
+
+#include "support/error.h"
+
+namespace petabricks {
+namespace ocl {
+
+/**
+ * A 2-D index space (1-D uses globalH == 1). Work-groups tile the global
+ * range; edge groups are clipped, as OpenCL implementations do when the
+ * global size is not a multiple of the local size.
+ */
+struct NDRange
+{
+    int64_t globalW = 0;
+    int64_t globalH = 1;
+    int64_t localW = 1;
+    int64_t localH = 1;
+
+    NDRange() = default;
+
+    NDRange(int64_t gw, int64_t gh, int64_t lw, int64_t lh)
+        : globalW(gw), globalH(gh), localW(lw), localH(lh)
+    {
+        PB_ASSERT(gw >= 0 && gh >= 0, "negative global size");
+        PB_ASSERT(lw > 0 && lh > 0, "local size must be positive");
+    }
+
+    /** 1-D range with @p local items per group. */
+    static NDRange
+    linear(int64_t global, int64_t local)
+    {
+        return NDRange(global, 1, local, 1);
+    }
+
+    /** Total work-items. */
+    int64_t items() const { return globalW * globalH; }
+
+    /** Work-items per (full) group. */
+    int64_t groupItems() const { return localW * localH; }
+
+    /** Number of groups along x. */
+    int64_t groupsX() const { return (globalW + localW - 1) / localW; }
+
+    /** Number of groups along y. */
+    int64_t groupsY() const { return (globalH + localH - 1) / localH; }
+
+    /** Total work-groups. */
+    int64_t groups() const { return groupsX() * groupsY(); }
+};
+
+} // namespace ocl
+} // namespace petabricks
+
+#endif // PETABRICKS_OCL_NDRANGE_H

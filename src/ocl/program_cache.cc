@@ -1,0 +1,42 @@
+#include "ocl/program_cache.h"
+
+namespace petabricks {
+namespace ocl {
+
+double
+ProgramCache::compile(const std::string &sourceHash)
+{
+    if (livePrograms_.count(sourceHash)) {
+        ++stats_.inProcessHits;
+        return 0.0;
+    }
+    double seconds;
+    if (irCache_.count(sourceHash)) {
+        // Parse/optimize skipped; architecture-specific JIT remains.
+        seconds = compileSeconds_ * (1.0 - irCacheSavings_);
+        ++stats_.irCacheHits;
+    } else {
+        seconds = compileSeconds_;
+        ++stats_.fullCompiles;
+        irCache_.insert(sourceHash);
+    }
+    livePrograms_.insert(sourceHash);
+    stats_.totalSeconds += seconds;
+    return seconds;
+}
+
+void
+ProgramCache::endRun()
+{
+    livePrograms_.clear();
+}
+
+void
+ProgramCache::clear()
+{
+    livePrograms_.clear();
+    irCache_.clear();
+}
+
+} // namespace ocl
+} // namespace petabricks

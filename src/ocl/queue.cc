@@ -1,0 +1,166 @@
+#include "ocl/queue.h"
+
+#include <cstring>
+
+#include "support/error.h"
+
+namespace petabricks {
+namespace ocl {
+
+CommandQueue::CommandQueue(Device &device)
+    : device_(device), worker_([this] { workerLoop(); })
+{
+}
+
+CommandQueue::~CommandQueue()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    cv_.notify_all();
+    worker_.join();
+}
+
+EventPtr
+CommandQueue::push(std::function<void()> execute)
+{
+    Op op;
+    op.execute = std::move(execute);
+    op.event = std::make_shared<Event>();
+    EventPtr event = op.event;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        PB_ASSERT(!shutdown_, "enqueue on destroyed queue");
+        pending_.push_back(std::move(op));
+    }
+    cv_.notify_one();
+    return event;
+}
+
+EventPtr
+CommandQueue::enqueueWrite(BufferPtr dst, const void *src, int64_t bytes,
+                           int64_t dstOffset)
+{
+    PB_ASSERT(dst != nullptr, "null buffer");
+    PB_ASSERT(bytes >= 0 && dstOffset >= 0 &&
+                  dstOffset + bytes <= dst->size(),
+              "write of " << bytes << "B at +" << dstOffset
+                          << " overflows buffer of " << dst->size());
+    stats_.writes++;
+    stats_.bytesIn += static_cast<double>(bytes);
+    // Keep the buffer alive in the closure until the copy retires.
+    return push([dst, src, bytes, dstOffset] {
+        std::memcpy(dst->raw() + dstOffset, src,
+                    static_cast<size_t>(bytes));
+    });
+}
+
+EventPtr
+CommandQueue::enqueueRead(BufferPtr src, void *dst, int64_t bytes,
+                          int64_t srcOffset)
+{
+    PB_ASSERT(src != nullptr, "null buffer");
+    PB_ASSERT(bytes >= 0 && srcOffset >= 0 &&
+                  srcOffset + bytes <= src->size(),
+              "read of " << bytes << "B at +" << srcOffset
+                         << " overflows buffer of " << src->size());
+    stats_.reads++;
+    stats_.bytesOut += static_cast<double>(bytes);
+    return push([src, dst, bytes, srcOffset] {
+        std::memcpy(dst, src->raw() + srcOffset,
+                    static_cast<size_t>(bytes));
+    });
+}
+
+EventPtr
+CommandQueue::enqueueWriteRect(BufferPtr dst, const double *src,
+                               int64_t rowElems, const Region &region)
+{
+    PB_ASSERT(dst != nullptr, "null buffer");
+    PB_ASSERT(!region.empty() && region.x >= 0 && region.y >= 0 &&
+                  region.x + region.w <= rowElems,
+              "bad rect " << region << " for row width " << rowElems);
+    int64_t elemBytes = static_cast<int64_t>(sizeof(double));
+    PB_ASSERT((region.y + region.h) * rowElems * elemBytes <= dst->size(),
+              "rect " << region << " overflows buffer");
+    stats_.writes++;
+    stats_.bytesIn += static_cast<double>(region.area()) * elemBytes;
+    return push([dst, src, rowElems, region] {
+        double *base = dst->as<double>();
+        for (int64_t j = 0; j < region.h; ++j) {
+            int64_t off = (region.y + j) * rowElems + region.x;
+            std::memcpy(base + off, src + off,
+                        static_cast<size_t>(region.w) * sizeof(double));
+        }
+    });
+}
+
+EventPtr
+CommandQueue::enqueueReadRect(BufferPtr src, double *dst, int64_t rowElems,
+                              const Region &region)
+{
+    PB_ASSERT(src != nullptr, "null buffer");
+    PB_ASSERT(!region.empty() && region.x >= 0 && region.y >= 0 &&
+                  region.x + region.w <= rowElems,
+              "bad rect " << region << " for row width " << rowElems);
+    int64_t elemBytes = static_cast<int64_t>(sizeof(double));
+    PB_ASSERT((region.y + region.h) * rowElems * elemBytes <= src->size(),
+              "rect " << region << " overflows buffer");
+    stats_.reads++;
+    stats_.bytesOut += static_cast<double>(region.area()) * elemBytes;
+    return push([src, dst, rowElems, region] {
+        const double *base = src->as<double>();
+        for (int64_t j = 0; j < region.h; ++j) {
+            int64_t off = (region.y + j) * rowElems + region.x;
+            std::memcpy(dst + off, base + off,
+                        static_cast<size_t>(region.w) * sizeof(double));
+        }
+    });
+}
+
+EventPtr
+CommandQueue::enqueueKernel(KernelPtr kernel, KernelArgs args,
+                            NDRange range)
+{
+    PB_ASSERT(kernel != nullptr, "null kernel");
+    stats_.kernels++;
+    Device *device = &device_;
+    return push([device, kernel = std::move(kernel),
+                 args = std::move(args), range] {
+        device->launch(*kernel, args, range);
+    });
+}
+
+void
+CommandQueue::finish()
+{
+    // A queue is in-order: waiting on a fresh no-op waits on everything
+    // enqueued before it.
+    push([] {})->wait();
+}
+
+void
+CommandQueue::workerLoop()
+{
+    for (;;) {
+        Op op;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this] { return shutdown_ || !pending_.empty(); });
+            if (pending_.empty()) {
+                // shutdown_ and drained
+                return;
+            }
+            op = std::move(pending_.front());
+            pending_.pop_front();
+        }
+        op.event->markRunning();
+        op.execute();
+        op.event->markComplete();
+    }
+}
+
+} // namespace ocl
+} // namespace petabricks

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * In-order command queue with non-blocking enqueue operations.
+ *
+ * Mirrors an OpenCL in-order queue: writes, kernel launches, and reads
+ * are executed FIFO by a dedicated queue worker thread, and every
+ * enqueue returns immediately with an Event. The runtime's GPU
+ * management thread (runtime/gpu_manager.h) issues all its device work
+ * through one CommandQueue, which is what lets it overlap communication
+ * with computation without ever blocking.
+ */
+
+#ifndef PETABRICKS_OCL_QUEUE_H
+#define PETABRICKS_OCL_QUEUE_H
+
+#include <deque>
+#include <functional>
+#include <thread>
+
+#include "ocl/device.h"
+#include "ocl/event.h"
+#include "sim/cost_model.h"
+#include "support/region.h"
+
+namespace petabricks {
+namespace ocl {
+
+/** Aggregate traffic statistics for a queue. */
+struct QueueStats
+{
+    int64_t writes = 0;
+    int64_t reads = 0;
+    int64_t kernels = 0;
+    double bytesIn = 0.0;
+    double bytesOut = 0.0;
+};
+
+/** In-order asynchronous command queue for one Device. */
+class CommandQueue
+{
+  public:
+    explicit CommandQueue(Device &device);
+
+    /** Drains the queue and joins the worker. */
+    ~CommandQueue();
+
+    CommandQueue(const CommandQueue &) = delete;
+    CommandQueue &operator=(const CommandQueue &) = delete;
+
+    /**
+     * Enqueue a host->device copy of @p bytes from @p src into @p dst at
+     * @p dstOffset. Returns immediately (non-blocking write).
+     */
+    EventPtr enqueueWrite(BufferPtr dst, const void *src, int64_t bytes,
+                          int64_t dstOffset = 0);
+
+    /**
+     * Enqueue a device->host copy of @p bytes from @p src at
+     * @p srcOffset into @p dst. Returns immediately (non-blocking read);
+     * poll the event from a copy-out completion task.
+     */
+    EventPtr enqueueRead(BufferPtr src, void *dst, int64_t bytes,
+                         int64_t srcOffset = 0);
+
+    /**
+     * Enqueue a strided host->device copy of rectangular @p region from
+     * a row-major host array of width @p rowElems doubles. The buffer is
+     * assumed to hold the full matrix at the same layout (clEnqueueWrite-
+     * BufferRect equivalent).
+     */
+    EventPtr enqueueWriteRect(BufferPtr dst, const double *src,
+                              int64_t rowElems, const Region &region);
+
+    /** Strided device->host copy; see enqueueWriteRect. */
+    EventPtr enqueueReadRect(BufferPtr src, double *dst, int64_t rowElems,
+                             const Region &region);
+
+    /** Enqueue an NDRange kernel launch. */
+    EventPtr enqueueKernel(KernelPtr kernel, KernelArgs args,
+                           NDRange range);
+
+    /** Block until every previously enqueued operation completes. */
+    void finish();
+
+    const QueueStats &stats() const { return stats_; }
+
+    Device &device() { return device_; }
+
+  private:
+    struct Op
+    {
+        std::function<void()> execute;
+        EventPtr event;
+    };
+
+    void workerLoop();
+    EventPtr push(std::function<void()> execute);
+
+    Device &device_;
+    QueueStats stats_;
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<Op> pending_;
+    bool shutdown_ = false;
+    std::thread worker_;
+};
+
+} // namespace ocl
+} // namespace petabricks
+
+#endif // PETABRICKS_OCL_QUEUE_H

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Work-stealing deque of tasks.
+ *
+ * Each CPU worker owns one deque (paper Section 4.1, after Cilk's THE
+ * protocol): the owner pushes and pops at the *top* (LIFO, for locality
+ * and depth-first execution), thieves steal from the *bottom* (oldest,
+ * largest-granularity work). The GPU management thread additionally
+ * pushes CPU tasks it makes runnable onto the *bottom* of a random
+ * worker's deque (Section 4.2, Figure 5(b)).
+ *
+ * This implementation guards the deque with a spinlock rather than
+ * reproducing the THE protocol's lock-free fast path: operations are a
+ * handful of pointer moves, contention is steal-rate bounded, and
+ * correctness under the three-party access pattern (owner, thieves, GPU
+ * manager) stays self-evident.
+ */
+
+#ifndef PETABRICKS_RUNTIME_DEQUE_H
+#define PETABRICKS_RUNTIME_DEQUE_H
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+
+#include "runtime/task.h"
+
+namespace petabricks {
+namespace runtime {
+
+/** Deque supporting owner LIFO access plus bottom steals/pushes. */
+class WorkDeque
+{
+  public:
+    /** Owner: push a task on top (most recently created runs first). */
+    void
+    pushTop(TaskPtr task)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push_back(std::move(task));
+        size_.store(tasks_.size(), std::memory_order_relaxed);
+    }
+
+    /** External producer (GPU manager): push on the bottom. */
+    void
+    pushBottom(TaskPtr task)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push_front(std::move(task));
+        size_.store(tasks_.size(), std::memory_order_relaxed);
+    }
+
+    /** Owner: pop the top task; nullptr if empty. */
+    TaskPtr
+    popTop()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (tasks_.empty())
+            return nullptr;
+        TaskPtr task = std::move(tasks_.back());
+        tasks_.pop_back();
+        size_.store(tasks_.size(), std::memory_order_relaxed);
+        return task;
+    }
+
+    /** Thief: steal the bottom task; nullptr if empty. */
+    TaskPtr
+    stealBottom()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (tasks_.empty())
+            return nullptr;
+        TaskPtr task = std::move(tasks_.front());
+        tasks_.pop_front();
+        size_.store(tasks_.size(), std::memory_order_relaxed);
+        return task;
+    }
+
+    /** Approximate size (racy read; used for victim selection only). */
+    size_t size() const { return size_.load(std::memory_order_relaxed); }
+
+    bool empty() const { return size() == 0; }
+
+  private:
+    mutable std::mutex mutex_;
+    std::deque<TaskPtr> tasks_;
+    std::atomic<size_t> size_{0};
+};
+
+} // namespace runtime
+} // namespace petabricks
+
+#endif // PETABRICKS_RUNTIME_DEQUE_H

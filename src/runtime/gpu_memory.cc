@@ -1,0 +1,216 @@
+#include "runtime/gpu_memory.h"
+
+#include "support/error.h"
+
+namespace petabricks {
+namespace runtime {
+
+GpuMemoryTable::Record &
+GpuMemoryTable::recordFor(const MatrixD &m)
+{
+    auto it = records_.find(m.storageId());
+    PB_ASSERT(it != records_.end(),
+              "matrix storage " << m.storageId()
+                                << " has no device buffer (missing "
+                                   "prepare task?)");
+    return it->second;
+}
+
+ocl::BufferPtr
+GpuMemoryTable::prepare(const MatrixD &m)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = records_.find(m.storageId());
+    if (it != records_.end())
+        return it->second.buffer;
+    Record rec;
+    rec.matrix = m;
+    rec.buffer = std::make_shared<ocl::Buffer>(m.bytes());
+    ++stats_.buffersAllocated;
+    auto [pos, inserted] = records_.emplace(m.storageId(), std::move(rec));
+    PB_ASSERT(inserted, "duplicate record");
+    return pos->second.buffer;
+}
+
+ocl::BufferPtr
+GpuMemoryTable::buffer(const MatrixD &m) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = records_.find(m.storageId());
+    PB_ASSERT(it != records_.end(),
+              "matrix storage " << m.storageId() << " not prepared");
+    return it->second.buffer;
+}
+
+bool
+GpuMemoryTable::copyIn(const MatrixD &m, const Region &region)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    Record &rec = recordFor(m);
+    // Copy only the parts not already valid on the device: regions the
+    // GPU itself produced must not be overwritten by stale host data.
+    std::vector<Region> uncovered{region};
+    for (const Region &valid : rec.validOnDevice) {
+        std::vector<Region> next;
+        for (const Region &hole : uncovered)
+            for (const Region &part : subtractRegion(hole, valid))
+                next.push_back(part);
+        uncovered.swap(next);
+        if (uncovered.empty())
+            break;
+    }
+    if (uncovered.empty()) {
+        ++stats_.copyInsSkipped;
+        return false;
+    }
+    rec.validOnDevice.push_back(region);
+    ++stats_.copyInsPerformed;
+    ocl::BufferPtr buffer = rec.buffer;
+    // Keep a shallow matrix copy alive inside the queue op.
+    MatrixD host = rec.matrix;
+    lock.unlock();
+    for (const Region &part : uncovered)
+        queue_.enqueueWriteRect(buffer, host.data(), host.width(), part);
+    return true;
+}
+
+void
+GpuMemoryTable::markDeviceWritten(const MatrixD &m, const Region &region)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Record &rec = recordFor(m);
+    rec.validOnDevice.push_back(region);
+    rec.hostStaleRegions.push_back(region);
+}
+
+ocl::EventPtr
+GpuMemoryTable::copyOut(MatrixD m, const Region &region)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    Record &rec = recordFor(m);
+    PB_ASSERT(regionsCover(rec.validOnDevice, region),
+              "copy-out of region " << region
+                                    << " never produced on device");
+    // The host copy becomes current once the read retires; the region
+    // stays valid on the device for later kernels (reused state).
+    std::vector<Region> stillStale;
+    for (const Region &stale : rec.hostStaleRegions)
+        for (const Region &part : subtractRegion(stale, region))
+            stillStale.push_back(part);
+    rec.hostStaleRegions = std::move(stillStale);
+    ++stats_.eagerCopyOuts;
+    ocl::BufferPtr buffer = rec.buffer;
+    lock.unlock();
+    return queue_.enqueueReadRect(buffer, m.data(), m.width(), region);
+}
+
+void
+GpuMemoryTable::ensureOnHost(MatrixD m, const Region &region)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = records_.find(m.storageId());
+    if (it == records_.end())
+        return; // never touched the device; host copy is authoritative
+    Record &rec = it->second;
+
+    std::vector<Region> toFetch;
+    std::vector<Region> stillStale;
+    for (const Region &stale : rec.hostStaleRegions) {
+        Region hit = stale.intersect(region);
+        if (hit.empty()) {
+            stillStale.push_back(stale);
+            continue;
+        }
+        toFetch.push_back(hit);
+        for (const Region &part : subtractRegion(stale, hit))
+            stillStale.push_back(part);
+    }
+    if (toFetch.empty()) {
+        ++stats_.lazyChecksClean;
+        return;
+    }
+    rec.hostStaleRegions = std::move(stillStale);
+    stats_.lazyCopyOuts += static_cast<int64_t>(toFetch.size());
+    ocl::BufferPtr buffer = rec.buffer;
+    lock.unlock();
+
+    ocl::EventPtr last;
+    for (const Region &fetch : toFetch)
+        last = queue_.enqueueReadRect(buffer, m.data(), m.width(), fetch);
+    // Lazy copy-out happens because a consumer needs the data *now*.
+    if (last)
+        last->wait();
+}
+
+bool
+GpuMemoryTable::validOnDevice(const MatrixD &m, const Region &region) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = records_.find(m.storageId());
+    if (it == records_.end())
+        return false;
+    return regionsCover(it->second.validOnDevice, region);
+}
+
+bool
+GpuMemoryTable::hostStale(const MatrixD &m, const Region &region) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = records_.find(m.storageId());
+    if (it == records_.end())
+        return false;
+    for (const Region &stale : it->second.hostStaleRegions)
+        if (stale.intersects(region))
+            return true;
+    return false;
+}
+
+void
+GpuMemoryTable::invalidate(const MatrixD &m)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = records_.find(m.storageId());
+    if (it == records_.end())
+        return;
+    PB_ASSERT(it->second.hostStaleRegions.empty(),
+              "invalidating matrix with un-copied device results");
+    records_.erase(it);
+    ++stats_.buffersReleased;
+}
+
+void
+GpuMemoryTable::invalidateRegion(const MatrixD &m, const Region &region)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = records_.find(m.storageId());
+    if (it == records_.end())
+        return;
+    Record &rec = it->second;
+    auto subtractAll = [&region](std::vector<Region> &regions) {
+        std::vector<Region> next;
+        for (const Region &r : regions)
+            for (const Region &part : subtractRegion(r, region))
+                next.push_back(part);
+        regions = std::move(next);
+    };
+    subtractAll(rec.validOnDevice);
+    subtractAll(rec.hostStaleRegions);
+}
+
+void
+GpuMemoryTable::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.buffersReleased += static_cast<int64_t>(records_.size());
+    records_.clear();
+}
+
+GpuMemoryStats
+GpuMemoryTable::statsSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace runtime
+} // namespace petabricks

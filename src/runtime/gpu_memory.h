@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The GPU memory table (paper Section 4.3).
+ *
+ * The GPU management thread keeps a table of information about data
+ * stored on the device. Each tracked matrix gets one *consolidated*
+ * device buffer sized for the whole matrix — the paper's copy-out
+ * optimization: rules producing different regions of one output write
+ * into regions of one buffer instead of many small buffers.
+ *
+ * The table implements the three memory-management behaviors the
+ * compiler's data-movement analysis selects between:
+ *  - copy-in dedup ("no copy"): a copy-in is skipped when the region is
+ *    already valid on the device, either copied in earlier or produced
+ *    there by a previous kernel;
+ *  - eager copy-out ("must copy-out"): a non-blocking read is enqueued
+ *    immediately and polled by a copy-out completion task;
+ *  - lazy copy-out ("may copy-out"): device-written regions are recorded
+ *    as stale on the host, and ensureOnHost() performs the deferred copy
+ *    when (and only when) CPU code actually consumes the data.
+ */
+
+#ifndef PETABRICKS_RUNTIME_GPU_MEMORY_H
+#define PETABRICKS_RUNTIME_GPU_MEMORY_H
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "ocl/queue.h"
+#include "support/matrix.h"
+
+namespace petabricks {
+namespace runtime {
+
+/** Counters for the data-movement tests and microbenchmarks. */
+struct GpuMemoryStats
+{
+    int64_t buffersAllocated = 0;
+    int64_t copyInsPerformed = 0;
+    int64_t copyInsSkipped = 0;
+    int64_t eagerCopyOuts = 0;
+    int64_t lazyCopyOuts = 0;
+    int64_t lazyChecksClean = 0;
+    int64_t buffersReleased = 0;
+};
+
+/** Residency table for matrices mirrored in device memory. */
+class GpuMemoryTable
+{
+  public:
+    explicit GpuMemoryTable(ocl::CommandQueue &queue) : queue_(queue) {}
+
+    /**
+     * Ensure a consolidated device buffer exists for @p m and return it
+     * (the paper's *prepare* task body).
+     */
+    ocl::BufferPtr prepare(const MatrixD &m);
+
+    /** Device buffer for @p m; fatal if prepare() was never called. */
+    ocl::BufferPtr buffer(const MatrixD &m) const;
+
+    /**
+     * Copy @p region of @p m host->device unless it is already valid
+     * there (the paper's copy-in management).
+     *
+     * @return true if a copy was enqueued, false if deduplicated.
+     */
+    bool copyIn(const MatrixD &m, const Region &region);
+
+    /** Record that a kernel wrote @p region of @p m on the device. */
+    void markDeviceWritten(const MatrixD &m, const Region &region);
+
+    /**
+     * Eager copy-out: enqueue a non-blocking device->host read of
+     * @p region and return its event for a copy-out completion task to
+     * poll.
+     */
+    ocl::EventPtr copyOut(MatrixD m, const Region &region);
+
+    /**
+     * Lazy copy-out check: if any part of @p region was produced on the
+     * device and never copied back, perform the copy now (blocking).
+     * CPU-side code calls this before consuming a may-copy-out region.
+     */
+    void ensureOnHost(MatrixD m, const Region &region);
+
+    /** True if @p region of @p m is valid in device memory. */
+    bool validOnDevice(const MatrixD &m, const Region &region) const;
+
+    /** True if the host copy of @p region is stale (device is newer). */
+    bool hostStale(const MatrixD &m, const Region &region) const;
+
+    /**
+     * The host wrote @p m: device copies are stale, release the buffer
+     * (the paper: "releasing buffers that become stale because the copy
+     * in main memory has been written to").
+     */
+    void invalidate(const MatrixD &m);
+
+    /**
+     * The host wrote @p region of @p m (e.g. the CPU part of a split
+     * rule): that region's device copy is stale, and any pending
+     * device-side result there is superseded. No-op for untracked
+     * matrices.
+     */
+    void invalidateRegion(const MatrixD &m, const Region &region);
+
+    /** Drop everything (end of transform execution). */
+    void clear();
+
+    GpuMemoryStats statsSnapshot() const;
+
+  private:
+    struct Record
+    {
+        MatrixD matrix; // keeps host storage alive for async copies
+        ocl::BufferPtr buffer;
+        std::vector<Region> validOnDevice;
+        std::vector<Region> hostStaleRegions;
+    };
+
+    Record &recordFor(const MatrixD &m);
+
+    ocl::CommandQueue &queue_;
+    mutable std::mutex mutex_;
+    std::unordered_map<uint64_t, Record> records_;
+    GpuMemoryStats stats_;
+};
+
+} // namespace runtime
+} // namespace petabricks
+
+#endif // PETABRICKS_RUNTIME_GPU_MEMORY_H

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The heterogeneous runtime: work-stealing CPU workers plus a
+ * work-pushing GPU management thread (paper Section 4, Figure 4).
+ *
+ * Scheduling policy, matching Figure 5:
+ *  - a GPU task that becomes runnable is pushed to the *bottom* of the
+ *    GPU management thread's FIFO queue, whoever caused it;
+ *  - a CPU task made runnable by a GPU task is pushed to the bottom of a
+ *    *random* CPU worker's deque by the GPU manager;
+ *  - a CPU task made runnable by a CPU task is pushed to the *top* of
+ *    the causing worker's own deque.
+ *
+ * Workers that run dry steal from the bottom of a random victim's deque.
+ */
+
+#ifndef PETABRICKS_RUNTIME_RUNTIME_H
+#define PETABRICKS_RUNTIME_RUNTIME_H
+
+#include <condition_variable>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "ocl/device.h"
+#include "ocl/queue.h"
+#include "runtime/deque.h"
+#include "runtime/gpu_memory.h"
+#include "runtime/task.h"
+#include "support/rng.h"
+
+namespace petabricks {
+namespace runtime {
+
+/** Counters exposed for tests and the microbenchmarks. */
+struct RuntimeStats
+{
+    std::atomic<int64_t> tasksExecuted{0};
+    std::atomic<int64_t> steals{0};
+    std::atomic<int64_t> stealAttempts{0};
+    std::atomic<int64_t> gpuTasksExecuted{0};
+    std::atomic<int64_t> gpuRequeues{0};
+    std::atomic<int64_t> gpuPushesToWorkers{0};
+};
+
+/**
+ * The runtime. Construct, submit root tasks with spawn(), then
+ * wait() for quiescence. GPU support is optional: constructing without
+ * a device runs CPU-only (the paper's Server uses a CPU OpenCL device,
+ * which is still an ocl::Device here).
+ */
+class Runtime
+{
+  public:
+    /**
+     * @param workers number of CPU worker threads (>= 1).
+     * @param gpuDevice OpenCL device to manage, or nullptr for CPU-only.
+     * @param seed seed for victim selection and GPU-manager pushes.
+     */
+    explicit Runtime(int workers, ocl::Device *gpuDevice = nullptr,
+                     uint64_t seed = 12345);
+
+    /** Waits for quiescence, then stops all threads. */
+    ~Runtime();
+
+    Runtime(const Runtime &) = delete;
+    Runtime &operator=(const Runtime &) = delete;
+
+    /**
+     * Finish creation of @p task (and transitively submit it). Call
+     * after declaring all of its dependencies. Tasks that are not yet
+     * runnable live only in their dependencies' dependent lists.
+     */
+    void spawn(const TaskPtr &task);
+
+    /** Block until no tasks remain anywhere in the system. */
+    void wait();
+
+    /** Convenience: spawn + wait. */
+    void
+    run(const TaskPtr &task)
+    {
+        spawn(task);
+        wait();
+    }
+
+    int workerCount() const { return static_cast<int>(workers_.size()); }
+    bool hasGpu() const { return gpuQueue_ != nullptr; }
+
+    /** Command queue of the managed device; requires hasGpu(). */
+    ocl::CommandQueue &gpuCommandQueue();
+
+    /** GPU-resident data table; requires hasGpu(). */
+    GpuMemoryTable &gpuMemory();
+
+    const RuntimeStats &stats() const { return stats_; }
+
+  private:
+    struct Worker
+    {
+        WorkDeque deque;
+        std::thread thread;
+        Rng rng{0};
+    };
+
+    void workerLoop(int index);
+    void gpuLoop();
+
+    /** Dispatch a runnable task according to the Figure 5 policy. */
+    void dispatch(TaskPtr task, bool fromGpuManager, int workerIndex);
+
+    /** Dispatch everything a finished task produced or unblocked. */
+    void dispatchAll(std::vector<TaskPtr> &&tasks, bool fromGpuManager,
+                     int workerIndex);
+
+    /** Run one task on a CPU worker or the GPU manager thread. */
+    void executeTask(const TaskPtr &task, bool onGpuManager,
+                     int workerIndex);
+
+    void noteTaskCreated();
+    void noteTaskRetired();
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::atomic<bool> shutdown_{false};
+
+    // Idle-sleep support: workers nap when there is no work anywhere.
+    std::mutex idleMutex_;
+    std::condition_variable idleCv_;
+
+    // Quiescence tracking: count of tasks finished-creation but not yet
+    // complete/continued.
+    std::atomic<int64_t> liveTasks_{0};
+    std::mutex doneMutex_;
+    std::condition_variable doneCv_;
+
+    // GPU management thread state.
+    std::unique_ptr<ocl::CommandQueue> gpuQueue_;
+    std::unique_ptr<GpuMemoryTable> gpuMemory_;
+    WorkDeque gpuFifo_; // used FIFO: pushBottom + stealBottom
+    std::thread gpuThread_;
+    std::mutex gpuMutex_;
+    std::condition_variable gpuCv_;
+    Rng gpuRng_{0};
+
+    RuntimeStats stats_;
+};
+
+} // namespace runtime
+} // namespace petabricks
+
+#endif // PETABRICKS_RUNTIME_RUNTIME_H

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The PetaBricks task model (paper Section 4.1).
+ *
+ * Unlike Cilk's strict fork/join, tasks form arbitrary acyclic
+ * dependency graphs. Each task carries a state, an atomic dependency
+ * count, and a list of dependent tasks; a task that finishes may return
+ * a *continuation* task to which its dependents are forwarded.
+ *
+ * The five states and their transitions follow the paper exactly:
+ *
+ *   new ──(finishCreation, deps==0)──> runnable ──(run)──> complete
+ *    │                                            └(run)──> continued
+ *    └──(finishCreation, deps>0)──> non-runnable ──(last dep done)──>
+ *        runnable
+ *
+ * Dependency creation uses a creation hold: the dependency count starts
+ * at one and finishCreation() releases it, so a dependency completing
+ * concurrently with creation can never enqueue a half-built task.
+ */
+
+#ifndef PETABRICKS_RUNTIME_TASK_H
+#define PETABRICKS_RUNTIME_TASK_H
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace petabricks {
+namespace runtime {
+
+/** Lifecycle state of a task (paper Section 4.1). */
+enum class TaskState
+{
+    New,
+    NonRunnable,
+    Runnable,
+    Complete,
+    Continued,
+};
+
+const char *taskStateName(TaskState state);
+
+/** Which executor services a task (Section 4.2: "A task is marked as
+ * either GPU or CPU task"). */
+enum class TaskClass
+{
+    Cpu,
+    Gpu,
+};
+
+class Task;
+using TaskPtr = std::shared_ptr<Task>;
+
+/**
+ * Execution context handed to a task body.
+ *
+ * Bodies use spawn() to hand freshly created child tasks to the
+ * scheduler, and requeue() (GPU tasks only) to ask the GPU management
+ * thread to push the task back to the end of its queue — the paper's
+ * copy-out completion tasks poll a non-blocking read this way.
+ */
+class TaskContext
+{
+  public:
+    /** Submit a child task (its dependencies must be fully declared). */
+    void spawn(TaskPtr task) { spawned_.push_back(std::move(task)); }
+
+    /** Ask the GPU manager to re-enqueue this task (poll again later). */
+    void requeue() { requeue_ = true; }
+
+    const std::vector<TaskPtr> &spawned() const { return spawned_; }
+    bool requeueRequested() const { return requeue_; }
+
+  private:
+    std::vector<TaskPtr> spawned_;
+    bool requeue_ = false;
+};
+
+/**
+ * A schedulable unit of work.
+ *
+ * The body returns either nullptr (task completes) or a continuation
+ * task in the New state; the runtime transfers this task's dependents to
+ * the continuation (paper: "the dependents list is transferred to the
+ * continuation task").
+ */
+class Task : public std::enable_shared_from_this<Task>
+{
+  public:
+    using Body = std::function<TaskPtr(TaskContext &)>;
+
+    /**
+     * Create a task in the New state.
+     * @param name label for tracing/debugging.
+     * @param taskClass CPU or GPU executor.
+     * @param body work to run; may be nullptr for pure join nodes.
+     */
+    Task(std::string name, TaskClass taskClass, Body body);
+
+    /** Convenience: CPU task with no continuation. */
+    static TaskPtr cpu(std::string name, std::function<void()> fn);
+
+    /** Convenience: dependency-join marker with no work. */
+    static TaskPtr join(std::string name);
+
+    const std::string &name() const { return name_; }
+    TaskClass taskClass() const { return class_; }
+    TaskState state() const
+    {
+        return state_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Declare that this task cannot run until @p dep completes. Only
+     * legal in the New state. Follows continuation pointers; depending
+     * on an already-complete task is a no-op (paper Section 4.1).
+     */
+    void dependsOn(const TaskPtr &dep);
+
+    /**
+     * Finish dependency creation: transition New -> Runnable (returns
+     * true) or New -> NonRunnable (returns false).
+     */
+    bool finishCreation();
+
+    /**
+     * Execute the body and apply the completion/continuation protocol.
+     *
+     * @param ctx context collecting spawned children and requeue flags.
+     * @param newlyRunnable out: dependents that this completion made
+     *        runnable, for the caller to dispatch per its push policy.
+     * @return the continuation task if the body produced one (already
+     *         holding the transferred dependents, creation NOT yet
+     *         finished), else nullptr.
+     */
+    TaskPtr run(TaskContext &ctx, std::vector<TaskPtr> &newlyRunnable);
+
+    /** Dependency count remaining (diagnostic). */
+    int pendingDependencies() const
+    {
+        return deps_.load(std::memory_order_acquire);
+    }
+
+  private:
+    /**
+     * Register @p dependent; returns false if this task (or the tail of
+     * its continuation chain) already completed.
+     */
+    bool addDependent(const TaskPtr &dependent);
+
+    /** Mark complete and collect newly runnable dependents. */
+    void complete(std::vector<TaskPtr> &newlyRunnable);
+
+    std::string name_;
+    TaskClass class_;
+    Body body_;
+
+    std::atomic<TaskState> state_{TaskState::New};
+    std::atomic<int> deps_{1}; // creation hold
+    std::mutex mutex_;         // guards dependents_ and continuation_
+    std::vector<TaskPtr> dependents_;
+    TaskPtr continuation_;
+};
+
+} // namespace runtime
+} // namespace petabricks
+
+#endif // PETABRICKS_RUNTIME_TASK_H

@@ -1,0 +1,114 @@
+#include "sim/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace petabricks {
+namespace sim {
+
+CostReport &
+CostReport::operator+=(const CostReport &other)
+{
+    // Combine the sequential fractions weighted by arithmetic volume so
+    // that merging a serial task into a large parallel one keeps the
+    // Amdahl limit meaningful.
+    double totalFlops = flops + other.flops;
+    if (totalFlops > 0.0) {
+        sequentialFraction =
+            (sequentialFraction * flops +
+             other.sequentialFraction * other.flops) / totalFlops;
+    }
+    flops = totalFlops;
+    globalBytesRead += other.globalBytesRead;
+    globalBytesWritten += other.globalBytesWritten;
+    localBytes += other.localBytes;
+    workItems += other.workItems;
+    barriers += other.barriers;
+    invocations += other.invocations;
+    return *this;
+}
+
+CostReport
+CostReport::operator+(const CostReport &other) const
+{
+    CostReport sum = *this;
+    sum += other;
+    return sum;
+}
+
+double
+CostModel::groupEfficiency(const DeviceSpec &dev, int localWorkSize)
+{
+    PB_ASSERT(localWorkSize > 0, "local work size must be positive");
+    double eff = 1.0;
+    if (localWorkSize < dev.simdWidth) {
+        // Underfilled warps/wavefronts: idle lanes scale throughput down.
+        eff *= static_cast<double>(localWorkSize) / dev.simdWidth;
+    }
+    if (dev.type == DeviceType::Gpu) {
+        // Very large groups reduce occupancy (register/scratch pressure).
+        constexpr int kOccupancyKnee = 256;
+        if (localWorkSize > kOccupancyKnee) {
+            eff *= 1.0 /
+                   (1.0 + 0.0015 * (localWorkSize - kOccupancyKnee));
+        }
+        // Tiny-group launches also pay extra scheduling per group; fold a
+        // mild penalty in so the tuner has a real optimum to find.
+        constexpr int kSchedulingKnee = 16;
+        if (localWorkSize < kSchedulingKnee)
+            eff *= 0.85;
+    }
+    return std::max(eff, 1e-3);
+}
+
+double
+CostModel::kernelSeconds(const DeviceSpec &dev, const CostReport &report,
+                         int localWorkSize)
+{
+    double eff = groupEfficiency(dev, localWorkSize);
+    double computeSec =
+        report.flops / std::max(dev.peakGflops() * 1e9 * eff, 1.0);
+
+    double globalTraffic = report.globalBytes();
+    double localTraffic = report.localBytes;
+    if (!dev.dedicatedLocalMem) {
+        // No scratchpad: "local" traffic rides the normal memory path,
+        // i.e. the cooperative prefetch phase is pure added traffic.
+        globalTraffic += localTraffic;
+        localTraffic = 0.0;
+    }
+    double memSec =
+        globalTraffic / std::max(dev.memBandwidthGBs * 1e9, 1.0) +
+        localTraffic / std::max(dev.localMemBandwidthGBs * 1e9, 1.0);
+
+    // Barriers serialize each work-group briefly; wider devices hide
+    // more of that latency by running more groups concurrently.
+    constexpr double kBarrierSecPer32Lanes = 70e-9;
+    double width = std::max(1.0, dev.cores / 32.0);
+    double barrierSec = report.barriers * kBarrierSecPer32Lanes / width;
+
+    double launchSec = report.invocations * dev.launchLatencyUs * 1e-6;
+    return launchSec + std::max(computeSec, memSec) + barrierSec;
+}
+
+double
+CostModel::cpuSeconds(const DeviceSpec &dev, const CostReport &report,
+                      int threads)
+{
+    PB_ASSERT(threads > 0, "thread count must be positive");
+    int usable = std::min(threads, dev.cores);
+    double seq = std::clamp(report.sequentialFraction, 0.0, 1.0);
+    // Amdahl: sequential part runs on one core, the rest scales.
+    double perCore = dev.gflopsPerCore * 1e9;
+    double computeSec = report.flops * seq / perCore +
+                        report.flops * (1.0 - seq) / (perCore * usable);
+    double memSec =
+        report.globalBytes() / std::max(dev.memBandwidthGBs * 1e9, 1.0);
+    double launchSec = report.invocations * dev.launchLatencyUs * 1e-6;
+    return launchSec + std::max(computeSec, memSec);
+}
+
+} // namespace sim
+} // namespace petabricks

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Roofline-style cost model turning operation counts into seconds.
+ *
+ * Emulated OpenCL kernels (src/ocl) report a CostReport of arithmetic and
+ * memory-traffic counts; the CostModel combines it with a DeviceSpec to a
+ * deterministic execution time. The model is intentionally simple — a
+ * launch latency plus max(compute, memory) roofline with a work-group
+ * efficiency factor — because the paper's conclusions rest on *relative*
+ * behavior (which choice wins where, and where crossovers fall), not on
+ * absolute times.
+ */
+
+#ifndef PETABRICKS_SIM_COST_MODEL_H
+#define PETABRICKS_SIM_COST_MODEL_H
+
+#include <cstdint>
+
+#include "sim/device_spec.h"
+
+namespace petabricks {
+namespace sim {
+
+/**
+ * Operation counts accumulated by one kernel launch or CPU task.
+ *
+ * Counts are doubles so analytic estimates for very large problem sizes
+ * do not overflow.
+ */
+struct CostReport
+{
+    /** Floating point operations executed. */
+    double flops = 0.0;
+
+    /** Bytes read from global/main memory. */
+    double globalBytesRead = 0.0;
+
+    /** Bytes written to global/main memory. */
+    double globalBytesWritten = 0.0;
+
+    /** Bytes moved through OpenCL local memory (scratchpad). */
+    double localBytes = 0.0;
+
+    /** Total work-items across the launch (0 for CPU tasks). */
+    double workItems = 0.0;
+
+    /** Work-group barriers executed (synchronization overhead). */
+    double barriers = 0.0;
+
+    /** Kernel launches represented by this report. */
+    double invocations = 1.0;
+
+    /**
+     * Fraction of the arithmetic that must run sequentially (limits
+     * multi-core scaling of CPU tasks; 0 = perfectly parallel).
+     */
+    double sequentialFraction = 0.0;
+
+    CostReport &operator+=(const CostReport &other);
+    CostReport operator+(const CostReport &other) const;
+
+    /** Total global memory traffic (read + write). */
+    double
+    globalBytes() const
+    {
+        return globalBytesRead + globalBytesWritten;
+    }
+};
+
+/** Cost model evaluating kernels and CPU tasks against a DeviceSpec. */
+class CostModel
+{
+  public:
+    /**
+     * Seconds for an OpenCL kernel launch with traffic @p report on
+     * device @p dev using work-groups of @p localWorkSize items.
+     *
+     * Local-memory traffic is free-ish on devices with a dedicated
+     * scratchpad, but on CpuOpenCL devices it is retargeted at the
+     * regular memory system — reproducing the paper's observation that
+     * explicit prefetching is wasted work on CPU OpenCL runtimes.
+     */
+    static double kernelSeconds(const DeviceSpec &dev,
+                                const CostReport &report,
+                                int localWorkSize);
+
+    /**
+     * Seconds for a native CPU task using @p threads worker threads.
+     * Applies Amdahl scaling via report.sequentialFraction.
+     */
+    static double cpuSeconds(const DeviceSpec &dev,
+                             const CostReport &report, int threads);
+
+    /**
+     * Work-group efficiency in (0, 1]: penalizes groups smaller than the
+     * SIMD width (idle lanes) and very large groups (occupancy loss).
+     */
+    static double groupEfficiency(const DeviceSpec &dev, int localWorkSize);
+};
+
+} // namespace sim
+} // namespace petabricks
+
+#endif // PETABRICKS_SIM_COST_MODEL_H

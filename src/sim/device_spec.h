@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Static descriptions of compute devices.
+ *
+ * The paper evaluates on three physical machines (Figure 9). This build
+ * environment has no GPU, so those machines are reproduced as calibrated
+ * performance models: a DeviceSpec captures the throughput/latency
+ * characteristics the paper's analysis attributes to each processor, and
+ * the cost model (cost_model.h) turns kernel operation counts into
+ * deterministic execution times. See DESIGN.md Section 2 for the
+ * substitution rationale.
+ */
+
+#ifndef PETABRICKS_SIM_DEVICE_SPEC_H
+#define PETABRICKS_SIM_DEVICE_SPEC_H
+
+#include <string>
+
+namespace petabricks {
+namespace sim {
+
+/** Broad class of a compute device. */
+enum class DeviceType
+{
+    /** Conventional CPU cores running native code. */
+    Cpu,
+    /** Discrete GPU reached through the OpenCL runtime. */
+    Gpu,
+    /** OpenCL runtime that generates vectorized code on the host CPU. */
+    CpuOpenCL,
+};
+
+/** Human-readable name of a device type. */
+const char *deviceTypeName(DeviceType type);
+
+/**
+ * Performance description of one compute device.
+ *
+ * Throughputs are peaks; the cost model applies efficiency factors for
+ * work-group shape and launch overheads on top of these.
+ */
+struct DeviceSpec
+{
+    std::string name;
+    DeviceType type = DeviceType::Cpu;
+
+    /** Hardware parallelism: CPU cores, or GPU scalar-processor lanes. */
+    int cores = 1;
+
+    /** Peak arithmetic throughput per core, GFLOP/s. */
+    double gflopsPerCore = 1.0;
+
+    /** Aggregate global/main memory bandwidth, GB/s. */
+    double memBandwidthGBs = 10.0;
+
+    /**
+     * Aggregate scratchpad (OpenCL local memory) bandwidth, GB/s. Only
+     * meaningful when dedicatedLocalMem is true.
+     */
+    double localMemBandwidthGBs = 100.0;
+
+    /**
+     * True if local memory is a real on-chip scratchpad. On CPU OpenCL
+     * runtimes local memory maps onto the same caches and buses as
+     * ordinary loads/stores, so the explicit prefetch phase is pure
+     * overhead (Section 2.2 of the paper).
+     */
+    bool dedicatedLocalMem = false;
+
+    /** Fixed cost of launching one kernel, microseconds. */
+    double launchLatencyUs = 0.0;
+
+    /**
+     * Preferred SIMD width: work-groups smaller than this leave lanes
+     * idle on GPUs (warp/wavefront width), and vector lanes idle on CPU
+     * OpenCL runtimes.
+     */
+    int simdWidth = 1;
+
+    /** Peak device GFLOP/s (cores x per-core throughput). */
+    double peakGflops() const { return cores * gflopsPerCore; }
+};
+
+/**
+ * Host-device interconnect model (PCIe for discrete GPUs).
+ *
+ * A CpuOpenCL device shares the host address space, so its transfer model
+ * has zero latency and infinite effective bandwidth.
+ */
+struct TransferModel
+{
+    /** Fixed per-transfer latency, microseconds. */
+    double latencyUs = 0.0;
+
+    /** Transfer bandwidth, GB/s; <= 0 means free (shared memory). */
+    double bandwidthGBs = 0.0;
+
+    /** Seconds to move @p bytes one way. */
+    double
+    seconds(double bytes) const
+    {
+        if (bandwidthGBs <= 0.0)
+            return 0.0;
+        return latencyUs * 1e-6 + bytes / (bandwidthGBs * 1e9);
+    }
+
+    bool isFree() const { return bandwidthGBs <= 0.0; }
+};
+
+} // namespace sim
+} // namespace petabricks
+
+#endif // PETABRICKS_SIM_DEVICE_SPEC_H

@@ -1,0 +1,156 @@
+#include "sim/machine.h"
+
+#include "support/error.h"
+
+namespace petabricks {
+namespace sim {
+
+const char *
+deviceTypeName(DeviceType type)
+{
+    switch (type) {
+      case DeviceType::Cpu: return "CPU";
+      case DeviceType::Gpu: return "GPU";
+      case DeviceType::CpuOpenCL: return "CPU-OpenCL";
+    }
+    return "?";
+}
+
+MachineProfile
+MachineProfile::desktop()
+{
+    MachineProfile m;
+    m.name = "Desktop";
+    m.os = "Debian 5.0 GNU/Linux";
+    m.openclRuntime = "CUDA Toolkit 4.2 (GPU)";
+
+    m.cpu.name = "Core i7 920 @2.67GHz";
+    m.cpu.type = DeviceType::Cpu;
+    m.cpu.cores = 4;
+    m.cpu.gflopsPerCore = 5.0;
+    m.cpu.memBandwidthGBs = 25.0;
+    m.cpu.dedicatedLocalMem = false;
+    m.cpu.launchLatencyUs = 2.0;
+    m.cpu.simdWidth = 1;
+
+    m.hasOpenCL = true;
+    m.ocl.name = "NVIDIA Tesla C2070";
+    m.ocl.type = DeviceType::Gpu;
+    m.ocl.cores = 448;
+    m.ocl.gflopsPerCore = 1.15; // double precision: ~515 GFLOP/s
+    m.ocl.memBandwidthGBs = 144.0;
+    m.ocl.localMemBandwidthGBs = 1300.0;
+    m.ocl.dedicatedLocalMem = true;
+    m.ocl.launchLatencyUs = 12.0;
+    m.ocl.simdWidth = 32;
+
+    m.transfer.latencyUs = 18.0;
+    m.transfer.bandwidthGBs = 6.0;
+    m.oclSharesCpu = false;
+    m.workerThreads = 4;
+    m.blasSpeedup = 3.0; // Debian reference netlib: single-threaded
+    m.blasThreads = 1;
+    m.kernelCompileSeconds = 1.6;
+    m.irCacheSavings = 0.55;
+    return m;
+}
+
+MachineProfile
+MachineProfile::server()
+{
+    MachineProfile m;
+    m.name = "Server";
+    m.os = "Debian 5.0 GNU/Linux";
+    m.openclRuntime = "AMD APP SDK 2.5 (CPU/SSE)";
+
+    m.cpu.name = "4x Xeon X7550 @2GHz";
+    m.cpu.type = DeviceType::Cpu;
+    m.cpu.cores = 32;
+    m.cpu.gflopsPerCore = 3.6;
+    m.cpu.memBandwidthGBs = 70.0;
+    m.cpu.dedicatedLocalMem = false;
+    m.cpu.launchLatencyUs = 3.0;
+    m.cpu.simdWidth = 1;
+
+    // The AMD APP runtime vectorizes kernels onto the same 32 cores:
+    // higher per-core throughput than scalar native code, no transfer
+    // cost, but "local memory" is just main memory (prefetch is wasted
+    // work) and kernel scheduling overhead is comparatively high.
+    m.hasOpenCL = true;
+    m.ocl.name = "AMD APP on 4x Xeon X7550";
+    m.ocl.type = DeviceType::CpuOpenCL;
+    m.ocl.cores = 32;
+    m.ocl.gflopsPerCore = 9.5;
+    m.ocl.memBandwidthGBs = 70.0;
+    m.ocl.localMemBandwidthGBs = 70.0;
+    m.ocl.dedicatedLocalMem = false;
+    m.ocl.launchLatencyUs = 150.0; // CPU runtime dispatch is heavyweight
+    m.ocl.simdWidth = 4;
+
+    m.transfer.latencyUs = 0.0;
+    m.transfer.bandwidthGBs = 0.0; // shared memory: copies are free
+    m.oclSharesCpu = true;
+    m.workerThreads = 16;
+    m.blasSpeedup = 3.0; // Debian reference netlib: single-threaded
+    m.blasThreads = 1;
+    m.kernelCompileSeconds = 2.4;
+    m.irCacheSavings = 0.6;
+    return m;
+}
+
+MachineProfile
+MachineProfile::laptop()
+{
+    MachineProfile m;
+    m.name = "Laptop";
+    m.os = "Mac OS X Lion (10.7.2)";
+    m.openclRuntime = "Xcode 4.2 (GPU)";
+
+    m.cpu.name = "Core i5 2520M @2.5GHz";
+    m.cpu.type = DeviceType::Cpu;
+    m.cpu.cores = 2;
+    m.cpu.gflopsPerCore = 6.0;
+    m.cpu.memBandwidthGBs = 17.0;
+    m.cpu.dedicatedLocalMem = false;
+    m.cpu.launchLatencyUs = 2.0;
+    m.cpu.simdWidth = 1;
+
+    m.hasOpenCL = true;
+    m.ocl.name = "AMD Radeon HD 6630M";
+    m.ocl.type = DeviceType::Gpu;
+    m.ocl.cores = 96;
+    m.ocl.gflopsPerCore = 0.25; // mobile GPU double precision is weak
+    m.ocl.memBandwidthGBs = 25.6;
+    m.ocl.localMemBandwidthGBs = 220.0;
+    m.ocl.dedicatedLocalMem = true;
+    m.ocl.launchLatencyUs = 30.0;
+    m.ocl.simdWidth = 32;
+
+    m.transfer.latencyUs = 25.0;
+    m.transfer.bandwidthGBs = 2.5;
+    m.oclSharesCpu = false;
+    m.workerThreads = 2;
+    m.blasSpeedup = 8.0; // Accelerate framework: vectorized...
+    m.blasThreads = 2;   // ...and multithreaded
+    m.kernelCompileSeconds = 1.2;
+    m.irCacheSavings = 0.5;
+    return m;
+}
+
+std::vector<MachineProfile>
+MachineProfile::all()
+{
+    return {desktop(), server(), laptop()};
+}
+
+MachineProfile
+MachineProfile::byName(const std::string &name)
+{
+    for (auto &m : all())
+        if (m.name == name)
+            return m;
+    PB_FATAL("unknown machine profile '" << name << "'");
+}
+
+} // namespace sim
+} // namespace petabricks

@@ -1,0 +1,205 @@
+#include "sim/sched_sim.h"
+
+#include <deque>
+#include <queue>
+#include <tuple>
+
+#include "support/error.h"
+
+namespace petabricks {
+namespace sim {
+
+ScheduleSimulator::ScheduleSimulator(int cpuWorkers, bool oclSharesCpu)
+    : cpuWorkers_(cpuWorkers), oclSharesCpu_(oclSharesCpu)
+{
+    PB_ASSERT(cpuWorkers > 0, "need at least one CPU worker");
+}
+
+ScheduleSimulator::ScheduleSimulator(const MachineProfile &machine)
+    : ScheduleSimulator(machine.workerThreads, machine.oclSharesCpu)
+{
+}
+
+SimTaskId
+ScheduleSimulator::addTask(SimResource resource, double seconds,
+                           const std::vector<SimTaskId> &deps,
+                           std::string label)
+{
+    PB_ASSERT(!ran_, "cannot add tasks after run()");
+    PB_ASSERT(seconds >= 0.0, "negative task duration");
+    SimTaskId id = static_cast<SimTaskId>(tasks_.size());
+    TaskRecord rec;
+    rec.resource = resource;
+    rec.seconds = seconds;
+    rec.remainingDeps = 0;
+    rec.label = std::move(label);
+    for (SimTaskId dep : deps) {
+        PB_ASSERT(dep >= 0 && dep < id, "dependency " << dep
+                                                      << " out of range");
+        tasks_[dep].dependents.push_back(id);
+        ++rec.remainingDeps;
+    }
+    tasks_.push_back(std::move(rec));
+    return id;
+}
+
+double
+ScheduleSimulator::run()
+{
+    PB_ASSERT(!ran_, "simulator is single-shot");
+    ran_ = true;
+
+    // FIFO ready queues per physical resource. On machines whose OpenCL
+    // device is the host CPU, GPU-queue tasks are routed to the CPU queue
+    // as full-pool tasks (the vectorized kernel occupies every core).
+    std::deque<SimTaskId> cpuReady;
+    std::deque<SimTaskId> gpuReady;
+    std::deque<SimTaskId> xferReady;
+
+    int cpuInUse = 0;
+    bool gpuBusy = false;
+    bool xferBusy = false;
+
+    // (finishTime, sequence, task) min-heap of running tasks.
+    using Running = std::tuple<double, int64_t, SimTaskId>;
+    std::priority_queue<Running, std::vector<Running>, std::greater<>> heap;
+    int64_t seq = 0;
+    double now = 0.0;
+    double makespan = 0.0;
+    size_t completed = 0;
+
+    // True when @p id must hold the entire CPU pool while running.
+    auto needsFullPool = [&](SimTaskId id) {
+        SimResource r = tasks_[id].resource;
+        return r == SimResource::CpuPool ||
+               (oclSharesCpu_ && r == SimResource::GpuQueue);
+    };
+
+    auto release = [&](SimTaskId id) {
+        switch (tasks_[id].resource) {
+          case SimResource::CpuWorker:
+          case SimResource::CpuPool:
+            cpuReady.push_back(id);
+            break;
+          case SimResource::GpuQueue:
+            if (oclSharesCpu_)
+                cpuReady.push_back(id);
+            else
+                gpuReady.push_back(id);
+            break;
+          case SimResource::Transfer:
+            xferReady.push_back(id);
+            break;
+          case SimResource::None:
+            // Completes instantly; handled by the caller via the heap
+            // with zero duration so ordering stays uniform.
+            heap.emplace(now, seq++, id);
+            break;
+        }
+    };
+
+    auto start = [&](SimTaskId id) {
+        TaskRecord &rec = tasks_[id];
+        double dur = rec.seconds;
+        heap.emplace(now + dur, seq++, id);
+        if (rec.resource == SimResource::GpuQueue)
+            gpuBusy_ += dur;
+        if (needsFullPool(id))
+            cpuBusy_ += dur * cpuWorkers_;
+        else if (rec.resource == SimResource::CpuWorker)
+            cpuBusy_ += dur;
+    };
+
+    auto dispatch = [&]() {
+        // CPU queue: strict FIFO so full-pool tasks cannot be starved by
+        // a stream of single-worker tasks behind them.
+        while (!cpuReady.empty()) {
+            SimTaskId head = cpuReady.front();
+            if (needsFullPool(head)) {
+                bool gpuSide = tasks_[head].resource == SimResource::GpuQueue;
+                if (cpuInUse != 0 || (gpuSide && gpuBusy))
+                    break;
+                cpuInUse = cpuWorkers_;
+                if (gpuSide)
+                    gpuBusy = true;
+            } else {
+                if (cpuInUse >= cpuWorkers_)
+                    break;
+                ++cpuInUse;
+            }
+            cpuReady.pop_front();
+            start(head);
+        }
+        if (!gpuBusy && !gpuReady.empty()) {
+            SimTaskId head = gpuReady.front();
+            gpuReady.pop_front();
+            gpuBusy = true;
+            start(head);
+        }
+        if (!xferBusy && !xferReady.empty()) {
+            SimTaskId head = xferReady.front();
+            xferReady.pop_front();
+            xferBusy = true;
+            start(head);
+        }
+    };
+
+    // Release all tasks with no dependencies, in id order.
+    for (SimTaskId id = 0; id < static_cast<SimTaskId>(tasks_.size()); ++id)
+        if (tasks_[id].remainingDeps == 0)
+            release(id);
+    dispatch();
+
+    while (!heap.empty()) {
+        auto [finish, order, id] = heap.top();
+        heap.pop();
+        (void)order;
+        now = finish;
+        makespan = std::max(makespan, now);
+        TaskRecord &rec = tasks_[id];
+        rec.finish = now;
+        ++completed;
+
+        switch (rec.resource) {
+          case SimResource::CpuWorker:
+            --cpuInUse;
+            break;
+          case SimResource::CpuPool:
+            cpuInUse = 0;
+            break;
+          case SimResource::GpuQueue:
+            gpuBusy = false;
+            if (oclSharesCpu_)
+                cpuInUse = 0;
+            break;
+          case SimResource::Transfer:
+            xferBusy = false;
+            break;
+          case SimResource::None:
+            break;
+        }
+
+        for (SimTaskId dep : rec.dependents) {
+            if (--tasks_[dep].remainingDeps == 0)
+                release(dep);
+        }
+        dispatch();
+    }
+
+    if (completed != tasks_.size())
+        PB_PANIC("schedule deadlocked: " << completed << "/"
+                 << tasks_.size() << " tasks completed (cycle in DAG?)");
+    return makespan;
+}
+
+double
+ScheduleSimulator::finishTime(SimTaskId task) const
+{
+    PB_ASSERT(ran_, "run() must be called first");
+    PB_ASSERT(task >= 0 && task < static_cast<SimTaskId>(tasks_.size()),
+              "task id out of range");
+    return tasks_[task].finish;
+}
+
+} // namespace sim
+} // namespace petabricks

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Discrete-event simulator for heterogeneous task schedules.
+ *
+ * The runtime (src/runtime) executes task DAGs for real; this simulator
+ * *replays* the same DAG shape against a MachineProfile to produce a
+ * deterministic makespan on the paper's machines. Resources mirror the
+ * runtime's structure: a pool of CPU workers (work-stealing is modeled as
+ * greedy list scheduling, which matches its steady-state behavior), a
+ * single in-order GPU queue served by the GPU management thread, and a
+ * transfer engine that overlaps copies with kernel execution (the paper's
+ * non-blocking copy design). On machines whose OpenCL device shares the
+ * host CPU (Server), OpenCL tasks occupy the CPU pool instead.
+ */
+
+#ifndef PETABRICKS_SIM_SCHED_SIM_H
+#define PETABRICKS_SIM_SCHED_SIM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace petabricks {
+namespace sim {
+
+/** Execution resource a simulated task occupies. */
+enum class SimResource
+{
+    /** One slot of the CPU worker pool. */
+    CpuWorker,
+    /** The whole CPU pool at once (parallel-for style native tasks). */
+    CpuPool,
+    /** The in-order OpenCL command queue. */
+    GpuQueue,
+    /** The host<->device DMA engine. */
+    Transfer,
+    /** Zero-duration scheduling marker (prepare tasks, joins). */
+    None,
+};
+
+/** Handle to a task added to the simulator. */
+using SimTaskId = int32_t;
+
+/**
+ * Greedy list-scheduling discrete-event simulator.
+ *
+ * Tasks are released when all dependencies complete and dispatched in
+ * release order to the first free slot of their resource.
+ */
+class ScheduleSimulator
+{
+  public:
+    /**
+     * @param cpuWorkers number of CPU worker slots.
+     * @param oclSharesCpu if true, GpuQueue tasks also consume the whole
+     *        CPU pool while running (CPU OpenCL runtime on Server).
+     */
+    explicit ScheduleSimulator(int cpuWorkers, bool oclSharesCpu = false);
+
+    /** Convenience: size the pool from a machine profile. */
+    explicit ScheduleSimulator(const MachineProfile &machine);
+
+    /**
+     * Add a task.
+     *
+     * @param resource where the task runs.
+     * @param seconds execution time on that resource.
+     * @param deps tasks that must complete first.
+     * @param label optional name for tracing.
+     * @return id usable as a dependency of later tasks.
+     */
+    SimTaskId addTask(SimResource resource, double seconds,
+                      const std::vector<SimTaskId> &deps = {},
+                      std::string label = "");
+
+    /**
+     * Run to completion.
+     * @return makespan in seconds (0 for an empty DAG).
+     */
+    double run();
+
+    /** Completion time of @p task; only valid after run(). */
+    double finishTime(SimTaskId task) const;
+
+    /** Busy time accumulated on the CPU pool, for utilization checks. */
+    double cpuBusySeconds() const { return cpuBusy_; }
+
+    /** Busy time accumulated on the GPU queue. */
+    double gpuBusySeconds() const { return gpuBusy_; }
+
+    size_t taskCount() const { return tasks_.size(); }
+
+  private:
+    struct TaskRecord
+    {
+        SimResource resource;
+        double seconds;
+        std::vector<SimTaskId> dependents;
+        int remainingDeps;
+        double finish = -1.0;
+        std::string label;
+    };
+
+    int cpuWorkers_;
+    bool oclSharesCpu_;
+    std::vector<TaskRecord> tasks_;
+    double cpuBusy_ = 0.0;
+    double gpuBusy_ = 0.0;
+    bool ran_ = false;
+};
+
+} // namespace sim
+} // namespace petabricks
+
+#endif // PETABRICKS_SIM_SCHED_SIM_H

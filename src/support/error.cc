@@ -1,0 +1,32 @@
+#include "support/error.h"
+
+namespace petabricks {
+namespace detail {
+
+namespace {
+
+std::string
+decorate(const char *kind, const char *file, int line,
+         const std::string &msg)
+{
+    std::ostringstream oss;
+    oss << kind << " at " << file << ":" << line << ": " << msg;
+    return oss.str();
+}
+
+} // namespace
+
+void
+throwFatal(const char *file, int line, const std::string &msg)
+{
+    throw FatalError(decorate("fatal", file, line, msg));
+}
+
+void
+throwPanic(const char *file, int line, const std::string &msg)
+{
+    throw PanicError(decorate("panic", file, line, msg));
+}
+
+} // namespace detail
+} // namespace petabricks

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Error reporting primitives, following the gem5 fatal/panic split.
+ *
+ * panic() is for internal invariant violations (bugs in this library);
+ * fatal() is for user errors (bad configuration, invalid arguments).
+ */
+
+#ifndef PETABRICKS_SUPPORT_ERROR_H
+#define PETABRICKS_SUPPORT_ERROR_H
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace petabricks {
+
+/** Exception thrown for user-caused errors (bad config, bad arguments). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Exception thrown for internal invariant violations (library bugs). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+namespace detail {
+
+[[noreturn]] void throwFatal(const char *file, int line,
+                             const std::string &msg);
+[[noreturn]] void throwPanic(const char *file, int line,
+                             const std::string &msg);
+
+} // namespace detail
+
+} // namespace petabricks
+
+/** Report an unrecoverable user error (bad config / arguments). */
+#define PB_FATAL(msg)                                                       \
+    do {                                                                    \
+        std::ostringstream pb_oss_;                                         \
+        pb_oss_ << msg;                                                     \
+        ::petabricks::detail::throwFatal(__FILE__, __LINE__,                \
+                                         pb_oss_.str());                    \
+    } while (0)
+
+/** Report an internal invariant violation (a bug in this library). */
+#define PB_PANIC(msg)                                                       \
+    do {                                                                    \
+        std::ostringstream pb_oss_;                                         \
+        pb_oss_ << msg;                                                     \
+        ::petabricks::detail::throwPanic(__FILE__, __LINE__,                \
+                                         pb_oss_.str());                    \
+    } while (0)
+
+/** Assert an internal invariant; always enabled (cheap checks only). */
+#define PB_ASSERT(cond, msg)                                                \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            PB_PANIC("assertion failed: " #cond ": " << msg);               \
+        }                                                                   \
+    } while (0)
+
+#endif // PETABRICKS_SUPPORT_ERROR_H

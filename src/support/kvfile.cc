@@ -1,0 +1,202 @@
+#include "support/kvfile.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace petabricks {
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    size_t begin = s.find_first_not_of(" \t\r\n");
+    if (begin == std::string::npos)
+        return "";
+    size_t end = s.find_last_not_of(" \t\r\n");
+    return s.substr(begin, end - begin + 1);
+}
+
+} // namespace
+
+void
+KvFile::set(const std::string &key, const std::string &value)
+{
+    PB_ASSERT(key.find('=') == std::string::npos &&
+                  key.find('\n') == std::string::npos,
+              "invalid key '" << key << "'");
+    PB_ASSERT(value.find('\n') == std::string::npos,
+              "value for '" << key << "' contains newline");
+    entries_[key] = value;
+}
+
+void
+KvFile::setInt(const std::string &key, int64_t value)
+{
+    set(key, std::to_string(value));
+}
+
+void
+KvFile::setDouble(const std::string &key, double value)
+{
+    std::ostringstream oss;
+    oss.precision(17);
+    oss << value;
+    set(key, oss.str());
+}
+
+void
+KvFile::setIntList(const std::string &key,
+                   const std::vector<int64_t> &values)
+{
+    std::ostringstream oss;
+    for (size_t i = 0; i < values.size(); ++i) {
+        if (i)
+            oss << ",";
+        oss << values[i];
+    }
+    set(key, oss.str());
+}
+
+bool
+KvFile::has(const std::string &key) const
+{
+    return entries_.count(key) != 0;
+}
+
+const std::string &
+KvFile::get(const std::string &key) const
+{
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        PB_FATAL("missing config key '" << key << "'");
+    return it->second;
+}
+
+int64_t
+KvFile::getInt(const std::string &key) const
+{
+    const std::string &raw = get(key);
+    try {
+        size_t pos = 0;
+        int64_t value = std::stoll(raw, &pos);
+        if (pos != raw.size())
+            PB_FATAL("trailing junk in int key '" << key << "': " << raw);
+        return value;
+    } catch (const std::invalid_argument &) {
+        PB_FATAL("key '" << key << "' is not an integer: " << raw);
+    } catch (const std::out_of_range &) {
+        PB_FATAL("key '" << key << "' out of int64 range: " << raw);
+    }
+}
+
+double
+KvFile::getDouble(const std::string &key) const
+{
+    const std::string &raw = get(key);
+    try {
+        size_t pos = 0;
+        double value = std::stod(raw, &pos);
+        if (pos != raw.size())
+            PB_FATAL("trailing junk in double key '" << key << "': " << raw);
+        return value;
+    } catch (const std::invalid_argument &) {
+        PB_FATAL("key '" << key << "' is not a double: " << raw);
+    } catch (const std::out_of_range &) {
+        PB_FATAL("key '" << key << "' out of double range: " << raw);
+    }
+}
+
+std::vector<int64_t>
+KvFile::getIntList(const std::string &key) const
+{
+    const std::string &raw = get(key);
+    std::vector<int64_t> values;
+    if (trim(raw).empty())
+        return values;
+    std::istringstream iss(raw);
+    std::string item;
+    while (std::getline(iss, item, ',')) {
+        try {
+            values.push_back(std::stoll(trim(item)));
+        } catch (const std::exception &) {
+            PB_FATAL("bad int list element in '" << key << "': " << item);
+        }
+    }
+    return values;
+}
+
+int64_t
+KvFile::getIntOr(const std::string &key, int64_t fallback) const
+{
+    return has(key) ? getInt(key) : fallback;
+}
+
+std::vector<std::string>
+KvFile::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &kv : entries_)
+        out.push_back(kv.first);
+    return out;
+}
+
+std::string
+KvFile::toString() const
+{
+    std::ostringstream oss;
+    for (const auto &kv : entries_)
+        oss << kv.first << " = " << kv.second << "\n";
+    return oss.str();
+}
+
+KvFile
+KvFile::fromString(const std::string &text)
+{
+    KvFile kv;
+    std::istringstream iss(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(iss, line)) {
+        ++lineno;
+        std::string stripped = trim(line);
+        if (stripped.empty() || stripped[0] == '#')
+            continue;
+        size_t eq = stripped.find('=');
+        if (eq == std::string::npos)
+            PB_FATAL("config line " << lineno << " has no '=': " << line);
+        std::string key = trim(stripped.substr(0, eq));
+        std::string value = trim(stripped.substr(eq + 1));
+        if (key.empty())
+            PB_FATAL("config line " << lineno << " has empty key");
+        kv.entries_[key] = value;
+    }
+    return kv;
+}
+
+void
+KvFile::save(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        PB_FATAL("cannot open '" << path << "' for writing");
+    out << toString();
+    if (!out)
+        PB_FATAL("write to '" << path << "' failed");
+}
+
+KvFile
+KvFile::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        PB_FATAL("cannot open '" << path << "' for reading");
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return fromString(oss.str());
+}
+
+} // namespace petabricks

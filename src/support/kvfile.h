@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Flat key/value text files.
+ *
+ * The PetaBricks autotuner communicates with binaries via a *choice
+ * configuration file* (Section 3, Figure 3). We keep the same plain-text
+ * model: one `key = value` per line, '#' comments, stable ordering so
+ * files diff cleanly across tuner generations.
+ */
+
+#ifndef PETABRICKS_SUPPORT_KVFILE_H
+#define PETABRICKS_SUPPORT_KVFILE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace petabricks {
+
+/** Ordered string->string map with typed accessors and file round-trip. */
+class KvFile
+{
+  public:
+    /** Set (or overwrite) a key. */
+    void set(const std::string &key, const std::string &value);
+    void setInt(const std::string &key, int64_t value);
+    void setDouble(const std::string &key, double value);
+    void setIntList(const std::string &key,
+                    const std::vector<int64_t> &values);
+
+    /** True if @p key is present. */
+    bool has(const std::string &key) const;
+
+    /** Value of @p key; fatal error if absent. */
+    const std::string &get(const std::string &key) const;
+    int64_t getInt(const std::string &key) const;
+    double getDouble(const std::string &key) const;
+    std::vector<int64_t> getIntList(const std::string &key) const;
+
+    /** Value of @p key, or @p fallback if absent. */
+    int64_t getIntOr(const std::string &key, int64_t fallback) const;
+
+    /** All keys in sorted order. */
+    std::vector<std::string> keys() const;
+
+    size_t size() const { return entries_.size(); }
+
+    /** Render to the on-disk text format. */
+    std::string toString() const;
+
+    /** Parse from the on-disk text format; fatal error on bad syntax. */
+    static KvFile fromString(const std::string &text);
+
+    /** Write to @p path; fatal error on I/O failure. */
+    void save(const std::string &path) const;
+
+    /** Read from @p path; fatal error on I/O failure or bad syntax. */
+    static KvFile load(const std::string &path);
+
+    bool operator==(const KvFile &other) const = default;
+
+  private:
+    std::map<std::string, std::string> entries_;
+};
+
+} // namespace petabricks
+
+#endif // PETABRICKS_SUPPORT_KVFILE_H

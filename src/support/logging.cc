@@ -1,0 +1,52 @@
+#include "support/logging.h"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace petabricks {
+
+namespace {
+
+std::atomic<int> globalLevel{static_cast<int>(LogLevel::Warn)};
+std::mutex logMutex;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Silent: return "silent";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(
+        globalLevel.load(std::memory_order_relaxed));
+}
+
+namespace detail {
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(logMutex);
+    std::cerr << "[" << levelName(level) << "] " << msg << "\n";
+}
+
+} // namespace detail
+
+} // namespace petabricks

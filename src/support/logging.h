@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Minimal leveled logger. Thread safe, writes to stderr.
+ *
+ * Levels follow gem5's message taxonomy: inform() for status, warn() for
+ * suspicious-but-survivable conditions. Verbosity is process global and
+ * defaults to Warn so tests and benchmarks stay quiet.
+ */
+
+#ifndef PETABRICKS_SUPPORT_LOGGING_H
+#define PETABRICKS_SUPPORT_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace petabricks {
+
+/** Severity of a log message. */
+enum class LogLevel
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Silent = 3,
+};
+
+/** Set the global verbosity threshold; messages below it are dropped. */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity threshold. */
+LogLevel logLevel();
+
+namespace detail {
+
+void logMessage(LogLevel level, const std::string &msg);
+
+} // namespace detail
+
+} // namespace petabricks
+
+#define PB_LOG_AT(level, msg)                                               \
+    do {                                                                    \
+        if (static_cast<int>(level) >=                                      \
+            static_cast<int>(::petabricks::logLevel())) {                   \
+            std::ostringstream pb_log_oss_;                                 \
+            pb_log_oss_ << msg;                                             \
+            ::petabricks::detail::logMessage(level, pb_log_oss_.str());     \
+        }                                                                   \
+    } while (0)
+
+/** Developer tracing; off by default. */
+#define PB_DEBUG(msg) PB_LOG_AT(::petabricks::LogLevel::Debug, msg)
+/** Status messages a user may care about. */
+#define PB_INFORM(msg) PB_LOG_AT(::petabricks::LogLevel::Info, msg)
+/** Suspicious conditions that do not stop execution. */
+#define PB_WARN(msg) PB_LOG_AT(::petabricks::LogLevel::Warn, msg)
+
+#endif // PETABRICKS_SUPPORT_LOGGING_H

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Dense 2-D matrices with shared storage and region views.
+ *
+ * Matrices use shared, reference-counted storage so that views handed to
+ * rules, tasks, and the GPU memory manager stay valid without copying.
+ * Each storage allocation carries a unique id; the GPU memory table
+ * (runtime/gpu_memory.h) keys its residency map on (storageId, region).
+ */
+
+#ifndef PETABRICKS_SUPPORT_MATRIX_H
+#define PETABRICKS_SUPPORT_MATRIX_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "support/error.h"
+#include "support/region.h"
+
+namespace petabricks {
+
+namespace detail {
+
+/** Process-unique id for a matrix storage allocation. */
+inline uint64_t
+nextStorageId()
+{
+    static std::atomic<uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace detail
+
+template <typename T> class MatrixView;
+template <typename T> class ConstMatrixView;
+
+/**
+ * Owning, shared, row-major 2-D matrix.
+ *
+ * Copying a Matrix is shallow (shares storage), matching the PetaBricks
+ * runtime where many tasks reference disjoint regions of one allocation.
+ * Use clone() for a deep copy.
+ */
+template <typename T>
+class Matrix
+{
+  public:
+    Matrix() : Matrix(0, 0) {}
+
+    /** Allocate a w x h matrix; contents value-initialized. */
+    Matrix(int64_t w, int64_t h)
+        : storage_(std::make_shared<Storage>(w * h)), w_(w), h_(h)
+    {
+        PB_ASSERT(w >= 0 && h >= 0, "matrix dims must be non-negative");
+    }
+
+    /** Allocate a 1-D matrix of length n (height 1). */
+    static Matrix vector(int64_t n) { return Matrix(n, 1); }
+
+    int64_t width() const { return w_; }
+    int64_t height() const { return h_; }
+    int64_t size() const { return w_ * h_; }
+    Region fullRegion() const { return Region::full(w_, h_); }
+
+    /** Unique id of the underlying allocation. */
+    uint64_t storageId() const { return storage_->id; }
+
+    /** Bytes occupied by the full matrix. */
+    int64_t bytes() const { return size() * static_cast<int64_t>(sizeof(T)); }
+
+    T &
+    at(int64_t x, int64_t y)
+    {
+        PB_ASSERT(x >= 0 && x < w_ && y >= 0 && y < h_,
+                  "index (" << x << "," << y << ") out of " << w_ << "x"
+                            << h_);
+        return storage_->cells[y * w_ + x];
+    }
+
+    const T &
+    at(int64_t x, int64_t y) const
+    {
+        PB_ASSERT(x >= 0 && x < w_ && y >= 0 && y < h_,
+                  "index (" << x << "," << y << ") out of " << w_ << "x"
+                            << h_);
+        return storage_->cells[y * w_ + x];
+    }
+
+    /** 1-D accessor (for vectors / flat iteration). */
+    T &operator[](int64_t i) { return storage_->cells[i]; }
+    const T &operator[](int64_t i) const { return storage_->cells[i]; }
+
+    T *data() { return storage_->cells.data(); }
+    const T *data() const { return storage_->cells.data(); }
+
+    /** Deep copy with fresh storage. */
+    Matrix
+    clone() const
+    {
+        Matrix copy(w_, h_);
+        copy.storage_->cells = storage_->cells;
+        return copy;
+    }
+
+    /** Mutable view of @p region (must lie inside the matrix). */
+    MatrixView<T> view(const Region &region);
+
+    /** Read-only view of @p region (must lie inside the matrix). */
+    ConstMatrixView<T> view(const Region &region) const;
+
+    /** Mutable view of the whole matrix. */
+    MatrixView<T> view() { return view(fullRegion()); }
+    ConstMatrixView<T> view() const { return view(fullRegion()); }
+
+    bool
+    sameStorage(const Matrix &other) const
+    {
+        return storage_ == other.storage_;
+    }
+
+  private:
+    struct Storage
+    {
+        explicit Storage(int64_t n)
+            : id(detail::nextStorageId()), cells(static_cast<size_t>(n))
+        {}
+        uint64_t id;
+        std::vector<T> cells;
+    };
+
+    std::shared_ptr<Storage> storage_;
+    int64_t w_;
+    int64_t h_;
+
+    friend class MatrixView<T>;
+    friend class ConstMatrixView<T>;
+};
+
+/**
+ * Mutable window into a region of a Matrix. Indices are region-local:
+ * at(0,0) is the region's top-left cell.
+ */
+template <typename T>
+class MatrixView
+{
+  public:
+    MatrixView(Matrix<T> parent, const Region &region)
+        : parent_(std::move(parent)), region_(region)
+    {
+        PB_ASSERT(parent_.fullRegion().contains(region),
+                  "view region " << region << " outside matrix");
+    }
+
+    int64_t width() const { return region_.w; }
+    int64_t height() const { return region_.h; }
+    const Region &region() const { return region_; }
+    uint64_t storageId() const { return parent_.storageId(); }
+    Matrix<T> &parent() { return parent_; }
+
+    T &
+    at(int64_t x, int64_t y)
+    {
+        return parent_.at(region_.x + x, region_.y + y);
+    }
+
+    const T &
+    at(int64_t x, int64_t y) const
+    {
+        return parent_.at(region_.x + x, region_.y + y);
+    }
+
+  private:
+    Matrix<T> parent_;
+    Region region_;
+};
+
+/** Read-only window into a region of a Matrix. */
+template <typename T>
+class ConstMatrixView
+{
+  public:
+    ConstMatrixView(Matrix<T> parent, const Region &region)
+        : parent_(std::move(parent)), region_(region)
+    {
+        PB_ASSERT(parent_.fullRegion().contains(region),
+                  "view region " << region << " outside matrix");
+    }
+
+    int64_t width() const { return region_.w; }
+    int64_t height() const { return region_.h; }
+    const Region &region() const { return region_; }
+    uint64_t storageId() const { return parent_.storageId(); }
+    const Matrix<T> &parent() const { return parent_; }
+
+    const T &
+    at(int64_t x, int64_t y) const
+    {
+        return parent_.at(region_.x + x, region_.y + y);
+    }
+
+  private:
+    Matrix<T> parent_;
+    Region region_;
+};
+
+template <typename T>
+MatrixView<T>
+Matrix<T>::view(const Region &region)
+{
+    return MatrixView<T>(*this, region);
+}
+
+template <typename T>
+ConstMatrixView<T>
+Matrix<T>::view(const Region &region) const
+{
+    return ConstMatrixView<T>(*this, region);
+}
+
+/** Element type used throughout the benchmarks (paper's ElementT). */
+using ElementT = double;
+using MatrixD = Matrix<ElementT>;
+
+} // namespace petabricks
+
+#endif // PETABRICKS_SUPPORT_MATRIX_H

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Rectangular regions of 2-D matrices.
+ *
+ * The paper's terminology (Section 4.3): a *matrix* is an n-dimensional
+ * dense array that is an input or output of a transform; a *region* is a
+ * part of a matrix defined by a start coordinate and size that is an input
+ * or output of a rule. This library specializes to the 2-D case (1-D data
+ * uses height 1), which covers all seven paper benchmarks.
+ */
+
+#ifndef PETABRICKS_SUPPORT_REGION_H
+#define PETABRICKS_SUPPORT_REGION_H
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <vector>
+
+namespace petabricks {
+
+/** Half-open rectangular region [x, x+w) x [y, y+h) of a matrix. */
+struct Region
+{
+    int64_t x = 0;
+    int64_t y = 0;
+    int64_t w = 0;
+    int64_t h = 0;
+
+    Region() = default;
+    Region(int64_t x_, int64_t y_, int64_t w_, int64_t h_)
+        : x(x_), y(y_), w(w_), h(h_)
+    {}
+
+    /** Region covering a full w x h matrix. */
+    static Region full(int64_t w, int64_t h) { return Region(0, 0, w, h); }
+
+    /** Number of cells. */
+    int64_t area() const { return w * h; }
+
+    bool empty() const { return w <= 0 || h <= 0; }
+
+    /** True if @p other lies entirely within this region. */
+    bool
+    contains(const Region &other) const
+    {
+        return other.x >= x && other.y >= y && other.x + other.w <= x + w &&
+               other.y + other.h <= y + h;
+    }
+
+    /** True if the point (px, py) lies within this region. */
+    bool
+    containsPoint(int64_t px, int64_t py) const
+    {
+        return px >= x && px < x + w && py >= y && py < y + h;
+    }
+
+    /** True if the two regions share at least one cell. */
+    bool
+    intersects(const Region &other) const
+    {
+        return !intersect(other).empty();
+    }
+
+    /** Intersection (possibly empty) of the two regions. */
+    Region
+    intersect(const Region &other) const
+    {
+        int64_t x0 = std::max(x, other.x);
+        int64_t y0 = std::max(y, other.y);
+        int64_t x1 = std::min(x + w, other.x + other.w);
+        int64_t y1 = std::min(y + h, other.y + other.h);
+        return Region(x0, y0, std::max<int64_t>(0, x1 - x0),
+                      std::max<int64_t>(0, y1 - y0));
+    }
+
+    /** Smallest region containing both inputs. */
+    Region
+    unionBound(const Region &other) const
+    {
+        if (empty())
+            return other;
+        if (other.empty())
+            return *this;
+        int64_t x0 = std::min(x, other.x);
+        int64_t y0 = std::min(y, other.y);
+        int64_t x1 = std::max(x + w, other.x + other.w);
+        int64_t y1 = std::max(y + h, other.y + other.h);
+        return Region(x0, y0, x1 - x0, y1 - y0);
+    }
+
+    bool
+    operator==(const Region &other) const
+    {
+        return x == other.x && y == other.y && w == other.w && h == other.h;
+    }
+
+    bool operator!=(const Region &other) const { return !(*this == other); }
+};
+
+inline std::ostream &
+operator<<(std::ostream &os, const Region &r)
+{
+    return os << "[" << r.x << "," << r.y << " " << r.w << "x" << r.h << "]";
+}
+
+/**
+ * Subtract @p b from @p a: the parts of @p a not covered by @p b, as at
+ * most four disjoint rectangles. Used by the GPU memory table to track
+ * which parts of a matrix are valid on which side.
+ */
+inline std::vector<Region>
+subtractRegion(const Region &a, const Region &b)
+{
+    Region cut = a.intersect(b);
+    if (cut.empty())
+        return {a};
+    std::vector<Region> rest;
+    // Band above the cut.
+    if (cut.y > a.y)
+        rest.emplace_back(a.x, a.y, a.w, cut.y - a.y);
+    // Band below the cut.
+    if (cut.y + cut.h < a.y + a.h) {
+        rest.emplace_back(a.x, cut.y + cut.h, a.w,
+                          a.y + a.h - (cut.y + cut.h));
+    }
+    // Left and right slivers beside the cut.
+    if (cut.x > a.x)
+        rest.emplace_back(a.x, cut.y, cut.x - a.x, cut.h);
+    if (cut.x + cut.w < a.x + a.w) {
+        rest.emplace_back(cut.x + cut.w, cut.y, a.x + a.w - (cut.x + cut.w),
+                          cut.h);
+    }
+    return rest;
+}
+
+/** True if the union of @p pieces covers all of @p target. */
+inline bool
+regionsCover(const std::vector<Region> &pieces, const Region &target)
+{
+    if (target.empty())
+        return true;
+    std::vector<Region> uncovered{target};
+    for (const Region &piece : pieces) {
+        std::vector<Region> next;
+        for (const Region &hole : uncovered) {
+            auto parts = subtractRegion(hole, piece);
+            next.insert(next.end(), parts.begin(), parts.end());
+        }
+        uncovered.swap(next);
+        if (uncovered.empty())
+            return true;
+    }
+    return uncovered.empty();
+}
+
+/** Hash functor so regions can key unordered containers. */
+struct RegionHash
+{
+    size_t
+    operator()(const Region &r) const
+    {
+        size_t seed = std::hash<int64_t>()(r.x);
+        auto mix = [&seed](int64_t v) {
+            seed ^= std::hash<int64_t>()(v) + 0x9e3779b9 + (seed << 6) +
+                    (seed >> 2);
+        };
+        mix(r.y);
+        mix(r.w);
+        mix(r.h);
+        return seed;
+    }
+};
+
+} // namespace petabricks
+
+#endif // PETABRICKS_SUPPORT_REGION_H

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Deterministic random number generation for the autotuner and workloads.
+ *
+ * All randomized components (mutators, workload generators, victim
+ * selection in tests) draw from an explicitly seeded Rng so experiments
+ * are reproducible run-to-run, a requirement for regenerating the paper's
+ * figures deterministically.
+ */
+
+#ifndef PETABRICKS_SUPPORT_RNG_H
+#define PETABRICKS_SUPPORT_RNG_H
+
+#include <cstdint>
+#include <random>
+
+namespace petabricks {
+
+/**
+ * Seeded pseudo-random source wrapping a 64-bit Mersenne twister.
+ *
+ * Provides the distributions the autotuner needs, notably the lognormal
+ * scaling used by cutoff mutators (Section 5.2 of the paper: "a value is
+ * equally likely be halved as it is to be doubled").
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : engine_(seed) {}
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    uniformInt(int64_t lo, int64_t hi)
+    {
+        std::uniform_int_distribution<int64_t> dist(lo, hi);
+        return dist(engine_);
+    }
+
+    /** Uniform real in [lo, hi). */
+    double
+    uniformReal(double lo, double hi)
+    {
+        std::uniform_real_distribution<double> dist(lo, hi);
+        return dist(engine_);
+    }
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool
+    chance(double p)
+    {
+        std::bernoulli_distribution dist(p);
+        return dist(engine_);
+    }
+
+    /**
+     * Scale @p value by a lognormal factor with median 1.
+     *
+     * @param value value to scale; must be positive for a useful result.
+     * @param sigma spread; ln(2) makes halving and doubling one-sigma
+     *        events, matching the paper's mutator description.
+     */
+    int64_t
+    lognormalScale(int64_t value, double sigma = 0.6931471805599453)
+    {
+        std::lognormal_distribution<double> dist(0.0, sigma);
+        double scaled = static_cast<double>(value) * dist(engine_);
+        if (scaled < 1.0)
+            return 1;
+        return static_cast<int64_t>(scaled);
+    }
+
+    /** Underlying engine, for std::shuffle and custom distributions. */
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace petabricks
+
+#endif // PETABRICKS_SUPPORT_RNG_H

@@ -1,0 +1,61 @@
+#include "support/table.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace petabricks {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    PB_ASSERT(!header_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    PB_ASSERT(row.size() == header_.size(),
+              "row arity " << row.size() << " != header arity "
+                           << header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::toString() const
+{
+    std::vector<size_t> widths(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream oss;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            oss << std::left << std::setw(static_cast<int>(widths[c]))
+                << row[c];
+            oss << (c + 1 == row.size() ? "\n" : "  ");
+        }
+    };
+    emit(header_);
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 == widths.size() ? 0 : 2);
+    oss << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit(row);
+    return oss.str();
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+} // namespace petabricks

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Plain-text table rendering for the figure/table benchmark harnesses.
+ *
+ * Every bench binary reproduces a paper table or figure by printing the
+ * same rows/series the paper reports; TextTable keeps that output aligned
+ * and diff-friendly.
+ */
+
+#ifndef PETABRICKS_SUPPORT_TABLE_H
+#define PETABRICKS_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace petabricks {
+
+/** Column-aligned text table with a header row. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a data row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with padded columns and a rule under the header. */
+    std::string toString() const;
+
+    size_t rows() const { return rows_.size(); }
+
+    /** Format helper: fixed-precision double. */
+    static std::string num(double value, int precision = 3);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace petabricks
+
+#endif // PETABRICKS_SUPPORT_TABLE_H

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The evolutionary autotuning algorithm (paper Section 5.2).
+ *
+ * A population of candidate configurations is continually expanded by
+ * mutation and pruned by performance. Mutation is asexual (one parent
+ * per child) and a child is admitted only if it outperforms the parent
+ * it was created from. Testing input sizes grow exponentially, which
+ * exploits optimal substructure: selectors tuned at small sizes keep
+ * governing the small-size levels as larger sizes are explored.
+ *
+ * The tuner also keeps the Section 5.4 accounting: every test run is a
+ * fresh process whose OpenCL kernels must be JIT-compiled, softened by
+ * the IR cache. This models why autotuning took an average of 5.2 hours
+ * on the paper's systems (Figure 8) even though individual tests are
+ * fast, and why small-input tests are skipped.
+ */
+
+#ifndef PETABRICKS_TUNER_EVOLUTION_H
+#define PETABRICKS_TUNER_EVOLUTION_H
+
+#include <functional>
+#include <vector>
+
+#include "ocl/program_cache.h"
+#include "tuner/mutators.h"
+
+namespace petabricks {
+namespace tuner {
+
+/** Benchmark-provided evaluation hook. */
+class Evaluator
+{
+  public:
+    virtual ~Evaluator() = default;
+
+    /**
+     * Modeled execution seconds of @p config at @p inputSize; return
+     * +inf for configurations that are invalid or miss an accuracy
+     * target (variable-accuracy benchmarks).
+     */
+    virtual double evaluate(const Config &config, int64_t inputSize) = 0;
+
+    /**
+     * Source identities of the OpenCL kernels @p config JIT-compiles,
+     * for the tuning-time model. Default: none (CPU-only benchmark).
+     */
+    virtual std::vector<std::string>
+    kernelSources(const Config &config, int64_t inputSize)
+    {
+        (void)config;
+        (void)inputSize;
+        return {};
+    }
+};
+
+/** Search knobs. */
+struct TunerOptions
+{
+    int populationSize = 8;
+    int generationsPerSize = 6;
+
+    /** Smallest tested input size; smaller tests are skipped entirely
+     * because kernel compilation dominates them (Section 5.4). */
+    int64_t minInputSize = 64;
+    int64_t maxInputSize = 1 << 20;
+    int sizeGrowthFactor = 4; // exponential testing-size growth
+
+    /** Timing repetitions per evaluation. */
+    int trialsPerEvaluation = 2;
+
+    uint64_t seed = 20130316; // deterministic by default
+
+    /** JIT compile model parameters (from the machine profile). */
+    double kernelCompileSeconds = 1.6;
+    double irCacheSavings = 0.55;
+};
+
+/** Outcome of a tuning run. */
+struct TuningResult
+{
+    Config best;
+    double bestSeconds = 0.0;
+
+    /** Modeled wall-clock spent autotuning (tests + JIT compiles). */
+    double tuningSeconds = 0.0;
+    double compileSeconds = 0.0;
+
+    int64_t evaluations = 0;
+    int64_t mutationsAccepted = 0;
+    int64_t mutationsRejected = 0;
+};
+
+/** See file comment. */
+class EvolutionaryTuner
+{
+  public:
+    /**
+     * @param evaluator benchmark hook (must outlive the tuner).
+     * @param seedConfig structurally complete starting configuration.
+     */
+    EvolutionaryTuner(Evaluator &evaluator, Config seedConfig,
+                      TunerOptions options);
+
+    /** Run the search and return the champion. */
+    TuningResult run();
+
+  private:
+    struct Candidate
+    {
+        Config config;
+        double seconds = 0.0; // at the current input size
+    };
+
+    double measure(const Config &config, int64_t size);
+
+    Evaluator &evaluator_;
+    Config seed_;
+    TunerOptions options_;
+    Rng rng_;
+    ocl::ProgramCache compileModel_;
+    TuningResult report_;
+};
+
+} // namespace tuner
+} // namespace petabricks
+
+#endif // PETABRICKS_TUNER_EVOLUTION_H

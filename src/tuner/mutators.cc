@@ -1,0 +1,216 @@
+#include "tuner/mutators.h"
+
+#include "support/error.h"
+
+namespace petabricks {
+namespace tuner {
+
+namespace {
+
+class SelectorAddLevel : public Mutator
+{
+  public:
+    explicit SelectorAddLevel(std::string name) : name_(std::move(name)) {}
+
+    bool
+    apply(Config &config, Rng &rng, int64_t currentInputSize) const override
+    {
+        Selector &s = config.selector(name_);
+        if (s.levels() >= static_cast<size_t>(kSelectorLevels))
+            return false;
+        // Seed the new cutoff near the size under test, jittered
+        // lognormally so repeated applications spread out.
+        int64_t cutoff =
+            rng.lognormalScale(std::max<int64_t>(currentInputSize, 2));
+        int algorithm =
+            static_cast<int>(rng.uniformInt(0, s.algorithmCount() - 1));
+        s.insertLevel(cutoff, algorithm);
+        return true;
+    }
+
+    std::string name() const override { return "add-level:" + name_; }
+
+  private:
+    std::string name_;
+};
+
+class SelectorRemoveLevel : public Mutator
+{
+  public:
+    explicit SelectorRemoveLevel(std::string name) : name_(std::move(name))
+    {}
+
+    bool
+    apply(Config &config, Rng &rng, int64_t) const override
+    {
+        Selector &s = config.selector(name_);
+        if (s.levels() <= 1)
+            return false;
+        s.removeLevel(static_cast<size_t>(
+            rng.uniformInt(0, static_cast<int64_t>(s.levels()) - 1)));
+        return true;
+    }
+
+    std::string name() const override { return "remove-level:" + name_; }
+
+  private:
+    std::string name_;
+};
+
+class SelectorChangeAlgorithm : public Mutator
+{
+  public:
+    explicit SelectorChangeAlgorithm(std::string name)
+        : name_(std::move(name))
+    {}
+
+    bool
+    apply(Config &config, Rng &rng, int64_t) const override
+    {
+        Selector &s = config.selector(name_);
+        if (s.algorithmCount() <= 1)
+            return false;
+        size_t level = static_cast<size_t>(
+            rng.uniformInt(0, static_cast<int64_t>(s.levels()) - 1));
+        // Uniform redraw (paper: "values choosing from a set of
+        // choices ... are chosen uniform randomly when mutated").
+        s.setAlgorithm(level, static_cast<int>(rng.uniformInt(
+                                  0, s.algorithmCount() - 1)));
+        return true;
+    }
+
+    std::string name() const override { return "change-alg:" + name_; }
+
+  private:
+    std::string name_;
+};
+
+class SelectorScaleCutoff : public Mutator
+{
+  public:
+    explicit SelectorScaleCutoff(std::string name) : name_(std::move(name))
+    {}
+
+    bool
+    apply(Config &config, Rng &rng, int64_t) const override
+    {
+        Selector &s = config.selector(name_);
+        if (s.cutoffs().empty())
+            return false;
+        size_t index = static_cast<size_t>(rng.uniformInt(
+            0, static_cast<int64_t>(s.cutoffs().size()) - 1));
+        // Lognormal scaling: halving as likely as doubling.
+        s.setCutoff(index, rng.lognormalScale(s.cutoffs()[index]));
+        return true;
+    }
+
+    std::string name() const override { return "scale-cutoff:" + name_; }
+
+  private:
+    std::string name_;
+};
+
+class TunableLognormal : public Mutator
+{
+  public:
+    explicit TunableLognormal(std::string name) : name_(std::move(name)) {}
+
+    bool
+    apply(Config &config, Rng &rng, int64_t) const override
+    {
+        Tunable &t = config.tunable(name_);
+        int64_t next = t.clamp(rng.lognormalScale(std::max<int64_t>(
+            t.value, 1)));
+        if (next == t.value)
+            return false;
+        t.value = next;
+        return true;
+    }
+
+    std::string name() const override { return "lognormal:" + name_; }
+
+  private:
+    std::string name_;
+};
+
+class TunableUniform : public Mutator
+{
+  public:
+    explicit TunableUniform(std::string name) : name_(std::move(name)) {}
+
+    bool
+    apply(Config &config, Rng &rng, int64_t) const override
+    {
+        Tunable &t = config.tunable(name_);
+        if (t.maxValue == t.minValue)
+            return false;
+        t.value = rng.uniformInt(t.minValue, t.maxValue);
+        return true;
+    }
+
+    std::string name() const override { return "uniform:" + name_; }
+
+  private:
+    std::string name_;
+};
+
+} // namespace
+
+MutatorPtr
+makeSelectorAddLevel(std::string selectorName)
+{
+    return std::make_unique<SelectorAddLevel>(std::move(selectorName));
+}
+
+MutatorPtr
+makeSelectorRemoveLevel(std::string selectorName)
+{
+    return std::make_unique<SelectorRemoveLevel>(std::move(selectorName));
+}
+
+MutatorPtr
+makeSelectorChangeAlgorithm(std::string selectorName)
+{
+    return std::make_unique<SelectorChangeAlgorithm>(
+        std::move(selectorName));
+}
+
+MutatorPtr
+makeSelectorScaleCutoff(std::string selectorName)
+{
+    return std::make_unique<SelectorScaleCutoff>(std::move(selectorName));
+}
+
+MutatorPtr
+makeTunableLognormal(std::string tunableName)
+{
+    return std::make_unique<TunableLognormal>(std::move(tunableName));
+}
+
+MutatorPtr
+makeTunableUniform(std::string tunableName)
+{
+    return std::make_unique<TunableUniform>(std::move(tunableName));
+}
+
+std::vector<MutatorPtr>
+generateMutators(const Config &config)
+{
+    std::vector<MutatorPtr> mutators;
+    for (const std::string &name : config.selectorNames()) {
+        mutators.push_back(makeSelectorAddLevel(name));
+        mutators.push_back(makeSelectorRemoveLevel(name));
+        mutators.push_back(makeSelectorChangeAlgorithm(name));
+        mutators.push_back(makeSelectorScaleCutoff(name));
+    }
+    for (const std::string &name : config.tunableNames()) {
+        if (config.tunable(name).sizeLike)
+            mutators.push_back(makeTunableLognormal(name));
+        else
+            mutators.push_back(makeTunableUniform(name));
+    }
+    return mutators;
+}
+
+} // namespace tuner
+} // namespace petabricks

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Mutation operators (paper Section 5.2).
+ *
+ * "Mutators are functions that create a new algorithm configuration by
+ * changing an existing configuration. The set of mutator functions is
+ * different for each program, and is generated fully automatically with
+ * the static analysis information extracted by the compiler."
+ *
+ * Three families, as in the paper:
+ *  - selector manipulation: add, remove, or change a level of a
+ *    specific selector;
+ *  - cutoff/size scaling: values compared against input sizes are
+ *    scaled by a lognormal factor (halving as likely as doubling);
+ *  - tunable manipulation: non-size tunables are resampled uniformly.
+ */
+
+#ifndef PETABRICKS_TUNER_MUTATORS_H
+#define PETABRICKS_TUNER_MUTATORS_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+#include "tuner/config.h"
+
+namespace petabricks {
+namespace tuner {
+
+/** A configuration mutation operator. */
+class Mutator
+{
+  public:
+    virtual ~Mutator() = default;
+
+    /**
+     * Mutate @p config in place.
+     * @param currentInputSize the size the tuner is currently testing;
+     *        new cutoffs are seeded near it.
+     * @return false if the mutation was a no-op (e.g. removing a level
+     *         from a single-level selector).
+     */
+    virtual bool apply(Config &config, Rng &rng,
+                       int64_t currentInputSize) const = 0;
+
+    virtual std::string name() const = 0;
+};
+
+using MutatorPtr = std::unique_ptr<Mutator>;
+
+/** Add a level to a selector at a lognormal-scaled cutoff. */
+MutatorPtr makeSelectorAddLevel(std::string selectorName);
+
+/** Remove a random level from a selector. */
+MutatorPtr makeSelectorRemoveLevel(std::string selectorName);
+
+/** Re-draw the algorithm of a random level uniformly. */
+MutatorPtr makeSelectorChangeAlgorithm(std::string selectorName);
+
+/** Scale a random cutoff of a selector lognormally. */
+MutatorPtr makeSelectorScaleCutoff(std::string selectorName);
+
+/** Scale a size-like tunable lognormally. */
+MutatorPtr makeTunableLognormal(std::string tunableName);
+
+/** Resample a categorical tunable uniformly from its range. */
+MutatorPtr makeTunableUniform(std::string tunableName);
+
+/**
+ * Generate the full mutator set for @p config — the automatic
+ * per-program generation step: four mutators per selector plus one per
+ * tunable (lognormal for size-like, uniform otherwise).
+ */
+std::vector<MutatorPtr> generateMutators(const Config &config);
+
+} // namespace tuner
+} // namespace petabricks
+
+#endif // PETABRICKS_TUNER_MUTATORS_H

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "blas/blas.h"
+#include "support/rng.h"
+
+namespace petabricks {
+namespace blas {
+namespace {
+
+MatrixD
+randomMatrix(int64_t w, int64_t h, Rng &rng)
+{
+    MatrixD m(w, h);
+    for (int64_t i = 0; i < m.size(); ++i)
+        m[i] = rng.uniformReal(-1.0, 1.0);
+    return m;
+}
+
+MatrixD
+naiveGemm(const MatrixD &a, const MatrixD &b)
+{
+    MatrixD c(b.width(), a.height());
+    for (int64_t i = 0; i < a.height(); ++i)
+        for (int64_t j = 0; j < b.width(); ++j) {
+            double sum = 0.0;
+            for (int64_t p = 0; p < a.width(); ++p)
+                sum += a.at(p, i) * b.at(j, p);
+            c.at(j, i) = sum;
+        }
+    return c;
+}
+
+TEST(Blas, GemmMatchesNaive)
+{
+    Rng rng(1);
+    MatrixD a = randomMatrix(37, 29, rng);
+    MatrixD b = randomMatrix(41, 37, rng);
+    MatrixD c(41, 29);
+    gemm(a, b, c);
+    MatrixD ref = naiveGemm(a, b);
+    EXPECT_LT(frobeniusDiff(c, ref), 1e-10);
+}
+
+TEST(Blas, GemmBlockBoundary)
+{
+    // Sizes straddling the 64-wide cache block.
+    Rng rng(2);
+    for (int64_t n : {63, 64, 65, 130}) {
+        MatrixD a = randomMatrix(n, n, rng);
+        MatrixD b = randomMatrix(n, n, rng);
+        MatrixD c(n, n);
+        gemm(a, b, c);
+        EXPECT_LT(frobeniusDiff(c, naiveGemm(a, b)), 1e-9) << n;
+    }
+}
+
+TEST(Blas, GemmIntoWritesSubRegion)
+{
+    Rng rng(3);
+    MatrixD a = randomMatrix(8, 8, rng);
+    MatrixD b = randomMatrix(8, 8, rng);
+    MatrixD big(20, 20);
+    big.at(0, 0) = 99.0;
+    gemmInto(a, b, big, 10, 12);
+    MatrixD ref = naiveGemm(a, b);
+    for (int64_t y = 0; y < 8; ++y)
+        for (int64_t x = 0; x < 8; ++x)
+            EXPECT_NEAR(big.at(10 + x, 12 + y), ref.at(x, y), 1e-10);
+    EXPECT_EQ(big.at(0, 0), 99.0); // untouched outside the region
+}
+
+TEST(Blas, GemmAccumulate)
+{
+    Rng rng(4);
+    MatrixD a = randomMatrix(16, 16, rng);
+    MatrixD b = randomMatrix(16, 16, rng);
+    MatrixD c(16, 16);
+    gemm(a, b, c);
+    MatrixD acc = c.clone();
+    gemmAccumulate(a, b, acc);
+    for (int64_t i = 0; i < c.size(); ++i)
+        EXPECT_NEAR(acc[i], 2.0 * c[i], 1e-10);
+}
+
+TEST(Blas, Transpose)
+{
+    Rng rng(5);
+    MatrixD a = randomMatrix(7, 4, rng);
+    MatrixD t(4, 7);
+    transpose(a, t);
+    for (int64_t y = 0; y < 4; ++y)
+        for (int64_t x = 0; x < 7; ++x)
+            EXPECT_EQ(t.at(y, x), a.at(x, y));
+}
+
+TEST(Blas, GemvMatchesGemm)
+{
+    Rng rng(6);
+    MatrixD a = randomMatrix(12, 9, rng);
+    MatrixD x = randomMatrix(12, 1, rng);
+    MatrixD y = MatrixD::vector(9);
+    gemv(a, x, y);
+    for (int64_t i = 0; i < 9; ++i) {
+        double sum = 0.0;
+        for (int64_t j = 0; j < 12; ++j)
+            sum += a.at(j, i) * x[j];
+        EXPECT_NEAR(y[i], sum, 1e-12);
+    }
+}
+
+TEST(Blas, VectorOps)
+{
+    MatrixD x = MatrixD::vector(3);
+    x[0] = 3.0;
+    x[1] = 0.0;
+    x[2] = 4.0;
+    EXPECT_DOUBLE_EQ(norm2(x), 5.0);
+    MatrixD y = x.clone();
+    axpy(2.0, x, y);
+    EXPECT_DOUBLE_EQ(y[2], 12.0);
+    scale(y, 0.5);
+    EXPECT_DOUBLE_EQ(y[0], 4.5);
+    EXPECT_DOUBLE_EQ(dot(x, x), 25.0);
+}
+
+TEST(Blas, ShapeMismatchesPanic)
+{
+    MatrixD a(4, 4), b(3, 3), c(4, 4);
+    EXPECT_THROW(gemm(a, b, c), PanicError);
+    MatrixD t(3, 3);
+    EXPECT_THROW(transpose(a, t), PanicError);
+}
+
+TEST(Blas, GemmCostReflectsLibrarySpeedup)
+{
+    auto cost = gemmCost(128, 128, 128);
+    double realFlops = 2.0 * 128.0 * 128.0 * 128.0;
+    EXPECT_DOUBLE_EQ(cost.flops, realFlops / kLibraryFlopSpeedup);
+    EXPECT_DOUBLE_EQ(cost.sequentialFraction, 1.0); // single-threaded
+}
+
+} // namespace
+} // namespace blas
+} // namespace petabricks

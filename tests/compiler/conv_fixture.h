@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Test fixture: the paper's SeparableConvolution transform (Figure 1),
+ * expressed in the embedded rule IR. Used by the lang and compiler
+ * tests; the shipped benchmark version lives in src/benchmarks.
+ *
+ * Slots: In (w x h), Kernel (KWIDTH x 1), Out, buffer (intermediate).
+ * Params: params[0] = KWIDTH.
+ * Choice 0 "2d":        Convolve2D: In, Kernel -> Out
+ * Choice 1 "separable": ConvolveRows: In, Kernel -> buffer;
+ *                       ConvolveColumns: buffer, Kernel -> Out
+ */
+
+#ifndef PETABRICKS_TESTS_CONV_FIXTURE_H
+#define PETABRICKS_TESTS_CONV_FIXTURE_H
+
+#include <memory>
+
+#include "lang/transform.h"
+#include "support/rng.h"
+
+namespace petabricks {
+namespace testfix {
+
+/** The single-pass 2-D convolution rule (KWIDTH x KWIDTH window). */
+inline lang::RulePtr
+convolve2dRule(int64_t kwidth)
+{
+    using namespace lang;
+    return RuleDef::makePoint(
+        "Convolve2D", "Out",
+        {AccessPattern{"In", DimAccess::window(0, kwidth),
+                       DimAccess::window(0, kwidth)},
+         AccessPattern{"Kernel", DimAccess::all(),
+                       DimAccess::window(0, 1)}},
+        [](const PointArgs &pt) {
+            int64_t kw = pt.param(0);
+            double sum = 0.0;
+            for (int64_t j = 0; j < kw; ++j)
+                for (int64_t i = 0; i < kw; ++i)
+                    sum += pt.input(0).at(pt.x + i, pt.y + j) *
+                           pt.input(1).at(i, 0) * pt.input(1).at(j, 0);
+            return sum;
+        },
+        [](const ParamEnv &params) {
+            double kw = static_cast<double>(params[0]);
+            return 3.0 * kw * kw;
+        });
+}
+
+inline lang::RulePtr
+convolveRowsRule(int64_t kwidth)
+{
+    using namespace lang;
+    return RuleDef::makePoint(
+        "ConvolveRows", "buffer",
+        {AccessPattern{"In", DimAccess::window(0, kwidth),
+                       DimAccess::window(0, 1)},
+         AccessPattern{"Kernel", DimAccess::all(),
+                       DimAccess::window(0, 1)}},
+        [](const PointArgs &pt) {
+            int64_t kw = pt.param(0);
+            double sum = 0.0;
+            for (int64_t i = 0; i < kw; ++i)
+                sum += pt.input(0).at(pt.x + i, pt.y) *
+                       pt.input(1).at(i, 0);
+            return sum;
+        },
+        [](const ParamEnv &params) {
+            return 2.0 * static_cast<double>(params[0]);
+        });
+}
+
+inline lang::RulePtr
+convolveColumnsRule(int64_t kwidth)
+{
+    using namespace lang;
+    return RuleDef::makePoint(
+        "ConvolveColumns", "Out",
+        {AccessPattern{"buffer", DimAccess::window(0, 1),
+                       DimAccess::window(0, kwidth)},
+         AccessPattern{"Kernel", DimAccess::all(),
+                       DimAccess::window(0, 1)}},
+        [](const PointArgs &pt) {
+            int64_t kw = pt.param(0);
+            double sum = 0.0;
+            for (int64_t i = 0; i < kw; ++i)
+                sum += pt.input(0).at(pt.x, pt.y + i) *
+                       pt.input(1).at(i, 0);
+            return sum;
+        },
+        [](const ParamEnv &params) {
+            return 2.0 * static_cast<double>(params[0]);
+        });
+}
+
+/** The full SeparableConvolution transform with both choices. */
+inline std::shared_ptr<lang::Transform>
+makeConvTransform(int64_t kwidth)
+{
+    auto t = std::make_shared<lang::Transform>("SeparableConvolution");
+    t->slot("In", lang::SlotRole::Input)
+        .slot("Kernel", lang::SlotRole::Input)
+        .slot("Out", lang::SlotRole::Output)
+        .slot("buffer", lang::SlotRole::Intermediate);
+    t->choice("2d", {convolve2dRule(kwidth)});
+    t->choice("separable",
+              {convolveRowsRule(kwidth), convolveColumnsRule(kwidth)});
+    return t;
+}
+
+/** Bind matrices for an n x n input with kernel width kwidth. */
+inline lang::Binding
+makeConvBinding(int64_t n, int64_t kwidth, Rng &rng)
+{
+    lang::Binding binding;
+    MatrixD in(n, n);
+    for (int64_t y = 0; y < n; ++y)
+        for (int64_t x = 0; x < n; ++x)
+            in.at(x, y) = rng.uniformReal(-1.0, 1.0);
+    MatrixD kernel = MatrixD::vector(kwidth);
+    for (int64_t i = 0; i < kwidth; ++i)
+        kernel.at(i, 0) = rng.uniformReal(0.0, 1.0);
+    binding.matrices.emplace("In", in);
+    binding.matrices.emplace("Kernel", kernel);
+    binding.matrices.emplace("Out",
+                             MatrixD(n - kwidth + 1, n - kwidth + 1));
+    binding.matrices.emplace("buffer", MatrixD(n - kwidth + 1, n));
+    binding.params = {kwidth};
+    return binding;
+}
+
+/** Reference 2-D convolution computed directly. */
+inline MatrixD
+referenceConv(const lang::Binding &binding, int64_t kwidth)
+{
+    const MatrixD &in = binding.matrix("In");
+    const MatrixD &kernel = binding.matrix("Kernel");
+    int64_t ow = in.width() - kwidth + 1;
+    int64_t oh = in.height() - kwidth + 1;
+    MatrixD out(ow, oh);
+    for (int64_t y = 0; y < oh; ++y)
+        for (int64_t x = 0; x < ow; ++x) {
+            double sum = 0.0;
+            for (int64_t j = 0; j < kwidth; ++j)
+                for (int64_t i = 0; i < kwidth; ++i)
+                    sum += in.at(x + i, y + j) * kernel.at(i, 0) *
+                           kernel.at(j, 0);
+            out.at(x, y) = sum;
+        }
+    return out;
+}
+
+} // namespace testfix
+} // namespace petabricks
+
+#endif // PETABRICKS_TESTS_CONV_FIXTURE_H

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "compiler/admissibility.h"
+#include "conv_fixture.h"
+
+namespace petabricks {
+namespace compiler {
+namespace {
+
+using lang::AccessPattern;
+using lang::ChoiceDependencyGraph;
+using lang::DimAccess;
+using lang::ParamEnv;
+using lang::PointArgs;
+using lang::RuleDef;
+using lang::SlotRole;
+using lang::Transform;
+
+std::shared_ptr<RuleDef>
+simplePoint(const std::string &name, const std::string &out,
+            std::vector<AccessPattern> accesses)
+{
+    return RuleDef::makePoint(
+        name, out, std::move(accesses),
+        [](const PointArgs &) { return 0.0; },
+        [](const ParamEnv &) { return 1.0; });
+}
+
+TEST(Admissibility, DataParallelPointRuleConvertible)
+{
+    auto t = testfix::makeConvTransform(5);
+    ChoiceDependencyGraph g(*t, 0);
+    Admissibility adm = analyzeRule(g, 0);
+    EXPECT_TRUE(adm.convertible);
+    EXPECT_TRUE(adm.localMemCandidate); // 5x5 window
+}
+
+TEST(Admissibility, SeparablePassesBothConvertible)
+{
+    auto t = testfix::makeConvTransform(7);
+    ChoiceDependencyGraph g(*t, 1);
+    for (size_t i = 0; i < 2; ++i) {
+        Admissibility adm = analyzeRule(g, i);
+        EXPECT_TRUE(adm.convertible) << i;
+        EXPECT_TRUE(adm.localMemCandidate) << i; // 1x7 / 7x1 windows
+    }
+}
+
+TEST(Admissibility, PointAccessHasNoLocalVariant)
+{
+    // Bounding box of one: threads never share data, so no local
+    // memory version is generated (Section 3.1 phase 3).
+    Transform t("bs");
+    t.slot("In", SlotRole::Input);
+    t.slot("Out", SlotRole::Output);
+    t.choice("c", {simplePoint("bs", "Out",
+                               {AccessPattern::point("In")})});
+    ChoiceDependencyGraph g(t, 0);
+    Admissibility adm = analyzeRule(g, 0);
+    EXPECT_TRUE(adm.convertible);
+    EXPECT_FALSE(adm.localMemCandidate);
+}
+
+TEST(Admissibility, FullExtentAccessHasNoLocalVariant)
+{
+    // Matmul-style full-row access: bounding box is not a constant.
+    Transform t("mm");
+    t.slot("A", SlotRole::Input);
+    t.slot("Out", SlotRole::Output);
+    t.choice("c",
+             {simplePoint("mm", "Out",
+                          {AccessPattern{"A", DimAccess::all(),
+                                         DimAccess::window(0, 1)}})});
+    ChoiceDependencyGraph g(t, 0);
+    Admissibility adm = analyzeRule(g, 0);
+    EXPECT_TRUE(adm.convertible);
+    EXPECT_FALSE(adm.localMemCandidate);
+}
+
+TEST(Admissibility, WavefrontRejected)
+{
+    Transform t("wf");
+    t.slot("Out", SlotRole::Output);
+    auto wf = simplePoint(
+        "wf", "Out",
+        {AccessPattern{"Out", DimAccess::window(-1, 1),
+                       DimAccess::window(0, 1)},
+         AccessPattern{"Out", DimAccess::window(0, 1),
+                       DimAccess::window(-1, 1)}});
+    t.choice("c", {wf});
+    ChoiceDependencyGraph g(t, 0);
+    Admissibility adm = analyzeRule(g, 0);
+    EXPECT_FALSE(adm.convertible);
+    EXPECT_NE(adm.reason.find("wavefront"), std::string::npos);
+}
+
+TEST(Admissibility, ExternalLibraryRejected)
+{
+    Transform t("lapack");
+    t.slot("In", SlotRole::Input);
+    t.slot("Out", SlotRole::Output);
+    auto rule = simplePoint("lapack", "Out",
+                            {AccessPattern::point("In")});
+    rule->setCallsExternalLibrary(true);
+    t.choice("c", {rule});
+    ChoiceDependencyGraph g(t, 0);
+    Admissibility adm = analyzeRule(g, 0);
+    EXPECT_FALSE(adm.convertible);
+    EXPECT_NE(adm.reason.find("external library"), std::string::npos);
+}
+
+TEST(Admissibility, RegionRuleRejected)
+{
+    Transform t("native");
+    t.slot("In", SlotRole::Input);
+    t.slot("Out", SlotRole::Output);
+    auto rule = RuleDef::makeRegion(
+        "native", "Out", {"In"}, [](RuleDef::RegionRunArgs &) {},
+        [](const Region &, const ParamEnv &) {
+            return sim::CostReport{};
+        });
+    t.choice("c", {rule});
+    ChoiceDependencyGraph g(t, 0);
+    EXPECT_FALSE(analyzeRule(g, 0).convertible);
+}
+
+TEST(Admissibility, TrialCompileFailureRejected)
+{
+    // The paper detects some OpenCL-implementation-specific constructs
+    // only by attempting to compile and rejecting failures.
+    Transform t("tricky");
+    t.slot("In", SlotRole::Input);
+    t.slot("Out", SlotRole::Output);
+    auto rule = simplePoint("tricky", "Out",
+                            {AccessPattern::point("In")});
+    rule->setOpenclCompileFails(true);
+    t.choice("c", {rule});
+    ChoiceDependencyGraph g(t, 0);
+    Admissibility adm = analyzeRule(g, 0);
+    EXPECT_FALSE(adm.convertible);
+    EXPECT_NE(adm.reason.find("trial"), std::string::npos);
+}
+
+TEST(Admissibility, SequentialScanStillConvertible)
+{
+    // Sequential patterns can be mapped (run as a 1-item scan kernel).
+    Transform t("scan");
+    t.slot("In", SlotRole::Input);
+    t.slot("Out", SlotRole::Output);
+    auto scan = simplePoint(
+        "scan", "Out",
+        {AccessPattern::point("In"),
+         AccessPattern{"Out", DimAccess::window(0, 1),
+                       DimAccess::window(-1, 1)}});
+    t.choice("c", {scan});
+    ChoiceDependencyGraph g(t, 0);
+    EXPECT_TRUE(analyzeRule(g, 0).convertible);
+}
+
+TEST(Admissibility, KernelCountForConvolution)
+{
+    // Conv: 3 distinct rules, all convertible, all local candidates
+    // -> 6 synthetic kernels.
+    auto t = testfix::makeConvTransform(5);
+    EXPECT_EQ(countSynthesizedKernels(*t), 6);
+}
+
+} // namespace
+} // namespace compiler
+} // namespace petabricks

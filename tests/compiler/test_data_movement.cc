@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "compiler/data_movement.h"
+#include "conv_fixture.h"
+
+namespace petabricks {
+namespace compiler {
+namespace {
+
+SlotSizes
+convSizes(int64_t n, int64_t kw)
+{
+    return {{"In", {n, n}},
+            {"Kernel", {kw, 1}},
+            {"Out", {n - kw + 1, n - kw + 1}},
+            {"buffer", {n - kw + 1, n}}};
+}
+
+TransformConfig
+sepConfig(Backend rows, Backend cols, int rowsRatio = 8,
+          int colsRatio = 8)
+{
+    TransformConfig config;
+    config.choiceIndex = 1;
+    StageConfig r;
+    r.backend = rows;
+    r.gpuRatioEighths = rowsRatio;
+    StageConfig c;
+    c.backend = cols;
+    c.gpuRatioEighths = colsRatio;
+    config.stages = {r, c};
+    return config;
+}
+
+TEST(DataMovement, AllCpuHasNoCopyOut)
+{
+    auto t = testfix::makeConvTransform(5);
+    auto plans = planStages(*t, sepConfig(Backend::Cpu, Backend::Cpu),
+                            convSizes(64, 5));
+    ASSERT_EQ(plans.size(), 2u);
+    EXPECT_EQ(plans[0].copyOut, CopyOutPolicy::None);
+    EXPECT_EQ(plans[1].copyOut, CopyOutPolicy::None);
+    EXPECT_FALSE(plans[0].hasGpuPart());
+    EXPECT_TRUE(plans[0].hasCpuPart());
+}
+
+TEST(DataMovement, GpuToGpuIntermediateIsReused)
+{
+    // buffer produced on GPU, consumed by a GPU stage: stays resident.
+    auto t = testfix::makeConvTransform(5);
+    auto plans = planStages(
+        *t, sepConfig(Backend::OpenClGlobal, Backend::OpenClGlobal),
+        convSizes(64, 5));
+    EXPECT_EQ(plans[0].copyOut, CopyOutPolicy::Reused);
+    // Out is a transform output: dynamic consumer, lazy copy-out.
+    EXPECT_EQ(plans[1].copyOut, CopyOutPolicy::MayCopyOut);
+}
+
+TEST(DataMovement, GpuToCpuIntermediateMustCopyOut)
+{
+    auto t = testfix::makeConvTransform(5);
+    auto plans = planStages(
+        *t, sepConfig(Backend::OpenClGlobal, Backend::Cpu),
+        convSizes(64, 5));
+    EXPECT_EQ(plans[0].copyOut, CopyOutPolicy::MustCopyOut);
+    EXPECT_EQ(plans[1].copyOut, CopyOutPolicy::None);
+}
+
+TEST(DataMovement, SplitConsumerForcesEagerCopyOut)
+{
+    // The consumer has a CPU part (ratio < 8/8), so the producer's GPU
+    // output must be copied back eagerly.
+    auto t = testfix::makeConvTransform(5);
+    auto plans = planStages(
+        *t,
+        sepConfig(Backend::OpenClGlobal, Backend::OpenClGlobal, 8, 4),
+        convSizes(64, 5));
+    EXPECT_EQ(plans[0].copyOut, CopyOutPolicy::MustCopyOut);
+}
+
+TEST(DataMovement, RatioSplitsRows)
+{
+    auto t = testfix::makeConvTransform(5);
+    auto plans = planStages(
+        *t, sepConfig(Backend::OpenClGlobal, Backend::OpenClGlobal, 2, 8),
+        convSizes(64, 5));
+    // buffer is 60 wide x 64 high; 2/8 of 64 = 16 rows on the GPU.
+    EXPECT_EQ(plans[0].gpuRows, 16);
+    EXPECT_TRUE(plans[0].hasGpuPart());
+    EXPECT_TRUE(plans[0].hasCpuPart());
+    EXPECT_EQ(plans[0].gpuRegion(), Region(0, 0, 60, 16));
+    EXPECT_EQ(plans[0].cpuRegion(), Region(0, 16, 60, 48));
+}
+
+TEST(DataMovement, ZeroRatioMeansNoGpuPart)
+{
+    auto t = testfix::makeConvTransform(5);
+    auto plans = planStages(
+        *t, sepConfig(Backend::OpenClGlobal, Backend::Cpu, 0, 8),
+        convSizes(64, 5));
+    EXPECT_FALSE(plans[0].hasGpuPart());
+    EXPECT_EQ(plans[0].copyOut, CopyOutPolicy::None);
+}
+
+TEST(DataMovement, SinglePass2dOutputIsLazy)
+{
+    auto t = testfix::makeConvTransform(5);
+    TransformConfig config;
+    config.choiceIndex = 0;
+    StageConfig s;
+    s.backend = Backend::OpenClLocal;
+    config.stages = {s};
+    auto plans = planStages(*t, config, convSizes(64, 5));
+    ASSERT_EQ(plans.size(), 1u);
+    EXPECT_EQ(plans[0].copyOut, CopyOutPolicy::MayCopyOut);
+}
+
+TEST(DataMovement, InadmissibleOpenClPlacementIsFatal)
+{
+    lang::Transform t("native");
+    t.slot("In", lang::SlotRole::Input);
+    t.slot("Out", lang::SlotRole::Output);
+    t.choice("c", {lang::RuleDef::makeRegion(
+                      "native", "Out", {"In"},
+                      [](lang::RuleDef::RegionRunArgs &) {},
+                      [](const Region &, const lang::ParamEnv &) {
+                          return sim::CostReport{};
+                      })});
+    TransformConfig config;
+    StageConfig s;
+    s.backend = Backend::OpenClGlobal;
+    config.stages = {s};
+    SlotSizes sizes{{"In", {8, 8}}, {"Out", {8, 8}}};
+    EXPECT_THROW(planStages(t, config, sizes), FatalError);
+}
+
+TEST(DataMovement, LocalBackendRequiresLocalVariant)
+{
+    lang::Transform t("bs");
+    t.slot("In", lang::SlotRole::Input);
+    t.slot("Out", lang::SlotRole::Output);
+    t.choice("c",
+             {lang::RuleDef::makePoint(
+                 "bs", "Out", {lang::AccessPattern::point("In")},
+                 [](const lang::PointArgs &pt) {
+                     return pt.input(0).at(pt.x, pt.y);
+                 },
+                 [](const lang::ParamEnv &) { return 1.0; })});
+    TransformConfig config;
+    StageConfig s;
+    s.backend = Backend::OpenClLocal; // bbox == 1: no local variant
+    config.stages = {s};
+    SlotSizes sizes{{"In", {8, 8}}, {"Out", {8, 8}}};
+    EXPECT_THROW(planStages(t, config, sizes), FatalError);
+}
+
+TEST(DataMovement, PolicyNames)
+{
+    EXPECT_STREQ(copyOutPolicyName(CopyOutPolicy::None), "none");
+    EXPECT_STREQ(copyOutPolicyName(CopyOutPolicy::Reused), "reused");
+    EXPECT_STREQ(copyOutPolicyName(CopyOutPolicy::MustCopyOut),
+                 "must-copy-out");
+    EXPECT_STREQ(copyOutPolicyName(CopyOutPolicy::MayCopyOut),
+                 "may-copy-out");
+}
+
+} // namespace
+} // namespace compiler
+} // namespace petabricks

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "compiler/executor.h"
+#include "conv_fixture.h"
+#include "sim/machine.h"
+
+namespace petabricks {
+namespace compiler {
+namespace {
+
+struct ExecutorFixture : ::testing::Test
+{
+    ExecutorFixture()
+        : device(sim::MachineProfile::desktop().ocl), rt(4, &device),
+          exec(rt), rng(11)
+    {}
+
+    void
+    expectMatchesReference(lang::Binding &binding, int64_t kw)
+    {
+        MatrixD ref = testfix::referenceConv(binding, kw);
+        const MatrixD &out = binding.matrix("Out");
+        ASSERT_EQ(out.width(), ref.width());
+        for (int64_t y = 0; y < ref.height(); ++y)
+            for (int64_t x = 0; x < ref.width(); ++x)
+                ASSERT_NEAR(out.at(x, y), ref.at(x, y), 1e-12)
+                    << "(" << x << "," << y << ")";
+    }
+
+    TransformConfig
+    config(size_t choice, std::vector<StageConfig> stages)
+    {
+        TransformConfig c;
+        c.choiceIndex = choice;
+        c.stages = std::move(stages);
+        return c;
+    }
+
+    StageConfig
+    stage(Backend backend, int ratio = 8, int lws = 16, int split = 4)
+    {
+        StageConfig s;
+        s.backend = backend;
+        s.gpuRatioEighths = ratio;
+        s.localWorkSize = lws;
+        s.cpuSplit = split;
+        return s;
+    }
+
+    ocl::Device device;
+    runtime::Runtime rt;
+    TransformExecutor exec;
+    Rng rng;
+};
+
+TEST_F(ExecutorFixture, CpuOnly2d)
+{
+    const int64_t n = 32, kw = 5;
+    auto t = testfix::makeConvTransform(kw);
+    auto binding = testfix::makeConvBinding(n, kw, rng);
+    exec.execute(*t, binding, config(0, {stage(Backend::Cpu)}));
+    expectMatchesReference(binding, kw);
+}
+
+TEST_F(ExecutorFixture, CpuOnlySeparable)
+{
+    const int64_t n = 32, kw = 5;
+    auto t = testfix::makeConvTransform(kw);
+    auto binding = testfix::makeConvBinding(n, kw, rng);
+    exec.execute(*t, binding,
+                 config(1, {stage(Backend::Cpu), stage(Backend::Cpu)}));
+    expectMatchesReference(binding, kw);
+}
+
+TEST_F(ExecutorFixture, GpuGlobal2d)
+{
+    const int64_t n = 32, kw = 5;
+    auto t = testfix::makeConvTransform(kw);
+    auto binding = testfix::makeConvBinding(n, kw, rng);
+    exec.execute(*t, binding,
+                 config(0, {stage(Backend::OpenClGlobal)}));
+    exec.syncOutputs(*t, binding); // lazy may-copy-out check
+    expectMatchesReference(binding, kw);
+}
+
+TEST_F(ExecutorFixture, GpuLocal2d)
+{
+    const int64_t n = 32, kw = 5;
+    auto t = testfix::makeConvTransform(kw);
+    auto binding = testfix::makeConvBinding(n, kw, rng);
+    exec.execute(*t, binding, config(0, {stage(Backend::OpenClLocal)}));
+    exec.syncOutputs(*t, binding);
+    expectMatchesReference(binding, kw);
+}
+
+TEST_F(ExecutorFixture, GpuSeparableBothStages)
+{
+    const int64_t n = 36, kw = 7;
+    auto t = testfix::makeConvTransform(kw);
+    auto binding = testfix::makeConvBinding(n, kw, rng);
+    exec.execute(*t, binding,
+                 config(1, {stage(Backend::OpenClGlobal),
+                            stage(Backend::OpenClLocal)}));
+    exec.syncOutputs(*t, binding);
+    expectMatchesReference(binding, kw);
+    // The intermediate stayed on the GPU (reused, no eager copy-out).
+    auto stats = rt.gpuMemory().statsSnapshot();
+    EXPECT_EQ(stats.eagerCopyOuts, 0);
+    EXPECT_GT(stats.lazyCopyOuts, 0); // Out fetched by syncOutputs
+}
+
+TEST_F(ExecutorFixture, GpuProducerCpuConsumerEagerCopy)
+{
+    const int64_t n = 36, kw = 7;
+    auto t = testfix::makeConvTransform(kw);
+    auto binding = testfix::makeConvBinding(n, kw, rng);
+    exec.execute(*t, binding,
+                 config(1, {stage(Backend::OpenClGlobal),
+                            stage(Backend::Cpu)}));
+    expectMatchesReference(binding, kw);
+    // buffer was eagerly copied out for the CPU columns pass.
+    auto stats = rt.gpuMemory().statsSnapshot();
+    EXPECT_GE(stats.eagerCopyOuts, 1);
+}
+
+TEST_F(ExecutorFixture, SplitGpuCpuRatio)
+{
+    // 3/8 of the rows on the GPU, the rest chunked over CPU workers.
+    const int64_t n = 40, kw = 5;
+    auto t = testfix::makeConvTransform(kw);
+    auto binding = testfix::makeConvBinding(n, kw, rng);
+    exec.execute(*t, binding,
+                 config(0, {stage(Backend::OpenClGlobal, 3)}));
+    exec.syncOutputs(*t, binding);
+    expectMatchesReference(binding, kw);
+}
+
+TEST_F(ExecutorFixture, SplitSeparablePipeline)
+{
+    const int64_t n = 48, kw = 5;
+    auto t = testfix::makeConvTransform(kw);
+    auto binding = testfix::makeConvBinding(n, kw, rng);
+    exec.execute(*t, binding,
+                 config(1, {stage(Backend::OpenClGlobal, 5),
+                            stage(Backend::OpenClGlobal, 3)}));
+    exec.syncOutputs(*t, binding);
+    expectMatchesReference(binding, kw);
+}
+
+TEST_F(ExecutorFixture, CopyInDedupAcrossStages)
+{
+    // Running the same config twice: second run's copy-ins of the
+    // unchanged inputs are deduplicated by the memory table.
+    const int64_t n = 32, kw = 3;
+    auto t = testfix::makeConvTransform(kw);
+    auto binding = testfix::makeConvBinding(n, kw, rng);
+    auto cfg = config(0, {stage(Backend::OpenClGlobal)});
+    exec.execute(*t, binding, cfg);
+    auto before = rt.gpuMemory().statsSnapshot();
+    exec.execute(*t, binding, cfg);
+    auto after = rt.gpuMemory().statsSnapshot();
+    EXPECT_GT(after.copyInsSkipped, before.copyInsSkipped);
+    exec.syncOutputs(*t, binding);
+    expectMatchesReference(binding, kw);
+}
+
+TEST_F(ExecutorFixture, RegionRuleRunsNatively)
+{
+    lang::Transform t("scale");
+    t.slot("In", lang::SlotRole::Input);
+    t.slot("Out", lang::SlotRole::Output);
+    t.choice("c", {lang::RuleDef::makeRegion(
+                      "scale2", "Out", {"In"},
+                      [](lang::RuleDef::RegionRunArgs &args) {
+                          for (int64_t y = 0; y < args.region.h; ++y)
+                              for (int64_t x = 0; x < args.region.w; ++x)
+                                  args.output.at(x, y) =
+                                      2.0 * args.inputs[0].at(x, y);
+                      },
+                      [](const Region &r, const lang::ParamEnv &) {
+                          sim::CostReport c;
+                          c.flops = static_cast<double>(r.area());
+                          return c;
+                      })});
+    lang::Binding binding;
+    MatrixD in(8, 8);
+    for (int64_t i = 0; i < 64; ++i)
+        in[i] = static_cast<double>(i);
+    binding.matrices.emplace("In", in);
+    binding.matrices.emplace("Out", MatrixD(8, 8));
+    TransformConfig cfg;
+    cfg.choiceIndex = 0;
+    cfg.stages = {StageConfig{}};
+    exec.execute(t, binding, cfg);
+    EXPECT_DOUBLE_EQ(binding.matrix("Out").at(3, 2), 2.0 * 19.0);
+}
+
+TEST_F(ExecutorFixture, CpuOnlyRuntimeStillWorks)
+{
+    runtime::Runtime cpuRt(2);
+    TransformExecutor cpuExec(cpuRt);
+    const int64_t n = 24, kw = 3;
+    auto t = testfix::makeConvTransform(kw);
+    auto binding = testfix::makeConvBinding(n, kw, rng);
+    cpuExec.execute(*t, binding,
+                    config(1, {stage(Backend::Cpu), stage(Backend::Cpu)}));
+    cpuExec.syncOutputs(*t, binding); // no-op without a GPU
+    expectMatchesReference(binding, kw);
+}
+
+} // namespace
+} // namespace compiler
+} // namespace petabricks

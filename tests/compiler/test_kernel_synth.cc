@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "compiler/kernel_synth.h"
+#include "compiler/rule_cost.h"
+#include "conv_fixture.h"
+#include "ocl/device.h"
+#include "sim/machine.h"
+
+namespace petabricks {
+namespace compiler {
+namespace {
+
+struct SynthFixture : ::testing::Test
+{
+    SynthFixture() : device(sim::MachineProfile::desktop().ocl), rng(7) {}
+
+    /** Upload a host matrix into a fresh full-size buffer. */
+    ocl::BufferPtr
+    upload(const MatrixD &m)
+    {
+        auto buf = std::make_shared<ocl::Buffer>(m.bytes());
+        std::memcpy(buf->raw(), m.data(),
+                    static_cast<size_t>(m.bytes()));
+        return buf;
+    }
+
+    /** Run a synthesized kernel over @p region of the output. */
+    void
+    runKernel(const ocl::KernelPtr &kernel, const lang::RulePtr &rule,
+              lang::Binding &binding, MatrixD &out, const Region &region,
+              int lws)
+    {
+        std::vector<ocl::BufferPtr> inputBufs;
+        std::vector<std::pair<int64_t, int64_t>> extents;
+        for (const std::string &slot : rule->inputSlots()) {
+            const MatrixD &in = binding.matrix(slot);
+            inputBufs.push_back(upload(in));
+            extents.emplace_back(in.width(), in.height());
+        }
+        auto outBuf = std::make_shared<ocl::Buffer>(out.bytes());
+        ocl::KernelArgs args = makeKernelArgs(
+            *rule, outBuf, std::move(inputBufs), out.width(),
+            out.height(), region, extents, binding.params);
+        device.launch(*kernel, args,
+                      ocl::NDRange(region.w, region.h, lws, 1));
+        std::memcpy(out.data(), outBuf->raw(),
+                    static_cast<size_t>(out.bytes()));
+    }
+
+    ocl::Device device;
+    Rng rng;
+};
+
+TEST_F(SynthFixture, GlobalVariantMatchesReference)
+{
+    const int64_t n = 40, kw = 5;
+    auto rule = testfix::convolve2dRule(kw);
+    auto kernels = synthesizeKernels(rule);
+    ASSERT_NE(kernels.global, nullptr);
+
+    lang::Binding binding = testfix::makeConvBinding(n, kw, rng);
+    MatrixD ref = testfix::referenceConv(binding, kw);
+    MatrixD out(n - kw + 1, n - kw + 1);
+    runKernel(kernels.global, rule, binding, out, out.fullRegion(), 16);
+    for (int64_t y = 0; y < out.height(); ++y)
+        for (int64_t x = 0; x < out.width(); ++x)
+            EXPECT_NEAR(out.at(x, y), ref.at(x, y), 1e-12)
+                << x << "," << y;
+}
+
+TEST_F(SynthFixture, LocalVariantMatchesReference)
+{
+    const int64_t n = 40, kw = 5;
+    auto rule = testfix::convolve2dRule(kw);
+    auto kernels = synthesizeKernels(rule);
+    ASSERT_NE(kernels.local, nullptr);
+
+    lang::Binding binding = testfix::makeConvBinding(n, kw, rng);
+    MatrixD ref = testfix::referenceConv(binding, kw);
+    MatrixD out(n - kw + 1, n - kw + 1);
+    runKernel(kernels.local, rule, binding, out, out.fullRegion(), 16);
+    for (int64_t y = 0; y < out.height(); ++y)
+        for (int64_t x = 0; x < out.width(); ++x)
+            EXPECT_NEAR(out.at(x, y), ref.at(x, y), 1e-12)
+                << x << "," << y;
+}
+
+TEST_F(SynthFixture, LocalVariantUsesLocalMemoryAndBarriers)
+{
+    const int64_t n = 24, kw = 3;
+    auto rule = testfix::convolve2dRule(kw);
+    auto kernels = synthesizeKernels(rule);
+    lang::Binding binding = testfix::makeConvBinding(n, kw, rng);
+    MatrixD out(n - kw + 1, n - kw + 1);
+    runKernel(kernels.local, rule, binding, out, out.fullRegion(), 8);
+    EXPECT_GT(device.stats().barriersExecuted, 0);
+    EXPECT_TRUE(kernels.local->usesLocalMem());
+    EXPECT_FALSE(kernels.global->usesLocalMem());
+}
+
+TEST_F(SynthFixture, PartialRegionLaunchOnlyWritesThatBand)
+{
+    // The GPU-CPU ratio split launches the kernel over only the first
+    // rows of the output.
+    const int64_t n = 32, kw = 3;
+    auto rule = testfix::convolve2dRule(kw);
+    auto kernels = synthesizeKernels(rule);
+    lang::Binding binding = testfix::makeConvBinding(n, kw, rng);
+    MatrixD ref = testfix::referenceConv(binding, kw);
+    MatrixD out(n - kw + 1, n - kw + 1);
+    Region top(0, 0, out.width(), out.height() / 2);
+    runKernel(kernels.global, rule, binding, out, top, 16);
+    for (int64_t y = 0; y < top.h; ++y)
+        for (int64_t x = 0; x < out.width(); ++x)
+            EXPECT_NEAR(out.at(x, y), ref.at(x, y), 1e-12);
+    // Rows below the band were never touched.
+    for (int64_t y = top.h; y < out.height(); ++y)
+        for (int64_t x = 0; x < out.width(); ++x)
+            EXPECT_EQ(out.at(x, y), 0.0);
+}
+
+TEST_F(SynthFixture, SeparablePipelineMatchesReference)
+{
+    const int64_t n = 36, kw = 7;
+    auto rows = testfix::convolveRowsRule(kw);
+    auto cols = testfix::convolveColumnsRule(kw);
+    auto rowsK = synthesizeKernels(rows);
+    auto colsK = synthesizeKernels(cols);
+    ASSERT_NE(rowsK.local, nullptr); // 1x7 window is a constant bbox
+    ASSERT_NE(colsK.local, nullptr);
+
+    lang::Binding binding = testfix::makeConvBinding(n, kw, rng);
+    MatrixD ref = testfix::referenceConv(binding, kw);
+    MatrixD &buffer = binding.matrix("buffer");
+    runKernel(rowsK.global, rows, binding, buffer, buffer.fullRegion(),
+              16);
+    MatrixD out(n - kw + 1, n - kw + 1);
+    runKernel(colsK.local, cols, binding, out, out.fullRegion(), 16);
+    for (int64_t y = 0; y < out.height(); ++y)
+        for (int64_t x = 0; x < out.width(); ++x)
+            EXPECT_NEAR(out.at(x, y), ref.at(x, y), 1e-12);
+}
+
+TEST_F(SynthFixture, NoLocalVariantForPointwiseRule)
+{
+    auto rule = lang::RuleDef::makePoint(
+        "scale", "Out", {lang::AccessPattern::point("In")},
+        [](const lang::PointArgs &pt) {
+            return 2.0 * pt.input(0).at(pt.x, pt.y);
+        },
+        [](const lang::ParamEnv &) { return 1.0; });
+    auto kernels = synthesizeKernels(rule);
+    EXPECT_NE(kernels.global, nullptr);
+    EXPECT_EQ(kernels.local, nullptr);
+}
+
+TEST_F(SynthFixture, KernelSourcesAreDistinct)
+{
+    auto rule = testfix::convolve2dRule(5);
+    auto kernels = synthesizeKernels(rule);
+    EXPECT_NE(kernels.global->source(), kernels.local->source());
+    EXPECT_NE(kernels.global->source().find("Convolve2D"),
+              std::string::npos);
+}
+
+TEST_F(SynthFixture, CostFunctionsMatchRuleCostHelpers)
+{
+    // The synthesized kernels' cost functions must agree with the
+    // analytic helpers the simulator uses.
+    const int64_t n = 64, kw = 5;
+    auto rule = testfix::convolve2dRule(kw);
+    auto kernels = synthesizeKernels(rule);
+    lang::Binding binding = testfix::makeConvBinding(n, kw, rng);
+    MatrixD out(n - kw + 1, n - kw + 1);
+
+    std::vector<ocl::BufferPtr> inputBufs;
+    std::vector<std::pair<int64_t, int64_t>> extents;
+    for (const std::string &slot : rule->inputSlots()) {
+        const MatrixD &in = binding.matrix(slot);
+        inputBufs.push_back(upload(in));
+        extents.emplace_back(in.width(), in.height());
+    }
+    auto outBuf = std::make_shared<ocl::Buffer>(out.bytes());
+    Region region = out.fullRegion();
+    ocl::KernelArgs args =
+        makeKernelArgs(*rule, outBuf, inputBufs, out.width(),
+                       out.height(), region, extents, binding.params);
+    ocl::NDRange range(region.w, region.h, 32, 1);
+
+    SlotExtents ext;
+    ext.inputs = extents;
+    ext.outputW = out.width();
+    ext.outputH = out.height();
+    auto fromKernel = kernels.global->cost(args, range);
+    auto fromHelper =
+        pointRuleGlobalCost(*rule, region, ext, binding.params, range);
+    EXPECT_DOUBLE_EQ(fromKernel.flops, fromHelper.flops);
+    EXPECT_DOUBLE_EQ(fromKernel.globalBytesRead,
+                     fromHelper.globalBytesRead);
+}
+
+} // namespace
+} // namespace compiler
+} // namespace petabricks

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "compiler/rule_cost.h"
+#include "conv_fixture.h"
+#include "sim/machine.h"
+
+namespace petabricks {
+namespace compiler {
+namespace {
+
+SlotExtents
+convExtents(int64_t n, int64_t kw)
+{
+    SlotExtents e;
+    e.inputs = {{n, n}, {kw, 1}};
+    e.outputW = n - kw + 1;
+    e.outputH = n - kw + 1;
+    return e;
+}
+
+TEST(InputRegionFor, WindowAccessAddsHalo)
+{
+    lang::AccessPattern access{"In", lang::DimAccess::window(0, 5),
+                               lang::DimAccess::window(0, 5)};
+    Region out(0, 0, 60, 28);
+    Region needed = inputRegionFor(access, out, 64, 64);
+    EXPECT_EQ(needed, Region(0, 0, 64, 32));
+}
+
+TEST(InputRegionFor, NegativeOffsetsClampedAtZero)
+{
+    lang::AccessPattern access{"In", lang::DimAccess::window(-2, 5),
+                               lang::DimAccess::window(-2, 5)};
+    Region out(0, 0, 10, 10);
+    Region needed = inputRegionFor(access, out, 32, 32);
+    EXPECT_EQ(needed, Region(0, 0, 12, 12));
+}
+
+TEST(InputRegionFor, FullDimSpansInput)
+{
+    lang::AccessPattern access{"A", lang::DimAccess::all(),
+                               lang::DimAccess::window(0, 1)};
+    Region out(0, 4, 16, 8);
+    Region needed = inputRegionFor(access, out, 100, 100);
+    EXPECT_EQ(needed, Region(0, 4, 100, 8));
+}
+
+TEST(InputRegionFor, OffsetBandForSplitRegion)
+{
+    // The CPU part of a split output needs only its own input band.
+    lang::AccessPattern access{"In", lang::DimAccess::window(0, 3),
+                               lang::DimAccess::window(0, 3)};
+    Region out(0, 50, 62, 12);
+    Region needed = inputRegionFor(access, out, 64, 64);
+    EXPECT_EQ(needed, Region(0, 50, 64, 14));
+}
+
+TEST(RuleCost, FlopsScaleWithAreaAndKernelWidth)
+{
+    auto rule = testfix::convolve2dRule(5);
+    Region out(0, 0, 60, 60);
+    ocl::NDRange range(60, 60, 64, 1);
+    auto c5 = pointRuleGlobalCost(*rule, out, convExtents(64, 5), {5},
+                                  range);
+    EXPECT_DOUBLE_EQ(c5.flops, 60.0 * 60.0 * 3.0 * 25.0);
+
+    auto rule9 = testfix::convolve2dRule(9);
+    auto c9 = pointRuleGlobalCost(*rule9, Region(0, 0, 56, 56),
+                                  convExtents(64, 9), {9},
+                                  ocl::NDRange(56, 56, 64, 1));
+    EXPECT_GT(c9.flops, c5.flops);
+}
+
+TEST(RuleCost, GlobalVariantChargesRedundantReads)
+{
+    auto rule = testfix::convolve2dRule(9);
+    Region out(0, 0, 56, 56);
+    ocl::NDRange range(56, 56, 64, 1);
+    SlotExtents ext = convExtents(64, 9);
+    auto cost = pointRuleGlobalCost(*rule, out, ext, {9}, range);
+    // More than the unique input footprint, less than the full
+    // 81-reads-per-point worst case (hardware caches absorb most).
+    double unique = 64.0 * 64.0 * 8.0;
+    double total = 56.0 * 56.0 * 81.0 * 8.0;
+    EXPECT_GT(cost.globalBytesRead, unique);
+    EXPECT_LT(cost.globalBytesRead, total);
+}
+
+TEST(RuleCost, LocalVariantTradesGlobalForLocalTraffic)
+{
+    auto rule = testfix::convolve2dRule(9);
+    Region out(0, 0, 56, 56);
+    ocl::NDRange range(56, 56, 64, 1);
+    SlotExtents ext = convExtents(64, 9);
+    auto global = pointRuleGlobalCost(*rule, out, ext, {9}, range);
+    auto local = pointRuleLocalCost(*rule, out, ext, {9}, range);
+    EXPECT_LT(local.globalBytesRead, global.globalBytesRead);
+    EXPECT_GT(local.localBytes, 0.0);
+    EXPECT_GT(local.barriers, 0.0);
+    EXPECT_DOUBLE_EQ(local.flops, global.flops);
+}
+
+TEST(RuleCost, LocalBeatsGlobalOnGpuForWideKernels)
+{
+    // The Figure 2 effect, priced on the Desktop GPU.
+    auto gpu = sim::MachineProfile::desktop().ocl;
+    auto rule = testfix::convolve2dRule(17);
+    int64_t n = 512;
+    Region out(0, 0, n - 16, n - 16);
+    ocl::NDRange range(n - 16, n - 16, 64, 1);
+    SlotExtents ext = convExtents(n, 17);
+    double tGlobal = sim::CostModel::kernelSeconds(
+        gpu, pointRuleGlobalCost(*rule, out, ext, {17}, range), 64);
+    double tLocal = sim::CostModel::kernelSeconds(
+        gpu, pointRuleLocalCost(*rule, out, ext, {17}, range), 64);
+    EXPECT_LT(tLocal, tGlobal);
+}
+
+TEST(RuleCost, LocalLosesOnCpuOpenCL)
+{
+    // On the Server's CPU OpenCL runtime the staging traffic rides the
+    // normal memory path: prefetching is wasted work (Section 2.2).
+    auto cpuOcl = sim::MachineProfile::server().ocl;
+    auto rule = testfix::convolve2dRule(7);
+    int64_t n = 512;
+    Region out(0, 0, n - 6, n - 6);
+    ocl::NDRange range(n - 6, n - 6, 64, 1);
+    SlotExtents ext = convExtents(n, 7);
+    double tGlobal = sim::CostModel::kernelSeconds(
+        cpuOcl, pointRuleGlobalCost(*rule, out, ext, {7}, range), 64);
+    double tLocal = sim::CostModel::kernelSeconds(
+        cpuOcl, pointRuleLocalCost(*rule, out, ext, {7}, range), 64);
+    EXPECT_GT(tLocal, tGlobal);
+}
+
+TEST(RuleCost, CpuCostUsesCacheFriendlyTraffic)
+{
+    auto rule = testfix::convolve2dRule(9);
+    Region out(0, 0, 56, 56);
+    SlotExtents ext = convExtents(64, 9);
+    auto cost = pointRuleCpuCost(*rule, out, ext, {9});
+    // CPU caches absorb all window redundancy: traffic = unique bytes.
+    double unique = (64.0 * 64.0 + 9.0) * 8.0;
+    EXPECT_DOUBLE_EQ(cost.globalBytesRead, unique);
+}
+
+TEST(RuleCost, LocalMemElems)
+{
+    auto rule = testfix::convolve2dRule(5);
+    ocl::NDRange range(60, 60, 16, 1);
+    // Tile: (16+4) x (1+4) = 100 elements for In; Kernel not staged.
+    EXPECT_EQ(localMemElemsFor(*rule, range), 100);
+}
+
+TEST(RuleCost, SeparableDoesAsymptoticallyLessWork)
+{
+    // 2*O(k) per point for two passes vs O(k^2) for the 2-D pass.
+    int64_t n = 256, kw = 17;
+    auto rule2d = testfix::convolve2dRule(kw);
+    auto rows = testfix::convolveRowsRule(kw);
+    auto cols = testfix::convolveColumnsRule(kw);
+    int64_t ow = n - kw + 1;
+    double flops2d =
+        pointRuleCpuCost(*rule2d, Region(0, 0, ow, ow),
+                         convExtents(n, kw), {kw})
+            .flops;
+    SlotExtents rowsExt;
+    rowsExt.inputs = {{n, n}, {kw, 1}};
+    rowsExt.outputW = ow;
+    rowsExt.outputH = n;
+    SlotExtents colsExt;
+    colsExt.inputs = {{ow, n}, {kw, 1}};
+    colsExt.outputW = ow;
+    colsExt.outputH = ow;
+    double flopsSep =
+        pointRuleCpuCost(*rows, Region(0, 0, ow, n), rowsExt, {kw})
+            .flops +
+        pointRuleCpuCost(*cols, Region(0, 0, ow, ow), colsExt, {kw})
+            .flops;
+    EXPECT_LT(flopsSep, flops2d / 3.0);
+}
+
+} // namespace
+} // namespace compiler
+} // namespace petabricks

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "compiler/simulator.h"
+#include "conv_fixture.h"
+
+namespace petabricks {
+namespace compiler {
+namespace {
+
+SlotSizes
+convSizes(int64_t n, int64_t kw)
+{
+    return {{"In", {n, n}},
+            {"Kernel", {kw, 1}},
+            {"Out", {n - kw + 1, n - kw + 1}},
+            {"buffer", {n - kw + 1, n}}};
+}
+
+TransformConfig
+cfg2d(Backend backend, int ratio = 8, int lws = 64)
+{
+    TransformConfig c;
+    c.choiceIndex = 0;
+    StageConfig s;
+    s.backend = backend;
+    s.gpuRatioEighths = ratio;
+    s.localWorkSize = lws;
+    c.stages = {s};
+    return c;
+}
+
+TransformConfig
+cfgSep(Backend rows, Backend cols, int lws = 64)
+{
+    TransformConfig c;
+    c.choiceIndex = 1;
+    StageConfig r;
+    r.backend = rows;
+    r.localWorkSize = lws;
+    StageConfig s;
+    s.backend = cols;
+    s.localWorkSize = lws;
+    c.stages = {r, s};
+    return c;
+}
+
+TEST(Simulator, ProducesPositiveTime)
+{
+    auto t = testfix::makeConvTransform(5);
+    auto out = simulateTransform(*t, cfg2d(Backend::Cpu),
+                                 convSizes(512, 5), {5},
+                                 sim::MachineProfile::desktop());
+    EXPECT_GT(out.seconds, 0.0);
+    EXPECT_EQ(out.kernelLaunches, 0);
+}
+
+TEST(Simulator, GpuRunIncludesTransfersBothWays)
+{
+    auto t = testfix::makeConvTransform(5);
+    auto out = simulateTransform(*t, cfg2d(Backend::OpenClGlobal),
+                                 convSizes(512, 5), {5},
+                                 sim::MachineProfile::desktop());
+    EXPECT_EQ(out.kernelLaunches, 1);
+    EXPECT_GT(out.bytesToDevice, 0.0);
+    // Lazy copy-out of the output is included (the paper's
+    // measurements account for copy-back, unlike most baselines).
+    EXPECT_GT(out.bytesFromDevice, 0.0);
+}
+
+TEST(Simulator, BiggerProblemsTakeLonger)
+{
+    auto t = testfix::makeConvTransform(5);
+    auto small = simulateTransform(*t, cfg2d(Backend::Cpu),
+                                   convSizes(256, 5), {5},
+                                   sim::MachineProfile::desktop());
+    auto large = simulateTransform(*t, cfg2d(Backend::Cpu),
+                                   convSizes(1024, 5), {5},
+                                   sim::MachineProfile::desktop());
+    EXPECT_GT(large.seconds, small.seconds * 4);
+}
+
+TEST(Simulator, ReusedIntermediateSkipsTransfer)
+{
+    auto t = testfix::makeConvTransform(5);
+    int64_t n = 1024;
+    auto allGpu = simulateTransform(
+        *t, cfgSep(Backend::OpenClGlobal, Backend::OpenClGlobal),
+        convSizes(n, 5), {5}, sim::MachineProfile::desktop());
+    auto mixed = simulateTransform(
+        *t, cfgSep(Backend::OpenClGlobal, Backend::Cpu), convSizes(n, 5),
+        {5}, sim::MachineProfile::desktop());
+    // The GPU->GPU pipeline never moves the intermediate across PCIe;
+    // the GPU->CPU pipeline must copy it out eagerly.
+    EXPECT_LT(allGpu.bytesFromDevice, mixed.bytesFromDevice);
+}
+
+TEST(Simulator, ServerTransfersAreFree)
+{
+    auto t = testfix::makeConvTransform(5);
+    auto out = simulateTransform(
+        *t, cfgSep(Backend::OpenClGlobal, Backend::OpenClGlobal),
+        convSizes(512, 5), {5}, sim::MachineProfile::server());
+    EXPECT_GT(out.bytesToDevice, 0.0);
+    EXPECT_GT(out.seconds, 0.0);
+}
+
+TEST(Simulator, DesktopGpuBeatsItsCpuOnBigConvolution)
+{
+    auto t = testfix::makeConvTransform(9);
+    int64_t n = 2048;
+    auto cpu = simulateTransform(*t, cfg2d(Backend::Cpu),
+                                 convSizes(n, 9), {9},
+                                 sim::MachineProfile::desktop());
+    auto gpu = simulateTransform(*t, cfg2d(Backend::OpenClGlobal),
+                                 convSizes(n, 9), {9},
+                                 sim::MachineProfile::desktop());
+    EXPECT_LT(gpu.seconds, cpu.seconds);
+}
+
+TEST(Simulator, LaptopGpuAdvantageSmallerThanDesktops)
+{
+    auto t = testfix::makeConvTransform(9);
+    int64_t n = 2048;
+    auto ratioOn = [&](const sim::MachineProfile &m) {
+        auto cpu = simulateTransform(*t, cfg2d(Backend::Cpu),
+                                     convSizes(n, 9), {9}, m);
+        auto gpu = simulateTransform(*t, cfg2d(Backend::OpenClGlobal),
+                                     convSizes(n, 9), {9}, m);
+        return cpu.seconds / gpu.seconds;
+    };
+    EXPECT_GT(ratioOn(sim::MachineProfile::desktop()),
+              ratioOn(sim::MachineProfile::laptop()));
+}
+
+TEST(Simulator, LocalMemoryWinsOnDesktopGpuForWideKernel)
+{
+    auto t = testfix::makeConvTransform(17);
+    int64_t n = 2048;
+    auto global = simulateTransform(*t, cfg2d(Backend::OpenClGlobal),
+                                    convSizes(n, 17), {17},
+                                    sim::MachineProfile::desktop());
+    auto local = simulateTransform(*t, cfg2d(Backend::OpenClLocal),
+                                   convSizes(n, 17), {17},
+                                   sim::MachineProfile::desktop());
+    EXPECT_LT(local.seconds, global.seconds);
+}
+
+TEST(Simulator, LocalMemoryLosesOnServerCpuOpenCL)
+{
+    auto t = testfix::makeConvTransform(7);
+    int64_t n = 2048;
+    auto global = simulateTransform(*t, cfg2d(Backend::OpenClGlobal),
+                                    convSizes(n, 7), {7},
+                                    sim::MachineProfile::server());
+    auto local = simulateTransform(*t, cfg2d(Backend::OpenClLocal),
+                                   convSizes(n, 7), {7},
+                                   sim::MachineProfile::server());
+    EXPECT_GT(local.seconds, global.seconds);
+}
+
+TEST(Simulator, SplitUsesBothResources)
+{
+    auto t = testfix::makeConvTransform(5);
+    auto out = simulateTransform(*t, cfg2d(Backend::OpenClGlobal, 4),
+                                 convSizes(1024, 5), {5},
+                                 sim::MachineProfile::laptop());
+    EXPECT_GT(out.gpuBusySeconds, 0.0);
+    EXPECT_GT(out.cpuBusySeconds, 0.0);
+}
+
+TEST(Simulator, OpenClOnMachineWithoutItPanics)
+{
+    auto t = testfix::makeConvTransform(5);
+    sim::MachineProfile noOcl = sim::MachineProfile::desktop();
+    noOcl.hasOpenCL = false;
+    EXPECT_THROW(simulateTransform(*t, cfg2d(Backend::OpenClGlobal),
+                                   convSizes(128, 5), {5}, noOcl),
+                 PanicError);
+}
+
+TEST(Simulator, DeterministicAcrossCalls)
+{
+    auto t = testfix::makeConvTransform(5);
+    auto a = simulateTransform(*t, cfg2d(Backend::OpenClGlobal),
+                               convSizes(512, 5), {5},
+                               sim::MachineProfile::desktop());
+    auto b = simulateTransform(*t, cfg2d(Backend::OpenClGlobal),
+                               convSizes(512, 5), {5},
+                               sim::MachineProfile::desktop());
+    EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+}
+
+} // namespace
+} // namespace compiler
+} // namespace petabricks

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "lang/rule.h"
+#include "support/error.h"
+
+namespace petabricks {
+namespace lang {
+namespace {
+
+TEST(CellReader, OriginTranslation)
+{
+    double data[6] = {0, 1, 2, 3, 4, 5}; // 3x2, row-major
+    CellReader plain(data, 3);
+    EXPECT_EQ(plain.at(2, 1), 5.0);
+
+    // A tile whose top-left corner sits at absolute (10, 20).
+    CellReader tile(data, 3, 10, 20);
+    EXPECT_EQ(tile.at(10, 20), 0.0);
+    EXPECT_EQ(tile.at(12, 21), 5.0);
+}
+
+TEST(DimAccess, Factories)
+{
+    DimAccess w = DimAccess::window(-1, 3);
+    EXPECT_FALSE(w.full);
+    EXPECT_EQ(w.offset, -1);
+    EXPECT_EQ(w.extent, 3);
+    EXPECT_TRUE(DimAccess::all().full);
+}
+
+TEST(AccessPattern, ConstantBoundingBox)
+{
+    AccessPattern window{"In", DimAccess::window(0, 3),
+                         DimAccess::window(0, 3)};
+    EXPECT_EQ(window.constantBoundingBoxArea(), 9);
+
+    AccessPattern row{"A", DimAccess::all(), DimAccess::window(0, 1)};
+    EXPECT_EQ(row.constantBoundingBoxArea(), 0); // not a constant
+
+    AccessPattern point = AccessPattern::point("B");
+    EXPECT_EQ(point.constantBoundingBoxArea(), 1);
+}
+
+TEST(RuleDef, PointRuleBasics)
+{
+    auto rule = RuleDef::makePoint(
+        "double", "Out", {AccessPattern::point("In")},
+        [](const PointArgs &pt) { return 2.0 * pt.input(0).at(pt.x, pt.y); },
+        [](const ParamEnv &) { return 1.0; });
+    EXPECT_TRUE(rule->isPointRule());
+    EXPECT_EQ(rule->outputSlot(), "Out");
+    ASSERT_EQ(rule->inputSlots().size(), 1u);
+    EXPECT_EQ(rule->inputSlots()[0], "In");
+    EXPECT_DOUBLE_EQ(rule->flopsPerPoint({}), 1.0);
+    EXPECT_FALSE(rule->hasInlineNativeCode());
+}
+
+TEST(RuleDef, PointBodyEvaluates)
+{
+    auto rule = RuleDef::makePoint(
+        "sum3", "Out",
+        {AccessPattern{"In", DimAccess::window(0, 3),
+                       DimAccess::window(0, 1)}},
+        [](const PointArgs &pt) {
+            return pt.input(0).at(pt.x, pt.y) +
+                   pt.input(0).at(pt.x + 1, pt.y) +
+                   pt.input(0).at(pt.x + 2, pt.y);
+        },
+        [](const ParamEnv &) { return 2.0; });
+    double data[5] = {1, 2, 3, 4, 5};
+    std::vector<CellReader> readers{CellReader(data, 5)};
+    ParamEnv params;
+    PointArgs pt;
+    pt.x = 1;
+    pt.y = 0;
+    pt.inputs = &readers;
+    pt.params = &params;
+    EXPECT_DOUBLE_EQ(rule->pointBody()(pt), 9.0);
+}
+
+TEST(RuleDef, RegionRuleIsNative)
+{
+    auto rule = RuleDef::makeRegion(
+        "native", "Out", {"In"},
+        [](RuleDef::RegionRunArgs &) {},
+        [](const Region &r, const ParamEnv &) {
+            sim::CostReport c;
+            c.flops = static_cast<double>(r.area());
+            return c;
+        });
+    EXPECT_FALSE(rule->isPointRule());
+    EXPECT_TRUE(rule->hasInlineNativeCode());
+    EXPECT_THROW(rule->accesses(), PanicError);
+    EXPECT_THROW(rule->flopsPerPoint({}), PanicError);
+    EXPECT_DOUBLE_EQ(rule->regionCost(Region(0, 0, 4, 4), {}).flops, 16.0);
+}
+
+TEST(RuleDef, FlagSetters)
+{
+    auto rule = RuleDef::makePoint(
+        "r", "Out", {AccessPattern::point("In")},
+        [](const PointArgs &) { return 0.0; },
+        [](const ParamEnv &) { return 1.0; });
+    rule->setCallsExternalLibrary(true);
+    rule->setOpenclCompileFails(true);
+    EXPECT_TRUE(rule->callsExternalLibrary());
+    EXPECT_TRUE(rule->openclCompileFails());
+}
+
+TEST(PointArgs, ParamAccess)
+{
+    ParamEnv params{7, 9};
+    PointArgs pt;
+    pt.params = &params;
+    EXPECT_EQ(pt.param(0), 7);
+    EXPECT_EQ(pt.param(1), 9);
+    EXPECT_THROW(pt.param(2), PanicError);
+}
+
+TEST(DependencyPatternNames, AllNamed)
+{
+    EXPECT_STREQ(dependencyPatternName(DependencyPattern::DataParallel),
+                 "data-parallel");
+    EXPECT_STREQ(dependencyPatternName(DependencyPattern::Sequential),
+                 "sequential");
+    EXPECT_STREQ(dependencyPatternName(DependencyPattern::Wavefront),
+                 "wavefront");
+}
+
+} // namespace
+} // namespace lang
+} // namespace petabricks

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "../compiler/conv_fixture.h"
+#include "lang/choice_graph.h"
+#include "support/error.h"
+
+namespace petabricks {
+namespace lang {
+namespace {
+
+RulePtr
+simplePoint(const std::string &name, const std::string &out,
+            std::vector<AccessPattern> accesses)
+{
+    return RuleDef::makePoint(
+        std::move(name), out, std::move(accesses),
+        [](const PointArgs &) { return 0.0; },
+        [](const ParamEnv &) { return 1.0; });
+}
+
+TEST(Transform, SlotAndChoiceRegistration)
+{
+    auto t = testfix::makeConvTransform(3);
+    EXPECT_EQ(t->name(), "SeparableConvolution");
+    EXPECT_EQ(t->slots().size(), 4u);
+    EXPECT_EQ(t->choices().size(), 2u);
+    EXPECT_EQ(t->choiceAt(0).name, "2d");
+    EXPECT_EQ(t->choiceAt(1).rules.size(), 2u);
+    EXPECT_TRUE(t->hasSlot("buffer"));
+    EXPECT_FALSE(t->hasSlot("nope"));
+    EXPECT_EQ(t->slotRole("Out"), SlotRole::Output);
+    EXPECT_EQ(t->slotRole("buffer"), SlotRole::Intermediate);
+}
+
+TEST(Transform, DuplicateSlotRejected)
+{
+    Transform t("t");
+    t.slot("A", SlotRole::Input);
+    EXPECT_THROW(t.slot("A", SlotRole::Output), PanicError);
+}
+
+TEST(Transform, ChoiceWithUnknownSlotRejected)
+{
+    Transform t("t");
+    t.slot("A", SlotRole::Input);
+    t.slot("B", SlotRole::Output);
+    auto bad = simplePoint("r", "C", {AccessPattern::point("A")});
+    EXPECT_THROW(t.choice("c", {bad}), PanicError);
+}
+
+TEST(Transform, BindingValidation)
+{
+    auto t = testfix::makeConvTransform(3);
+    Rng rng(1);
+    Binding ok = testfix::makeConvBinding(16, 3, rng);
+    EXPECT_NO_THROW(t->validateBinding(ok));
+    Binding missing;
+    EXPECT_THROW(t->validateBinding(missing), PanicError);
+}
+
+TEST(ChoiceGraph, VerticesAndEdges)
+{
+    auto t = testfix::makeConvTransform(3);
+    ChoiceDependencyGraph g(*t, 1); // separable
+    EXPECT_EQ(g.edges().size(), 2u);
+    // Vertices: buffer, In, Kernel, Out (order of first touch).
+    EXPECT_EQ(g.vertices().size(), 4u);
+    EXPECT_EQ(g.edges()[0].sink, "buffer");
+    EXPECT_EQ(g.edges()[1].sink, "Out");
+}
+
+TEST(ChoiceGraph, ProducerLookup)
+{
+    auto t = testfix::makeConvTransform(3);
+    ChoiceDependencyGraph g(*t, 1);
+    EXPECT_EQ(g.producerOf("buffer"), 0);
+    EXPECT_EQ(g.producerOf("Out"), 1);
+    EXPECT_EQ(g.producerOf("In"), -1); // transform input
+}
+
+TEST(ChoiceGraph, ExecutionOrderRespectsDataflow)
+{
+    auto t = testfix::makeConvTransform(3);
+    ChoiceDependencyGraph g(*t, 1);
+    auto order = g.executionOrder();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 0u); // rows before columns
+    EXPECT_EQ(order[1], 1u);
+    EXPECT_TRUE(g.isAcyclic());
+}
+
+TEST(ChoiceGraph, DataParallelPattern)
+{
+    auto t = testfix::makeConvTransform(3);
+    ChoiceDependencyGraph g2d(*t, 0);
+    EXPECT_EQ(g2d.pattern(0), DependencyPattern::DataParallel);
+    ChoiceDependencyGraph gsep(*t, 1);
+    EXPECT_EQ(gsep.pattern(0), DependencyPattern::DataParallel);
+    EXPECT_EQ(gsep.pattern(1), DependencyPattern::DataParallel);
+}
+
+TEST(ChoiceGraph, SequentialScanDetected)
+{
+    // Out[x,y] reads Out[x, y-1]: a row scan over its own output.
+    Transform t("scan");
+    t.slot("In", SlotRole::Input);
+    t.slot("Out", SlotRole::Output);
+    auto scan = simplePoint(
+        "scan", "Out",
+        {AccessPattern::point("In"),
+         AccessPattern{"Out", DimAccess::window(0, 1),
+                       DimAccess::window(-1, 1)}});
+    t.choice("c", {scan});
+    ChoiceDependencyGraph g(t, 0);
+    EXPECT_EQ(g.pattern(0), DependencyPattern::Sequential);
+}
+
+TEST(ChoiceGraph, LeftNeighborScanIsSequential)
+{
+    Transform t("scanx");
+    t.slot("In", SlotRole::Input);
+    t.slot("Out", SlotRole::Output);
+    auto scan = simplePoint(
+        "scanx", "Out",
+        {AccessPattern::point("In"),
+         AccessPattern{"Out", DimAccess::window(-1, 1),
+                       DimAccess::window(0, 1)}});
+    t.choice("c", {scan});
+    ChoiceDependencyGraph g(t, 0);
+    EXPECT_EQ(g.pattern(0), DependencyPattern::Sequential);
+}
+
+TEST(ChoiceGraph, WavefrontDetected)
+{
+    // Reads up-neighbor and left-neighbor of its own output: the
+    // classic diagonal wavefront (e.g. in-place Gauss-Seidel).
+    Transform t("wf");
+    t.slot("In", SlotRole::Input);
+    t.slot("Out", SlotRole::Output);
+    auto wf = simplePoint(
+        "wf", "Out",
+        {AccessPattern::point("In"),
+         AccessPattern{"Out", DimAccess::window(-1, 1),
+                       DimAccess::window(0, 1)},
+         AccessPattern{"Out", DimAccess::window(0, 1),
+                       DimAccess::window(-1, 1)}});
+    t.choice("c", {wf});
+    ChoiceDependencyGraph g(t, 0);
+    EXPECT_EQ(g.pattern(0), DependencyPattern::Wavefront);
+}
+
+TEST(ChoiceGraph, ForwardSelfReadIsWavefront)
+{
+    Transform t("fw");
+    t.slot("Out", SlotRole::Output);
+    auto fw = simplePoint("fw", "Out",
+                          {AccessPattern{"Out", DimAccess::window(1, 1),
+                                         DimAccess::window(0, 1)}});
+    t.choice("c", {fw});
+    ChoiceDependencyGraph g(t, 0);
+    EXPECT_EQ(g.pattern(0), DependencyPattern::Wavefront);
+}
+
+TEST(ChoiceGraph, FullSelfReadIsWavefront)
+{
+    Transform t("full");
+    t.slot("Out", SlotRole::Output);
+    auto full = simplePoint("full", "Out",
+                            {AccessPattern{"Out", DimAccess::all(),
+                                           DimAccess::window(0, 1)}});
+    t.choice("c", {full});
+    ChoiceDependencyGraph g(t, 0);
+    EXPECT_EQ(g.pattern(0), DependencyPattern::Wavefront);
+}
+
+TEST(ChoiceGraph, InPlacePointReadIsDataParallel)
+{
+    // Reading only your own cell (in-place update) is data parallel.
+    Transform t("inplace");
+    t.slot("Out", SlotRole::Output);
+    auto r = simplePoint("inplace", "Out",
+                         {AccessPattern::point("Out")});
+    t.choice("c", {r});
+    ChoiceDependencyGraph g(t, 0);
+    EXPECT_EQ(g.pattern(0), DependencyPattern::DataParallel);
+}
+
+TEST(ChoiceGraph, RegionRuleTreatedSequential)
+{
+    Transform t("native");
+    t.slot("In", SlotRole::Input);
+    t.slot("Out", SlotRole::Output);
+    auto r = RuleDef::makeRegion(
+        "native", "Out", {"In"}, [](RuleDef::RegionRunArgs &) {},
+        [](const Region &, const ParamEnv &) {
+            return sim::CostReport{};
+        });
+    t.choice("c", {r});
+    ChoiceDependencyGraph g(t, 0);
+    EXPECT_EQ(g.pattern(0), DependencyPattern::Sequential);
+}
+
+TEST(ChoiceGraph, CyclicChoiceDetected)
+{
+    // Two rules each consuming the other's output: cyclic.
+    Transform t("cyc");
+    t.slot("A", SlotRole::Output);
+    t.slot("B", SlotRole::Output);
+    auto r1 = simplePoint("r1", "A", {AccessPattern::point("B")});
+    auto r2 = simplePoint("r2", "B", {AccessPattern::point("A")});
+    t.choice("c", {r1, r2});
+    ChoiceDependencyGraph g(t, 0);
+    EXPECT_FALSE(g.isAcyclic());
+    EXPECT_THROW(g.executionOrder(), FatalError);
+}
+
+} // namespace
+} // namespace lang
+} // namespace petabricks

@@ -1,0 +1,40 @@
+#include <gtest/gtest.h>
+
+#include "ocl/buffer.h"
+
+namespace petabricks {
+namespace ocl {
+namespace {
+
+TEST(Buffer, ZeroFilledOnAllocation)
+{
+    Buffer b(64);
+    EXPECT_EQ(b.size(), 64);
+    for (int64_t i = 0; i < b.count<double>(); ++i)
+        EXPECT_EQ(b.as<double>()[i], 0.0);
+}
+
+TEST(Buffer, TypedAccess)
+{
+    Buffer b(4 * static_cast<int64_t>(sizeof(double)));
+    EXPECT_EQ(b.count<double>(), 4);
+    b.as<double>()[2] = 3.5;
+    EXPECT_EQ(b.as<double>()[2], 3.5);
+}
+
+TEST(Buffer, IdsUnique)
+{
+    Buffer a(8), b(8);
+    EXPECT_NE(a.id(), b.id());
+}
+
+TEST(Buffer, EmptyBufferAllowed)
+{
+    Buffer b(0);
+    EXPECT_EQ(b.size(), 0);
+    EXPECT_EQ(b.count<double>(), 0);
+}
+
+} // namespace
+} // namespace ocl
+} // namespace petabricks

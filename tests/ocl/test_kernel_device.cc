@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "ocl/device.h"
+#include "ocl/kernel.h"
+#include "sim/machine.h"
+#include "support/error.h"
+
+namespace petabricks {
+namespace ocl {
+namespace {
+
+Device
+makeDevice()
+{
+    return Device(sim::MachineProfile::desktop().ocl);
+}
+
+/** y[i] = a * x[i], 1-D data-parallel kernel. */
+KernelPtr
+scaleKernel()
+{
+    return std::make_shared<Kernel>(
+        "scale", "kernel:scale-v1",
+        [](GroupCtx &ctx) {
+            const double *x = ctx.args().buffer(0).as<double>();
+            double *y = ctx.args().buffer(1).as<double>();
+            double a = ctx.args().doubleArg(0);
+            ctx.forEachItem([&](int64_t gx, int64_t, int64_t, int64_t) {
+                y[gx] = a * x[gx];
+            });
+        },
+        [](const KernelArgs &, const NDRange &range) {
+            sim::CostReport cost;
+            cost.flops = static_cast<double>(range.items());
+            cost.globalBytesRead = 8.0 * range.items();
+            cost.globalBytesWritten = 8.0 * range.items();
+            cost.workItems = static_cast<double>(range.items());
+            return cost;
+        });
+}
+
+/**
+ * Cooperative two-phase kernel: groups stage their inputs into local
+ * memory, barrier, then compute y[i] = x[i] + left-neighbor-in-group.
+ */
+KernelPtr
+localMemKernel()
+{
+    return std::make_shared<Kernel>(
+        "coop", "kernel:coop-v1",
+        [](GroupCtx &ctx) {
+            const double *x = ctx.args().buffer(0).as<double>();
+            double *y = ctx.args().buffer(1).as<double>();
+            double *local = ctx.localMem();
+            ctx.forEachItem([&](int64_t gx, int64_t, int64_t lx, int64_t) {
+                local[lx] = x[gx];
+            });
+            ctx.barrier();
+            ctx.forEachItem([&](int64_t gx, int64_t, int64_t lx, int64_t) {
+                double left = lx > 0 ? local[lx - 1] : 0.0;
+                y[gx] = local[lx] + left;
+            });
+        },
+        [](const KernelArgs &, const NDRange &range) {
+            sim::CostReport cost;
+            cost.flops = static_cast<double>(range.items());
+            cost.globalBytesRead = 8.0 * range.items();
+            cost.globalBytesWritten = 8.0 * range.items();
+            cost.localBytes = 16.0 * range.items();
+            cost.barriers = static_cast<double>(range.groups());
+            return cost;
+        },
+        [](const KernelArgs &, const NDRange &range) {
+            return range.localW; // one double per item
+        });
+}
+
+TEST(Device, ExecutesAllItems)
+{
+    Device dev = makeDevice();
+    auto x = std::make_shared<Buffer>(100 * 8);
+    auto y = std::make_shared<Buffer>(100 * 8);
+    for (int i = 0; i < 100; ++i)
+        x->as<double>()[i] = i;
+    KernelArgs args;
+    args.buffers = {x, y};
+    args.doubles = {2.0};
+    dev.launch(*scaleKernel(), args, NDRange::linear(100, 16));
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(y->as<double>()[i], 2.0 * i) << i;
+}
+
+TEST(Device, RaggedRangeOnlyTouchesLiveItems)
+{
+    Device dev = makeDevice();
+    auto x = std::make_shared<Buffer>(10 * 8);
+    auto y = std::make_shared<Buffer>(10 * 8);
+    for (int i = 0; i < 10; ++i)
+        x->as<double>()[i] = 1.0;
+    KernelArgs args;
+    args.buffers = {x, y};
+    args.doubles = {3.0};
+    // 10 items in groups of 4 -> last group half-full.
+    dev.launch(*scaleKernel(), args, NDRange::linear(10, 4));
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(y->as<double>()[i], 3.0);
+}
+
+TEST(Device, LocalMemoryCooperativeLoad)
+{
+    Device dev = makeDevice();
+    const int n = 16;
+    auto x = std::make_shared<Buffer>(n * 8);
+    auto y = std::make_shared<Buffer>(n * 8);
+    for (int i = 0; i < n; ++i)
+        x->as<double>()[i] = i + 1.0;
+    KernelArgs args;
+    args.buffers = {x, y};
+    dev.launch(*localMemKernel(), args, NDRange::linear(n, 4));
+    for (int i = 0; i < n; ++i) {
+        double left = (i % 4 == 0) ? 0.0 : i; // group-local neighbor
+        EXPECT_EQ(y->as<double>()[i], (i + 1.0) + left) << i;
+    }
+}
+
+TEST(Device, LocalMemoryClearedBetweenGroups)
+{
+    // Each group writes to local[0..lw); a later group must not observe
+    // the previous group's values.
+    Device dev = makeDevice();
+    auto out = std::make_shared<Buffer>(8 * 8);
+    auto probe = std::make_shared<Kernel>(
+        "probe", "kernel:probe",
+        [](GroupCtx &ctx) {
+            double *y = ctx.args().buffer(0).as<double>();
+            double *local = ctx.localMem();
+            ctx.forEachItem([&](int64_t gx, int64_t, int64_t lx, int64_t) {
+                y[gx] = local[lx]; // read before writing
+                local[lx] = 99.0;
+            });
+        },
+        [](const KernelArgs &, const NDRange &) {
+            return sim::CostReport{};
+        },
+        [](const KernelArgs &, const NDRange &range) {
+            return range.localW;
+        });
+    KernelArgs args;
+    args.buffers = {out};
+    dev.launch(*probe, args, NDRange::linear(8, 4));
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(out->as<double>()[i], 0.0) << i;
+}
+
+TEST(Device, StatsAccumulate)
+{
+    Device dev = makeDevice();
+    auto x = std::make_shared<Buffer>(64 * 8);
+    auto y = std::make_shared<Buffer>(64 * 8);
+    KernelArgs args;
+    args.buffers = {x, y};
+    args.doubles = {1.0};
+    dev.launch(*scaleKernel(), args, NDRange::linear(64, 8));
+    dev.launch(*scaleKernel(), args, NDRange::linear(64, 8));
+    EXPECT_EQ(dev.stats().launches, 2);
+    EXPECT_EQ(dev.stats().itemsExecuted, 128);
+    EXPECT_EQ(dev.stats().groupsExecuted, 16);
+    EXPECT_DOUBLE_EQ(dev.stats().accumulated.flops, 128.0);
+}
+
+TEST(Device, BarriersCounted)
+{
+    Device dev = makeDevice();
+    const int n = 16;
+    auto x = std::make_shared<Buffer>(n * 8);
+    auto y = std::make_shared<Buffer>(n * 8);
+    KernelArgs args;
+    args.buffers = {x, y};
+    dev.launch(*localMemKernel(), args, NDRange::linear(n, 4));
+    EXPECT_EQ(dev.stats().barriersExecuted, 4); // one per group
+}
+
+TEST(Device, LocalMemOverflowIsFatal)
+{
+    Device dev(sim::MachineProfile::desktop().ocl, /*localMemBytes=*/64);
+    auto x = std::make_shared<Buffer>(1024 * 8);
+    auto y = std::make_shared<Buffer>(1024 * 8);
+    KernelArgs args;
+    args.buffers = {x, y};
+    EXPECT_THROW(
+        dev.launch(*localMemKernel(), args, NDRange::linear(1024, 256)),
+        FatalError);
+}
+
+TEST(Device, CostReportReturnedMatchesKernelCostFn)
+{
+    Device dev = makeDevice();
+    auto x = std::make_shared<Buffer>(32 * 8);
+    auto y = std::make_shared<Buffer>(32 * 8);
+    KernelArgs args;
+    args.buffers = {x, y};
+    args.doubles = {1.0};
+    auto cost = dev.launch(*scaleKernel(), args, NDRange::linear(32, 8));
+    EXPECT_DOUBLE_EQ(cost.flops, 32.0);
+    EXPECT_DOUBLE_EQ(cost.globalBytesRead, 256.0);
+}
+
+TEST(KernelArgs, MissingArgsArePanics)
+{
+    KernelArgs args;
+    EXPECT_THROW(args.buffer(0), PanicError);
+    EXPECT_THROW(args.intArg(0), PanicError);
+    EXPECT_THROW(args.doubleArg(0), PanicError);
+}
+
+} // namespace
+} // namespace ocl
+} // namespace petabricks

@@ -1,0 +1,42 @@
+#include <gtest/gtest.h>
+
+#include "ocl/ndrange.h"
+#include "support/error.h"
+
+namespace petabricks {
+namespace ocl {
+namespace {
+
+TEST(NDRange, ExactTiling)
+{
+    NDRange r(64, 32, 8, 8);
+    EXPECT_EQ(r.items(), 64 * 32);
+    EXPECT_EQ(r.groupItems(), 64);
+    EXPECT_EQ(r.groupsX(), 8);
+    EXPECT_EQ(r.groupsY(), 4);
+    EXPECT_EQ(r.groups(), 32);
+}
+
+TEST(NDRange, RaggedEdgeRoundsUp)
+{
+    NDRange r(65, 33, 8, 8);
+    EXPECT_EQ(r.groupsX(), 9);
+    EXPECT_EQ(r.groupsY(), 5);
+}
+
+TEST(NDRange, LinearFactory)
+{
+    NDRange r = NDRange::linear(1000, 128);
+    EXPECT_EQ(r.globalH, 1);
+    EXPECT_EQ(r.localH, 1);
+    EXPECT_EQ(r.groups(), 8);
+}
+
+TEST(NDRange, RejectsNonPositiveLocal)
+{
+    EXPECT_THROW(NDRange(10, 10, 0, 1), PanicError);
+}
+
+} // namespace
+} // namespace ocl
+} // namespace petabricks

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "ocl/program_cache.h"
+
+namespace petabricks {
+namespace ocl {
+namespace {
+
+TEST(ProgramCache, FirstCompileIsFullCost)
+{
+    ProgramCache cache(2.0, 0.5);
+    EXPECT_DOUBLE_EQ(cache.compile("k1"), 2.0);
+    EXPECT_EQ(cache.stats().fullCompiles, 1);
+}
+
+TEST(ProgramCache, InProcessRecompileIsFree)
+{
+    ProgramCache cache(2.0, 0.5);
+    cache.compile("k1");
+    EXPECT_DOUBLE_EQ(cache.compile("k1"), 0.0);
+    EXPECT_EQ(cache.stats().inProcessHits, 1);
+}
+
+TEST(ProgramCache, IrCacheHitAcrossRuns)
+{
+    // Section 5.4: the stored IR skips parse/optimize but the
+    // architecture-specific JIT still runs.
+    ProgramCache cache(2.0, 0.5);
+    cache.compile("k1");
+    cache.endRun();
+    EXPECT_DOUBLE_EQ(cache.compile("k1"), 1.0);
+    EXPECT_EQ(cache.stats().irCacheHits, 1);
+}
+
+TEST(ProgramCache, DistinctSourcesCompileSeparately)
+{
+    ProgramCache cache(1.0, 0.6);
+    cache.compile("a");
+    EXPECT_DOUBLE_EQ(cache.compile("b"), 1.0);
+    EXPECT_EQ(cache.stats().fullCompiles, 2);
+}
+
+TEST(ProgramCache, ClearForgetsIr)
+{
+    ProgramCache cache(1.0, 0.6);
+    cache.compile("a");
+    cache.clear();
+    EXPECT_DOUBLE_EQ(cache.compile("a"), 1.0);
+    EXPECT_EQ(cache.stats().fullCompiles, 2);
+}
+
+TEST(ProgramCache, TotalSecondsAccumulates)
+{
+    ProgramCache cache(2.0, 0.5);
+    cache.compile("a"); // 2.0
+    cache.endRun();
+    cache.compile("a"); // 1.0
+    cache.compile("b"); // 2.0
+    EXPECT_DOUBLE_EQ(cache.stats().totalSeconds, 5.0);
+}
+
+} // namespace
+} // namespace ocl
+} // namespace petabricks

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ocl/queue.h"
+#include "sim/machine.h"
+
+namespace petabricks {
+namespace ocl {
+namespace {
+
+struct QueueFixture : ::testing::Test
+{
+    QueueFixture()
+        : device(sim::MachineProfile::desktop().ocl), queue(device)
+    {}
+    Device device;
+    CommandQueue queue;
+};
+
+TEST_F(QueueFixture, WriteThenReadRoundTrip)
+{
+    auto buf = std::make_shared<Buffer>(8 * 8);
+    std::vector<double> src{1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<double> dst(8, 0.0);
+    queue.enqueueWrite(buf, src.data(), 64);
+    auto read = queue.enqueueRead(buf, dst.data(), 64);
+    read->wait();
+    EXPECT_EQ(dst, src);
+}
+
+TEST_F(QueueFixture, EnqueueIsNonBlocking)
+{
+    // A write's event starts out not-complete from the caller's view
+    // (it may complete quickly, but enqueue must not wait for it).
+    auto buf = std::make_shared<Buffer>(1 << 20);
+    std::vector<double> src(1 << 17, 1.0);
+    auto ev = queue.enqueueWrite(buf, src.data(), 1 << 20);
+    EXPECT_NO_THROW(ev->wait());
+    EXPECT_TRUE(ev->isComplete());
+}
+
+TEST_F(QueueFixture, InOrderExecution)
+{
+    // Two writes to the same location retire in enqueue order.
+    auto buf = std::make_shared<Buffer>(8);
+    double one = 1.0, two = 2.0, out = 0.0;
+    queue.enqueueWrite(buf, &one, 8);
+    queue.enqueueWrite(buf, &two, 8);
+    queue.enqueueRead(buf, &out, 8)->wait();
+    EXPECT_EQ(out, 2.0);
+}
+
+TEST_F(QueueFixture, FinishDrainsEverything)
+{
+    auto buf = std::make_shared<Buffer>(8 * 1024);
+    std::vector<double> src(1024, 3.0);
+    for (int i = 0; i < 32; ++i)
+        queue.enqueueWrite(buf, src.data(), 8 * 1024);
+    queue.finish();
+    EXPECT_EQ(queue.stats().writes, 32);
+}
+
+TEST_F(QueueFixture, KernelLaunchThroughQueue)
+{
+    auto x = std::make_shared<Buffer>(16 * 8);
+    auto y = std::make_shared<Buffer>(16 * 8);
+    for (int i = 0; i < 16; ++i)
+        x->as<double>()[i] = i;
+    auto kernel = std::make_shared<Kernel>(
+        "inc", "kernel:inc",
+        [](GroupCtx &ctx) {
+            const double *in = ctx.args().buffer(0).as<double>();
+            double *out = ctx.args().buffer(1).as<double>();
+            ctx.forEachItem([&](int64_t gx, int64_t, int64_t, int64_t) {
+                out[gx] = in[gx] + 1.0;
+            });
+        },
+        [](const KernelArgs &, const NDRange &range) {
+            sim::CostReport c;
+            c.flops = static_cast<double>(range.items());
+            return c;
+        });
+    KernelArgs args;
+    args.buffers = {x, y};
+    auto ev = queue.enqueueKernel(kernel, args, NDRange::linear(16, 4));
+    ev->wait();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(y->as<double>()[i], i + 1.0);
+    EXPECT_EQ(queue.stats().kernels, 1);
+}
+
+TEST_F(QueueFixture, RectWriteReadRoundTrip)
+{
+    // 4x4 matrix; move only the center 2x2 block.
+    const int64_t w = 4;
+    auto buf = std::make_shared<Buffer>(16 * 8);
+    std::vector<double> host(16);
+    for (int i = 0; i < 16; ++i)
+        host[static_cast<size_t>(i)] = i;
+    Region center(1, 1, 2, 2);
+    queue.enqueueWriteRect(buf, host.data(), w, center);
+    queue.finish();
+    // Only the center block landed in the buffer.
+    EXPECT_EQ(buf->as<double>()[1 * 4 + 1], 5.0);
+    EXPECT_EQ(buf->as<double>()[2 * 4 + 2], 10.0);
+    EXPECT_EQ(buf->as<double>()[0], 0.0);
+
+    std::vector<double> back(16, -1.0);
+    queue.enqueueReadRect(buf, back.data(), w, center)->wait();
+    EXPECT_EQ(back[5], 5.0);
+    EXPECT_EQ(back[10], 10.0);
+    EXPECT_EQ(back[0], -1.0); // untouched outside the rect
+}
+
+TEST_F(QueueFixture, RectTrafficCounted)
+{
+    auto buf = std::make_shared<Buffer>(64 * 64 * 8);
+    std::vector<double> host(64 * 64, 0.0);
+    queue.enqueueWriteRect(buf, host.data(), 64, Region(0, 0, 64, 16));
+    queue.finish();
+    EXPECT_DOUBLE_EQ(queue.stats().bytesIn, 64 * 16 * 8.0);
+}
+
+TEST_F(QueueFixture, BoundsChecked)
+{
+    auto buf = std::make_shared<Buffer>(64);
+    double x = 0;
+    EXPECT_THROW(queue.enqueueWrite(buf, &x, 128), PanicError);
+    EXPECT_THROW(queue.enqueueRead(buf, &x, 8, 60), PanicError);
+    std::vector<double> host(16);
+    EXPECT_THROW(
+        queue.enqueueWriteRect(buf, host.data(), 4, Region(2, 0, 4, 1)),
+        PanicError);
+}
+
+} // namespace
+} // namespace ocl
+} // namespace petabricks

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "runtime/deque.h"
+
+namespace petabricks {
+namespace runtime {
+namespace {
+
+TaskPtr
+named(const std::string &name)
+{
+    return Task::cpu(name, [] {});
+}
+
+TEST(WorkDeque, OwnerLifoOrder)
+{
+    WorkDeque dq;
+    dq.pushTop(named("a"));
+    dq.pushTop(named("b"));
+    EXPECT_EQ(dq.popTop()->name(), "b");
+    EXPECT_EQ(dq.popTop()->name(), "a");
+    EXPECT_EQ(dq.popTop(), nullptr);
+}
+
+TEST(WorkDeque, ThiefTakesOldest)
+{
+    WorkDeque dq;
+    dq.pushTop(named("old"));
+    dq.pushTop(named("new"));
+    EXPECT_EQ(dq.stealBottom()->name(), "old");
+    EXPECT_EQ(dq.popTop()->name(), "new");
+}
+
+TEST(WorkDeque, PushBottomServedLastByOwner)
+{
+    WorkDeque dq;
+    dq.pushTop(named("own"));
+    dq.pushBottom(named("pushed"));
+    EXPECT_EQ(dq.popTop()->name(), "own");
+    EXPECT_EQ(dq.popTop()->name(), "pushed");
+}
+
+TEST(WorkDeque, FifoViaBottomPushTopPop)
+{
+    // The GPU manager's queue: enqueue with pushBottom, serve popTop.
+    WorkDeque dq;
+    dq.pushBottom(named("first"));
+    dq.pushBottom(named("second"));
+    dq.pushBottom(named("third"));
+    EXPECT_EQ(dq.popTop()->name(), "first");
+    EXPECT_EQ(dq.popTop()->name(), "second");
+    EXPECT_EQ(dq.popTop()->name(), "third");
+}
+
+TEST(WorkDeque, SizeTracksContents)
+{
+    WorkDeque dq;
+    EXPECT_TRUE(dq.empty());
+    dq.pushTop(named("a"));
+    dq.pushTop(named("b"));
+    EXPECT_EQ(dq.size(), 2u);
+    dq.stealBottom();
+    EXPECT_EQ(dq.size(), 1u);
+}
+
+TEST(WorkDeque, ConcurrentOwnerAndThieves)
+{
+    WorkDeque dq;
+    constexpr int kTasks = 10000;
+    std::atomic<int> taken{0};
+
+    std::thread owner([&] {
+        for (int i = 0; i < kTasks; ++i)
+            dq.pushTop(named("t"));
+        // Owner drains what it can.
+        while (dq.popTop())
+            taken.fetch_add(1, std::memory_order_relaxed);
+    });
+    std::vector<std::thread> thieves;
+    for (int t = 0; t < 4; ++t) {
+        thieves.emplace_back([&] {
+            while (taken.load(std::memory_order_relaxed) < kTasks) {
+                if (dq.stealBottom())
+                    taken.fetch_add(1, std::memory_order_relaxed);
+                else
+                    std::this_thread::yield();
+            }
+        });
+    }
+    owner.join();
+    for (auto &t : thieves)
+        t.join();
+    EXPECT_EQ(taken.load(), kTasks);
+    EXPECT_TRUE(dq.empty());
+}
+
+} // namespace
+} // namespace runtime
+} // namespace petabricks

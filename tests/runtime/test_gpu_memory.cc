@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "runtime/gpu_memory.h"
+#include "sim/machine.h"
+
+namespace petabricks {
+namespace runtime {
+namespace {
+
+struct GpuMemoryFixture : ::testing::Test
+{
+    GpuMemoryFixture()
+        : device(sim::MachineProfile::desktop().ocl), queue(device),
+          table(queue)
+    {}
+
+    MatrixD
+    filled(int64_t w, int64_t h, double base = 0.0)
+    {
+        MatrixD m(w, h);
+        for (int64_t y = 0; y < h; ++y)
+            for (int64_t x = 0; x < w; ++x)
+                m.at(x, y) = base + static_cast<double>(y * w + x);
+        return m;
+    }
+
+    ocl::Device device;
+    ocl::CommandQueue queue;
+    GpuMemoryTable table;
+};
+
+TEST_F(GpuMemoryFixture, PrepareAllocatesConsolidatedBuffer)
+{
+    MatrixD m = filled(8, 4);
+    auto buf = table.prepare(m);
+    ASSERT_NE(buf, nullptr);
+    EXPECT_EQ(buf->size(), m.bytes());
+    EXPECT_EQ(table.statsSnapshot().buffersAllocated, 1);
+}
+
+TEST_F(GpuMemoryFixture, PrepareIsIdempotent)
+{
+    MatrixD m = filled(4, 4);
+    auto b1 = table.prepare(m);
+    auto b2 = table.prepare(m);
+    EXPECT_EQ(b1, b2);
+    EXPECT_EQ(table.statsSnapshot().buffersAllocated, 1);
+}
+
+TEST_F(GpuMemoryFixture, CopyInMovesData)
+{
+    MatrixD m = filled(4, 4);
+    table.prepare(m);
+    EXPECT_TRUE(table.copyIn(m, m.fullRegion()));
+    queue.finish();
+    auto buf = table.buffer(m);
+    EXPECT_EQ(buf->as<double>()[5], 5.0);
+    EXPECT_TRUE(table.validOnDevice(m, m.fullRegion()));
+}
+
+TEST_F(GpuMemoryFixture, CopyInDeduplicated)
+{
+    // Section 4.3 copy-in management: if data is already on the GPU the
+    // copy-in completes without executing.
+    MatrixD m = filled(4, 4);
+    table.prepare(m);
+    EXPECT_TRUE(table.copyIn(m, m.fullRegion()));
+    EXPECT_FALSE(table.copyIn(m, m.fullRegion()));
+    EXPECT_FALSE(table.copyIn(m, Region(1, 1, 2, 2))); // subregion
+    auto stats = table.statsSnapshot();
+    EXPECT_EQ(stats.copyInsPerformed, 1);
+    EXPECT_EQ(stats.copyInsSkipped, 2);
+}
+
+TEST_F(GpuMemoryFixture, KernelOutputCountsAsResident)
+{
+    // A region produced on the GPU satisfies later copy-ins too.
+    MatrixD m = filled(4, 4);
+    table.prepare(m);
+    table.markDeviceWritten(m, m.fullRegion());
+    EXPECT_FALSE(table.copyIn(m, Region(0, 0, 4, 2)));
+    EXPECT_EQ(table.statsSnapshot().copyInsSkipped, 1);
+}
+
+TEST_F(GpuMemoryFixture, PartialResidencyStillCopies)
+{
+    MatrixD m = filled(4, 4);
+    table.prepare(m);
+    table.copyIn(m, Region(0, 0, 4, 2)); // top half only
+    EXPECT_TRUE(table.copyIn(m, m.fullRegion()));
+    EXPECT_EQ(table.statsSnapshot().copyInsPerformed, 2);
+}
+
+TEST_F(GpuMemoryFixture, EagerCopyOutRoundTrip)
+{
+    MatrixD m = filled(4, 4);
+    table.prepare(m);
+    // Kernel writes directly into the consolidated buffer.
+    auto buf = table.buffer(m);
+    for (int i = 0; i < 16; ++i)
+        buf->as<double>()[i] = 100.0 + i;
+    table.markDeviceWritten(m, m.fullRegion());
+    EXPECT_TRUE(table.hostStale(m, m.fullRegion()));
+
+    auto event = table.copyOut(m, m.fullRegion());
+    event->wait();
+    EXPECT_EQ(m.at(0, 0), 100.0);
+    EXPECT_EQ(m.at(3, 3), 115.0);
+    EXPECT_FALSE(table.hostStale(m, m.fullRegion()));
+    EXPECT_EQ(table.statsSnapshot().eagerCopyOuts, 1);
+}
+
+TEST_F(GpuMemoryFixture, CopyOutOfUnwrittenRegionPanics)
+{
+    MatrixD m = filled(4, 4);
+    table.prepare(m);
+    EXPECT_THROW(table.copyOut(m, m.fullRegion()), PanicError);
+}
+
+TEST_F(GpuMemoryFixture, LazyCopyOutOnDemand)
+{
+    // may copy-out: data stays on the GPU until a consumer checks.
+    MatrixD m = filled(4, 4);
+    table.prepare(m);
+    auto buf = table.buffer(m);
+    for (int i = 0; i < 16; ++i)
+        buf->as<double>()[i] = 50.0 + i;
+    table.markDeviceWritten(m, m.fullRegion());
+
+    table.ensureOnHost(m, Region(0, 0, 2, 2));
+    EXPECT_EQ(m.at(1, 1), 55.0);
+    EXPECT_EQ(table.statsSnapshot().lazyCopyOuts, 1);
+    // The rest is still pending.
+    EXPECT_TRUE(table.hostStale(m, Region(2, 2, 2, 2)));
+    EXPECT_FALSE(table.hostStale(m, Region(0, 0, 2, 2)));
+}
+
+TEST_F(GpuMemoryFixture, LazyCheckOnCleanDataIsFree)
+{
+    MatrixD m = filled(4, 4);
+    table.prepare(m);
+    table.copyIn(m, m.fullRegion());
+    table.ensureOnHost(m, m.fullRegion());
+    auto stats = table.statsSnapshot();
+    EXPECT_EQ(stats.lazyCopyOuts, 0);
+    EXPECT_EQ(stats.lazyChecksClean, 1);
+}
+
+TEST_F(GpuMemoryFixture, EnsureOnHostForUntrackedMatrixIsNoop)
+{
+    MatrixD m = filled(2, 2);
+    EXPECT_NO_THROW(table.ensureOnHost(m, m.fullRegion()));
+}
+
+TEST_F(GpuMemoryFixture, InvalidateReleasesBuffer)
+{
+    MatrixD m = filled(4, 4);
+    table.prepare(m);
+    table.copyIn(m, m.fullRegion());
+    table.invalidate(m);
+    EXPECT_FALSE(table.validOnDevice(m, m.fullRegion()));
+    EXPECT_EQ(table.statsSnapshot().buffersReleased, 1);
+    // A fresh prepare allocates a new buffer.
+    table.prepare(m);
+    EXPECT_EQ(table.statsSnapshot().buffersAllocated, 2);
+}
+
+TEST_F(GpuMemoryFixture, InvalidateWithPendingResultsPanics)
+{
+    MatrixD m = filled(4, 4);
+    table.prepare(m);
+    table.markDeviceWritten(m, m.fullRegion());
+    EXPECT_THROW(table.invalidate(m), PanicError);
+}
+
+TEST_F(GpuMemoryFixture, MultiRegionProducersConsolidate)
+{
+    // Two kernels produce halves of one matrix into the same buffer
+    // (the consolidated copy-out optimization).
+    MatrixD m(4, 4);
+    table.prepare(m);
+    auto buf = table.buffer(m);
+    for (int i = 0; i < 8; ++i)
+        buf->as<double>()[i] = 1.0; // top half
+    for (int i = 8; i < 16; ++i)
+        buf->as<double>()[i] = 2.0; // bottom half
+    table.markDeviceWritten(m, Region(0, 0, 4, 2));
+    table.markDeviceWritten(m, Region(0, 2, 4, 2));
+    EXPECT_TRUE(table.validOnDevice(m, m.fullRegion()));
+
+    table.copyOut(m, m.fullRegion())->wait();
+    EXPECT_EQ(m.at(0, 0), 1.0);
+    EXPECT_EQ(m.at(3, 3), 2.0);
+    EXPECT_FALSE(table.hostStale(m, m.fullRegion()));
+}
+
+TEST_F(GpuMemoryFixture, ClearDropsAllRecords)
+{
+    MatrixD a = filled(2, 2), b = filled(3, 3);
+    table.prepare(a);
+    table.prepare(b);
+    table.clear();
+    EXPECT_EQ(table.statsSnapshot().buffersReleased, 2);
+    EXPECT_FALSE(table.validOnDevice(a, a.fullRegion()));
+}
+
+} // namespace
+} // namespace runtime
+} // namespace petabricks

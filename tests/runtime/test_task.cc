@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "runtime/task.h"
+#include "support/error.h"
+
+namespace petabricks {
+namespace runtime {
+namespace {
+
+TaskPtr
+noop(const std::string &name)
+{
+    return Task::cpu(name, [] {});
+}
+
+/** Run a runnable task, returning its newly runnable dependents. */
+std::vector<TaskPtr>
+execute(const TaskPtr &task)
+{
+    TaskContext ctx;
+    std::vector<TaskPtr> runnable;
+    TaskPtr cont = task->run(ctx, runnable);
+    EXPECT_EQ(cont, nullptr);
+    return runnable;
+}
+
+TEST(Task, NewTaskWithNoDepsBecomesRunnable)
+{
+    TaskPtr t = noop("t");
+    EXPECT_EQ(t->state(), TaskState::New);
+    EXPECT_TRUE(t->finishCreation());
+    EXPECT_EQ(t->state(), TaskState::Runnable);
+}
+
+TEST(Task, DependentStartsNonRunnable)
+{
+    TaskPtr a = noop("a");
+    TaskPtr b = noop("b");
+    b->dependsOn(a);
+    a->finishCreation();
+    EXPECT_FALSE(b->finishCreation());
+    EXPECT_EQ(b->state(), TaskState::NonRunnable);
+    EXPECT_EQ(b->pendingDependencies(), 1);
+}
+
+TEST(Task, CompletionUnblocksDependent)
+{
+    TaskPtr a = noop("a");
+    TaskPtr b = noop("b");
+    b->dependsOn(a);
+    a->finishCreation();
+    b->finishCreation();
+    auto runnable = execute(a);
+    EXPECT_EQ(a->state(), TaskState::Complete);
+    ASSERT_EQ(runnable.size(), 1u);
+    EXPECT_EQ(runnable[0], b);
+    EXPECT_EQ(b->state(), TaskState::Runnable);
+}
+
+TEST(Task, MultipleDependenciesAllRequired)
+{
+    TaskPtr a = noop("a");
+    TaskPtr b = noop("b");
+    TaskPtr c = noop("c");
+    c->dependsOn(a);
+    c->dependsOn(b);
+    a->finishCreation();
+    b->finishCreation();
+    c->finishCreation();
+    EXPECT_TRUE(execute(a).empty());
+    EXPECT_EQ(c->state(), TaskState::NonRunnable);
+    auto runnable = execute(b);
+    ASSERT_EQ(runnable.size(), 1u);
+    EXPECT_EQ(runnable[0], c);
+}
+
+TEST(Task, DependingOnCompleteTaskIsNoop)
+{
+    TaskPtr a = noop("a");
+    a->finishCreation();
+    execute(a);
+    TaskPtr b = noop("b");
+    b->dependsOn(a); // no-op per the paper
+    EXPECT_TRUE(b->finishCreation());
+}
+
+TEST(Task, DependenciesOnlyInNewState)
+{
+    TaskPtr a = noop("a");
+    TaskPtr b = noop("b");
+    a->finishCreation();
+    EXPECT_THROW(a->dependsOn(b), PanicError);
+}
+
+TEST(Task, SelfDependencyRejected)
+{
+    TaskPtr a = noop("a");
+    EXPECT_THROW(a->dependsOn(a), PanicError);
+}
+
+TEST(Task, ContinuationInheritsDependents)
+{
+    // a returns continuation k; b depends on a; b must only become
+    // runnable after k completes.
+    TaskPtr k = noop("k");
+    TaskPtr a = std::make_shared<Task>(
+        "a", TaskClass::Cpu, [&](TaskContext &) { return k; });
+    TaskPtr b = noop("b");
+    b->dependsOn(a);
+    a->finishCreation();
+    b->finishCreation();
+
+    TaskContext ctx;
+    std::vector<TaskPtr> runnable;
+    TaskPtr cont = a->run(ctx, runnable);
+    EXPECT_EQ(cont, k);
+    EXPECT_EQ(a->state(), TaskState::Continued);
+    EXPECT_TRUE(runnable.empty()); // b now waits on k
+
+    EXPECT_TRUE(k->finishCreation());
+    auto after = execute(k);
+    ASSERT_EQ(after.size(), 1u);
+    EXPECT_EQ(after[0], b);
+}
+
+TEST(Task, DependingOnContinuedTaskFollowsChain)
+{
+    TaskPtr k = noop("k");
+    TaskPtr a = std::make_shared<Task>(
+        "a", TaskClass::Cpu, [&](TaskContext &) { return k; });
+    a->finishCreation();
+    TaskContext ctx;
+    std::vector<TaskPtr> runnable;
+    a->run(ctx, runnable);
+    k->finishCreation();
+
+    // New dependency on the continued task must land on k.
+    TaskPtr b = noop("b");
+    b->dependsOn(a);
+    EXPECT_FALSE(b->finishCreation());
+    auto after = execute(k);
+    ASSERT_EQ(after.size(), 1u);
+    EXPECT_EQ(after[0], b);
+}
+
+TEST(Task, ChainedContinuations)
+{
+    TaskPtr k2 = noop("k2");
+    TaskPtr k1 = std::make_shared<Task>(
+        "k1", TaskClass::Cpu, [&](TaskContext &) { return k2; });
+    TaskPtr a = std::make_shared<Task>(
+        "a", TaskClass::Cpu, [&](TaskContext &) { return k1; });
+    a->finishCreation();
+    TaskContext c1;
+    std::vector<TaskPtr> r1;
+    a->run(c1, r1);
+    k1->finishCreation();
+    TaskContext c2;
+    std::vector<TaskPtr> r2;
+    k1->run(c2, r2);
+    k2->finishCreation();
+
+    // Depending on a follows a -> k1 -> k2.
+    TaskPtr b = noop("b");
+    b->dependsOn(a);
+    EXPECT_FALSE(b->finishCreation());
+    auto after = execute(k2);
+    ASSERT_EQ(after.size(), 1u);
+    EXPECT_EQ(after[0], b);
+}
+
+TEST(Task, SpawnedChildrenCollectedInContext)
+{
+    TaskPtr child = noop("child");
+    TaskPtr parent = std::make_shared<Task>(
+        "parent", TaskClass::Cpu, [&](TaskContext &ctx) -> TaskPtr {
+            ctx.spawn(child);
+            return nullptr;
+        });
+    parent->finishCreation();
+    TaskContext ctx;
+    std::vector<TaskPtr> runnable;
+    parent->run(ctx, runnable);
+    ASSERT_EQ(ctx.spawned().size(), 1u);
+    EXPECT_EQ(ctx.spawned()[0], child);
+}
+
+TEST(Task, RequeueKeepsTaskRunnable)
+{
+    TaskPtr t = std::make_shared<Task>(
+        "poll", TaskClass::Gpu, [](TaskContext &ctx) -> TaskPtr {
+            ctx.requeue();
+            return nullptr;
+        });
+    t->finishCreation();
+    TaskContext ctx;
+    std::vector<TaskPtr> runnable;
+    t->run(ctx, runnable);
+    EXPECT_TRUE(ctx.requeueRequested());
+    EXPECT_EQ(t->state(), TaskState::Runnable); // can run again
+}
+
+TEST(Task, JoinTaskHasNoBody)
+{
+    TaskPtr a = noop("a");
+    TaskPtr j = Task::join("j");
+    j->dependsOn(a);
+    a->finishCreation();
+    j->finishCreation();
+    auto runnable = execute(a);
+    ASSERT_EQ(runnable.size(), 1u);
+    execute(runnable[0]);
+    EXPECT_EQ(j->state(), TaskState::Complete);
+}
+
+TEST(Task, StateNames)
+{
+    EXPECT_STREQ(taskStateName(TaskState::New), "new");
+    EXPECT_STREQ(taskStateName(TaskState::NonRunnable), "non-runnable");
+    EXPECT_STREQ(taskStateName(TaskState::Runnable), "runnable");
+    EXPECT_STREQ(taskStateName(TaskState::Complete), "complete");
+    EXPECT_STREQ(taskStateName(TaskState::Continued), "continued");
+}
+
+TEST(Task, GpuClassRecorded)
+{
+    Task t("g", TaskClass::Gpu, nullptr);
+    EXPECT_EQ(t.taskClass(), TaskClass::Gpu);
+}
+
+} // namespace
+} // namespace runtime
+} // namespace petabricks

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "sim/cost_model.h"
+#include "sim/machine.h"
+
+namespace petabricks {
+namespace sim {
+namespace {
+
+DeviceSpec
+gpuSpec()
+{
+    return MachineProfile::desktop().ocl;
+}
+
+DeviceSpec
+cpuSpec()
+{
+    return MachineProfile::desktop().cpu;
+}
+
+TEST(CostReport, AccumulateSums)
+{
+    CostReport a, b;
+    a.flops = 100;
+    a.globalBytesRead = 10;
+    b.flops = 50;
+    b.globalBytesWritten = 5;
+    b.barriers = 2;
+    a += b;
+    EXPECT_DOUBLE_EQ(a.flops, 150);
+    EXPECT_DOUBLE_EQ(a.globalBytes(), 15);
+    EXPECT_DOUBLE_EQ(a.barriers, 2);
+    EXPECT_DOUBLE_EQ(a.invocations, 2);
+}
+
+TEST(CostReport, SequentialFractionWeightedByFlops)
+{
+    CostReport serial;
+    serial.flops = 100;
+    serial.sequentialFraction = 1.0;
+    CostReport parallel;
+    parallel.flops = 300;
+    parallel.sequentialFraction = 0.0;
+    CostReport sum = serial + parallel;
+    EXPECT_NEAR(sum.sequentialFraction, 0.25, 1e-12);
+}
+
+TEST(CostModel, ComputeBoundKernelScalesWithFlops)
+{
+    CostReport r1, r2;
+    r1.flops = 1e9;
+    r2.flops = 2e9;
+    double t1 = CostModel::kernelSeconds(gpuSpec(), r1, 64);
+    double t2 = CostModel::kernelSeconds(gpuSpec(), r2, 64);
+    EXPECT_GT(t2, t1);
+    EXPECT_NEAR(t2 / t1, 2.0, 0.2); // launch latency skews slightly
+}
+
+TEST(CostModel, MemoryBoundKernelHitsBandwidthRoof)
+{
+    CostReport r;
+    r.flops = 1.0; // negligible
+    r.globalBytesRead = 144e9; // exactly one second at desktop GPU BW
+    double t = CostModel::kernelSeconds(gpuSpec(), r, 64);
+    EXPECT_NEAR(t, 1.0, 0.01);
+}
+
+TEST(CostModel, LaunchLatencyDominatesTinyKernels)
+{
+    CostReport r;
+    r.flops = 10;
+    double t = CostModel::kernelSeconds(gpuSpec(), r, 64);
+    EXPECT_GE(t, gpuSpec().launchLatencyUs * 1e-6);
+}
+
+TEST(CostModel, LocalMemoryCheapOnGpu)
+{
+    // Same traffic through local memory must beat global on a device
+    // with a dedicated scratchpad.
+    CostReport viaGlobal;
+    viaGlobal.globalBytesRead = 10e9;
+    CostReport viaLocal;
+    viaLocal.localBytes = 10e9;
+    double tGlobal = CostModel::kernelSeconds(gpuSpec(), viaGlobal, 64);
+    double tLocal = CostModel::kernelSeconds(gpuSpec(), viaLocal, 64);
+    EXPECT_LT(tLocal, tGlobal);
+}
+
+TEST(CostModel, LocalMemoryWastedOnCpuOpenCL)
+{
+    // Section 2.2: prefetch into "local" memory is pure overhead on a
+    // CPU OpenCL runtime — added traffic, no faster path.
+    DeviceSpec cpuOcl = MachineProfile::server().ocl;
+    CostReport noPrefetch;
+    noPrefetch.globalBytesRead = 10e9;
+    CostReport withPrefetch = noPrefetch;
+    withPrefetch.localBytes = 10e9;
+    double tNo = CostModel::kernelSeconds(cpuOcl, noPrefetch, 64);
+    double tWith = CostModel::kernelSeconds(cpuOcl, withPrefetch, 64);
+    EXPECT_GT(tWith, tNo);
+}
+
+TEST(CostModel, GroupEfficiencyPenalizesUnderfilledWarps)
+{
+    double effSmall = CostModel::groupEfficiency(gpuSpec(), 8);
+    double effWarp = CostModel::groupEfficiency(gpuSpec(), 64);
+    EXPECT_LT(effSmall, effWarp);
+    EXPECT_LE(effWarp, 1.0);
+}
+
+TEST(CostModel, GroupEfficiencyPenalizesHugeGroups)
+{
+    double eff256 = CostModel::groupEfficiency(gpuSpec(), 256);
+    double eff1024 = CostModel::groupEfficiency(gpuSpec(), 1024);
+    EXPECT_LT(eff1024, eff256);
+}
+
+TEST(CostModel, GroupSizeIrrelevantOnScalarCpu)
+{
+    DeviceSpec cpu = cpuSpec();
+    EXPECT_DOUBLE_EQ(CostModel::groupEfficiency(cpu, 1),
+                     CostModel::groupEfficiency(cpu, 512));
+}
+
+TEST(CostModel, CpuTaskScalesWithThreads)
+{
+    CostReport r;
+    r.flops = 1e10;
+    DeviceSpec cpu = MachineProfile::server().cpu;
+    double t1 = CostModel::cpuSeconds(cpu, r, 1);
+    double t16 = CostModel::cpuSeconds(cpu, r, 16);
+    EXPECT_NEAR(t1 / t16, 16.0, 0.5);
+}
+
+TEST(CostModel, CpuThreadsCappedAtCores)
+{
+    CostReport r;
+    r.flops = 1e10;
+    DeviceSpec cpu = cpuSpec(); // 4 cores
+    EXPECT_DOUBLE_EQ(CostModel::cpuSeconds(cpu, r, 4),
+                     CostModel::cpuSeconds(cpu, r, 64));
+}
+
+TEST(CostModel, AmdahlLimitsSequentialWork)
+{
+    CostReport r;
+    r.flops = 1e10;
+    r.sequentialFraction = 0.5;
+    DeviceSpec cpu = MachineProfile::server().cpu;
+    double t1 = CostModel::cpuSeconds(cpu, r, 1);
+    double t32 = CostModel::cpuSeconds(cpu, r, 32);
+    EXPECT_LT(t1 / t32, 2.1); // speedup capped near 2 when half is serial
+}
+
+TEST(CostModel, BarriersAddCost)
+{
+    CostReport plain;
+    plain.flops = 1e6;
+    CostReport barriered = plain;
+    barriered.barriers = 1e6;
+    EXPECT_GT(CostModel::kernelSeconds(gpuSpec(), barriered, 64),
+              CostModel::kernelSeconds(gpuSpec(), plain, 64));
+}
+
+} // namespace
+} // namespace sim
+} // namespace petabricks

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "sim/machine.h"
+#include "support/error.h"
+
+namespace petabricks {
+namespace sim {
+namespace {
+
+TEST(Machine, ThreeProfilesExist)
+{
+    auto machines = MachineProfile::all();
+    ASSERT_EQ(machines.size(), 3u);
+    EXPECT_EQ(machines[0].name, "Desktop");
+    EXPECT_EQ(machines[1].name, "Server");
+    EXPECT_EQ(machines[2].name, "Laptop");
+}
+
+TEST(Machine, ByNameLookup)
+{
+    EXPECT_EQ(MachineProfile::byName("Server").cpu.cores, 32);
+    EXPECT_THROW(MachineProfile::byName("Phone"), FatalError);
+}
+
+TEST(Machine, CoreCountsMatchPaperFigure9)
+{
+    EXPECT_EQ(MachineProfile::desktop().cpu.cores, 4);
+    EXPECT_EQ(MachineProfile::server().cpu.cores, 32);
+    EXPECT_EQ(MachineProfile::laptop().cpu.cores, 2);
+}
+
+TEST(Machine, ServerUsesSixteenWorkers)
+{
+    // Section 6.1: "On Server, the number of threads is set to 16".
+    EXPECT_EQ(MachineProfile::server().workerThreads, 16);
+    EXPECT_EQ(MachineProfile::desktop().workerThreads, 4);
+    EXPECT_EQ(MachineProfile::laptop().workerThreads, 2);
+}
+
+TEST(Machine, ServerOpenCLSharesCpuAndHasFreeTransfer)
+{
+    auto server = MachineProfile::server();
+    EXPECT_TRUE(server.hasOpenCL);
+    EXPECT_TRUE(server.oclSharesCpu);
+    EXPECT_EQ(server.ocl.type, DeviceType::CpuOpenCL);
+    EXPECT_TRUE(server.transfer.isFree());
+    EXPECT_DOUBLE_EQ(server.transfer.seconds(1e9), 0.0);
+}
+
+TEST(Machine, DiscreteGpusPayForTransfers)
+{
+    for (const auto &m :
+         {MachineProfile::desktop(), MachineProfile::laptop()}) {
+        EXPECT_FALSE(m.oclSharesCpu) << m.name;
+        EXPECT_FALSE(m.transfer.isFree()) << m.name;
+        EXPECT_GT(m.transfer.seconds(1 << 20), 0.0) << m.name;
+        EXPECT_TRUE(m.ocl.dedicatedLocalMem) << m.name;
+    }
+}
+
+TEST(Machine, CpuOpenCLHasNoDedicatedLocalMem)
+{
+    // Section 2.2: on CPU OpenCL targets the shared memory maps onto the
+    // same caches/buses, so prefetching is wasted work.
+    EXPECT_FALSE(MachineProfile::server().ocl.dedicatedLocalMem);
+}
+
+TEST(Machine, DesktopGpuDwarfsItsCpu)
+{
+    auto desktop = MachineProfile::desktop();
+    EXPECT_GT(desktop.ocl.peakGflops(), 10 * desktop.cpu.peakGflops());
+}
+
+TEST(Machine, LaptopGpuIsCloserToItsCpu)
+{
+    // Mobile GPUs have weak double-precision throughput: the Laptop's
+    // GPU peak is only ~2x its CPU, versus ~25x on Desktop — which is
+    // exactly why the Laptop benefits from CPU/GPU work splits.
+    auto laptop = MachineProfile::laptop();
+    double ratio = laptop.ocl.peakGflops() / laptop.cpu.peakGflops();
+    EXPECT_GT(ratio, 1.2);
+    EXPECT_LT(ratio, 10.0);
+}
+
+TEST(Machine, TransferSecondsScalesWithBytes)
+{
+    auto t = MachineProfile::desktop().transfer;
+    double small = t.seconds(1 << 10);
+    double large = t.seconds(1 << 26);
+    EXPECT_GT(large, small);
+    EXPECT_GT(small, 0.0); // latency floor
+}
+
+TEST(Machine, DeviceTypeNames)
+{
+    EXPECT_STREQ(deviceTypeName(DeviceType::Cpu), "CPU");
+    EXPECT_STREQ(deviceTypeName(DeviceType::Gpu), "GPU");
+    EXPECT_STREQ(deviceTypeName(DeviceType::CpuOpenCL), "CPU-OpenCL");
+}
+
+} // namespace
+} // namespace sim
+} // namespace petabricks

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "sim/sched_sim.h"
+#include "support/error.h"
+
+namespace petabricks {
+namespace sim {
+namespace {
+
+TEST(SchedSim, EmptyDagHasZeroMakespan)
+{
+    ScheduleSimulator sim(4);
+    EXPECT_DOUBLE_EQ(sim.run(), 0.0);
+}
+
+TEST(SchedSim, SingleTask)
+{
+    ScheduleSimulator sim(1);
+    auto t = sim.addTask(SimResource::CpuWorker, 2.5);
+    EXPECT_DOUBLE_EQ(sim.run(), 2.5);
+    EXPECT_DOUBLE_EQ(sim.finishTime(t), 2.5);
+}
+
+TEST(SchedSim, ChainSerializes)
+{
+    ScheduleSimulator sim(4);
+    auto a = sim.addTask(SimResource::CpuWorker, 1.0);
+    auto b = sim.addTask(SimResource::CpuWorker, 1.0, {a});
+    auto c = sim.addTask(SimResource::CpuWorker, 1.0, {b});
+    EXPECT_DOUBLE_EQ(sim.run(), 3.0);
+    EXPECT_DOUBLE_EQ(sim.finishTime(c), 3.0);
+}
+
+TEST(SchedSim, IndependentTasksRunInParallel)
+{
+    ScheduleSimulator sim(4);
+    for (int i = 0; i < 4; ++i)
+        sim.addTask(SimResource::CpuWorker, 1.0);
+    EXPECT_DOUBLE_EQ(sim.run(), 1.0);
+}
+
+TEST(SchedSim, PoolSaturationQueues)
+{
+    ScheduleSimulator sim(2);
+    for (int i = 0; i < 4; ++i)
+        sim.addTask(SimResource::CpuWorker, 1.0);
+    EXPECT_DOUBLE_EQ(sim.run(), 2.0);
+}
+
+TEST(SchedSim, GpuQueueIsInOrder)
+{
+    ScheduleSimulator sim(4);
+    auto k1 = sim.addTask(SimResource::GpuQueue, 1.0);
+    auto k2 = sim.addTask(SimResource::GpuQueue, 1.0);
+    sim.run();
+    EXPECT_DOUBLE_EQ(sim.finishTime(k1), 1.0);
+    EXPECT_DOUBLE_EQ(sim.finishTime(k2), 2.0);
+}
+
+TEST(SchedSim, TransferOverlapsKernel)
+{
+    // Non-blocking copies: a transfer for the next kernel overlaps the
+    // current kernel execution (Section 4.2 design goal).
+    ScheduleSimulator sim(4);
+    sim.addTask(SimResource::GpuQueue, 1.0);
+    sim.addTask(SimResource::Transfer, 1.0);
+    EXPECT_DOUBLE_EQ(sim.run(), 1.0);
+}
+
+TEST(SchedSim, CpuAndGpuOverlapOnDiscreteGpu)
+{
+    ScheduleSimulator sim(2, /*oclSharesCpu=*/false);
+    sim.addTask(SimResource::CpuWorker, 1.0);
+    sim.addTask(SimResource::GpuQueue, 1.0);
+    EXPECT_DOUBLE_EQ(sim.run(), 1.0);
+}
+
+TEST(SchedSim, SharedCpuOpenCLContendsWithCpuWork)
+{
+    // Server: the OpenCL "device" is the CPU itself, so a kernel and a
+    // native task cannot truly overlap.
+    ScheduleSimulator sim(2, /*oclSharesCpu=*/true);
+    sim.addTask(SimResource::CpuWorker, 1.0);
+    sim.addTask(SimResource::GpuQueue, 1.0);
+    EXPECT_DOUBLE_EQ(sim.run(), 2.0);
+}
+
+TEST(SchedSim, CpuPoolTaskNeedsWholePool)
+{
+    ScheduleSimulator sim(2);
+    auto w = sim.addTask(SimResource::CpuWorker, 1.0);
+    auto p = sim.addTask(SimResource::CpuPool, 1.0);
+    auto w2 = sim.addTask(SimResource::CpuWorker, 1.0);
+    EXPECT_DOUBLE_EQ(sim.run(), 3.0);
+    EXPECT_DOUBLE_EQ(sim.finishTime(w), 1.0);
+    EXPECT_DOUBLE_EQ(sim.finishTime(p), 2.0);
+    // Strict FIFO: the single-worker task behind the pool task waits.
+    EXPECT_DOUBLE_EQ(sim.finishTime(w2), 3.0);
+}
+
+TEST(SchedSim, NoneTasksAreFreeJoins)
+{
+    ScheduleSimulator sim(2);
+    auto a = sim.addTask(SimResource::CpuWorker, 1.0);
+    auto b = sim.addTask(SimResource::CpuWorker, 2.0);
+    auto join = sim.addTask(SimResource::None, 0.0, {a, b});
+    auto after = sim.addTask(SimResource::CpuWorker, 1.0, {join});
+    EXPECT_DOUBLE_EQ(sim.run(), 3.0);
+    EXPECT_DOUBLE_EQ(sim.finishTime(join), 2.0);
+    EXPECT_DOUBLE_EQ(sim.finishTime(after), 3.0);
+}
+
+TEST(SchedSim, DiamondDependency)
+{
+    ScheduleSimulator sim(4);
+    auto src = sim.addTask(SimResource::CpuWorker, 1.0);
+    auto left = sim.addTask(SimResource::CpuWorker, 2.0, {src});
+    auto right = sim.addTask(SimResource::CpuWorker, 3.0, {src});
+    auto sink = sim.addTask(SimResource::CpuWorker, 1.0, {left, right});
+    EXPECT_DOUBLE_EQ(sim.run(), 5.0);
+    EXPECT_DOUBLE_EQ(sim.finishTime(sink), 5.0);
+}
+
+TEST(SchedSim, BusyAccounting)
+{
+    ScheduleSimulator sim(2);
+    sim.addTask(SimResource::CpuWorker, 1.0);
+    sim.addTask(SimResource::GpuQueue, 3.0);
+    sim.run();
+    EXPECT_DOUBLE_EQ(sim.cpuBusySeconds(), 1.0);
+    EXPECT_DOUBLE_EQ(sim.gpuBusySeconds(), 3.0);
+}
+
+TEST(SchedSim, MixedPipelineMakespan)
+{
+    // copy-in -> kernel -> copy-out, with CPU work alongside.
+    ScheduleSimulator sim(2);
+    auto in = sim.addTask(SimResource::Transfer, 0.5);
+    auto kernel = sim.addTask(SimResource::GpuQueue, 2.0, {in});
+    auto out = sim.addTask(SimResource::Transfer, 0.5, {kernel});
+    sim.addTask(SimResource::CpuWorker, 2.5);
+    EXPECT_DOUBLE_EQ(sim.run(), 3.0);
+    EXPECT_DOUBLE_EQ(sim.finishTime(out), 3.0);
+}
+
+TEST(SchedSim, RejectsForwardDependencies)
+{
+    ScheduleSimulator sim(1);
+    EXPECT_THROW(sim.addTask(SimResource::CpuWorker, 1.0, {5}),
+                 PanicError);
+}
+
+TEST(SchedSim, SingleShot)
+{
+    ScheduleSimulator sim(1);
+    sim.addTask(SimResource::CpuWorker, 1.0);
+    sim.run();
+    EXPECT_THROW(sim.run(), PanicError);
+    EXPECT_THROW(sim.addTask(SimResource::CpuWorker, 1.0), PanicError);
+}
+
+TEST(SchedSim, MachineConstructor)
+{
+    ScheduleSimulator desktop(MachineProfile::desktop());
+    desktop.addTask(SimResource::CpuWorker, 1.0);
+    EXPECT_DOUBLE_EQ(desktop.run(), 1.0);
+
+    ScheduleSimulator server(MachineProfile::server());
+    server.addTask(SimResource::CpuWorker, 1.0);
+    server.addTask(SimResource::GpuQueue, 1.0);
+    EXPECT_DOUBLE_EQ(server.run(), 2.0); // shares CPU
+}
+
+} // namespace
+} // namespace sim
+} // namespace petabricks

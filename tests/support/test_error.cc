@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+namespace petabricks {
+namespace {
+
+TEST(Error, FatalThrowsFatalError)
+{
+    EXPECT_THROW(PB_FATAL("bad user input " << 42), FatalError);
+}
+
+TEST(Error, PanicThrowsPanicError)
+{
+    EXPECT_THROW(PB_PANIC("bug " << 1), PanicError);
+}
+
+TEST(Error, FatalMessageContainsPayloadAndLocation)
+{
+    try {
+        PB_FATAL("value=" << 7);
+        FAIL() << "expected throw";
+    } catch (const FatalError &err) {
+        std::string what = err.what();
+        EXPECT_NE(what.find("value=7"), std::string::npos) << what;
+        EXPECT_NE(what.find("test_error.cc"), std::string::npos) << what;
+    }
+}
+
+TEST(Error, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(PB_ASSERT(1 + 1 == 2, "math"));
+}
+
+TEST(Error, AssertThrowsOnFalse)
+{
+    EXPECT_THROW(PB_ASSERT(false, "must fire"), PanicError);
+}
+
+TEST(Error, FatalAndPanicAreDistinctTypes)
+{
+    // Catch handlers for user errors must not swallow library bugs.
+    EXPECT_THROW(
+        {
+            try {
+                PB_PANIC("internal");
+            } catch (const FatalError &) {
+                FAIL() << "panic caught as fatal";
+            }
+        },
+        PanicError);
+}
+
+} // namespace
+} // namespace petabricks

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "support/error.h"
+#include "support/kvfile.h"
+
+namespace petabricks {
+namespace {
+
+TEST(KvFile, SetGetRoundTrip)
+{
+    KvFile kv;
+    kv.set("alpha", "one");
+    kv.setInt("beta", -17);
+    kv.setDouble("gamma", 2.5);
+    EXPECT_EQ(kv.get("alpha"), "one");
+    EXPECT_EQ(kv.getInt("beta"), -17);
+    EXPECT_DOUBLE_EQ(kv.getDouble("gamma"), 2.5);
+    EXPECT_EQ(kv.size(), 3u);
+}
+
+TEST(KvFile, HasAndMissing)
+{
+    KvFile kv;
+    kv.setInt("x", 1);
+    EXPECT_TRUE(kv.has("x"));
+    EXPECT_FALSE(kv.has("y"));
+    EXPECT_THROW(kv.get("y"), FatalError);
+    EXPECT_EQ(kv.getIntOr("y", 99), 99);
+    EXPECT_EQ(kv.getIntOr("x", 99), 1);
+}
+
+TEST(KvFile, IntListRoundTrip)
+{
+    KvFile kv;
+    kv.setIntList("cutoffs", {64, 512, 4096});
+    std::vector<int64_t> expect{64, 512, 4096};
+    EXPECT_EQ(kv.getIntList("cutoffs"), expect);
+    kv.setIntList("empty", {});
+    EXPECT_TRUE(kv.getIntList("empty").empty());
+}
+
+TEST(KvFile, TextRoundTripIsStable)
+{
+    KvFile kv;
+    kv.setInt("z_last", 3);
+    kv.setInt("a_first", 1);
+    std::string text = kv.toString();
+    // Keys render sorted so configs diff cleanly.
+    EXPECT_LT(text.find("a_first"), text.find("z_last"));
+    KvFile back = KvFile::fromString(text);
+    EXPECT_EQ(back, kv);
+}
+
+TEST(KvFile, ParserSkipsCommentsAndBlanks)
+{
+    KvFile kv = KvFile::fromString("# comment\n\n  key = value  \n");
+    EXPECT_EQ(kv.get("key"), "value");
+    EXPECT_EQ(kv.size(), 1u);
+}
+
+TEST(KvFile, ParserRejectsGarbage)
+{
+    EXPECT_THROW(KvFile::fromString("no equals sign"), FatalError);
+    EXPECT_THROW(KvFile::fromString("= value"), FatalError);
+}
+
+TEST(KvFile, TypedGetRejectsWrongType)
+{
+    KvFile kv;
+    kv.set("s", "hello");
+    EXPECT_THROW(kv.getInt("s"), FatalError);
+    EXPECT_THROW(kv.getDouble("s"), FatalError);
+    kv.set("trailing", "12abc");
+    EXPECT_THROW(kv.getInt("trailing"), FatalError);
+}
+
+TEST(KvFile, FileRoundTrip)
+{
+    namespace fs = std::filesystem;
+    fs::path path = fs::temp_directory_path() / "pb_kvfile_test.cfg";
+    KvFile kv;
+    kv.setInt("threads", 16);
+    kv.set("machine", "Server");
+    kv.save(path.string());
+    KvFile back = KvFile::load(path.string());
+    EXPECT_EQ(back, kv);
+    fs::remove(path);
+}
+
+TEST(KvFile, LoadMissingFileIsFatal)
+{
+    EXPECT_THROW(KvFile::load("/nonexistent/path/cfg"), FatalError);
+}
+
+TEST(KvFile, OverwriteReplacesValue)
+{
+    KvFile kv;
+    kv.setInt("k", 1);
+    kv.setInt("k", 2);
+    EXPECT_EQ(kv.getInt("k"), 2);
+    EXPECT_EQ(kv.size(), 1u);
+}
+
+} // namespace
+} // namespace petabricks

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "support/matrix.h"
+
+namespace petabricks {
+namespace {
+
+TEST(Matrix, AllocZeroInitialized)
+{
+    MatrixD m(3, 2);
+    EXPECT_EQ(m.width(), 3);
+    EXPECT_EQ(m.height(), 2);
+    EXPECT_EQ(m.size(), 6);
+    for (int64_t y = 0; y < 2; ++y)
+        for (int64_t x = 0; x < 3; ++x)
+            EXPECT_EQ(m.at(x, y), 0.0);
+}
+
+TEST(Matrix, RowMajorLayout)
+{
+    MatrixD m(4, 3);
+    m.at(1, 2) = 7.0;
+    EXPECT_EQ(m.data()[2 * 4 + 1], 7.0);
+    EXPECT_EQ(m[2 * 4 + 1], 7.0);
+}
+
+TEST(Matrix, CopyIsShallow)
+{
+    MatrixD a(2, 2);
+    MatrixD b = a;
+    b.at(0, 0) = 5.0;
+    EXPECT_EQ(a.at(0, 0), 5.0);
+    EXPECT_TRUE(a.sameStorage(b));
+    EXPECT_EQ(a.storageId(), b.storageId());
+}
+
+TEST(Matrix, CloneIsDeep)
+{
+    MatrixD a(2, 2);
+    a.at(1, 1) = 3.0;
+    MatrixD b = a.clone();
+    EXPECT_EQ(b.at(1, 1), 3.0);
+    b.at(1, 1) = 9.0;
+    EXPECT_EQ(a.at(1, 1), 3.0);
+    EXPECT_FALSE(a.sameStorage(b));
+    EXPECT_NE(a.storageId(), b.storageId());
+}
+
+TEST(Matrix, StorageIdsAreUnique)
+{
+    MatrixD a(1, 1), b(1, 1), c(1, 1);
+    EXPECT_NE(a.storageId(), b.storageId());
+    EXPECT_NE(b.storageId(), c.storageId());
+}
+
+TEST(Matrix, VectorFactory)
+{
+    MatrixD v = MatrixD::vector(5);
+    EXPECT_EQ(v.width(), 5);
+    EXPECT_EQ(v.height(), 1);
+}
+
+TEST(Matrix, OutOfBoundsAccessPanics)
+{
+    MatrixD m(2, 2);
+    EXPECT_THROW(m.at(2, 0), PanicError);
+    EXPECT_THROW(m.at(0, -1), PanicError);
+}
+
+TEST(MatrixView, RegionLocalIndexing)
+{
+    MatrixD m(4, 4);
+    m.at(2, 3) = 42.0;
+    MatrixView<ElementT> v = m.view(Region(2, 3, 2, 1));
+    EXPECT_EQ(v.at(0, 0), 42.0);
+    v.at(1, 0) = 7.0;
+    EXPECT_EQ(m.at(3, 3), 7.0);
+}
+
+TEST(MatrixView, ConstViewReads)
+{
+    MatrixD m(3, 3);
+    m.at(1, 1) = 2.5;
+    const MatrixD &cm = m;
+    ConstMatrixView<ElementT> v = cm.view(Region(1, 1, 1, 1));
+    EXPECT_EQ(v.at(0, 0), 2.5);
+    EXPECT_EQ(v.storageId(), m.storageId());
+}
+
+TEST(MatrixView, RejectsOutOfBoundsRegion)
+{
+    MatrixD m(3, 3);
+    EXPECT_THROW(m.view(Region(2, 2, 2, 2)), PanicError);
+}
+
+TEST(MatrixView, BytesAccountsForElementSize)
+{
+    MatrixD m(8, 2);
+    EXPECT_EQ(m.bytes(), 16 * static_cast<int64_t>(sizeof(ElementT)));
+}
+
+} // namespace
+} // namespace petabricks

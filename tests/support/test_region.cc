@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "support/region.h"
+
+namespace petabricks {
+namespace {
+
+TEST(Region, AreaAndEmpty)
+{
+    EXPECT_EQ(Region(0, 0, 4, 3).area(), 12);
+    EXPECT_TRUE(Region().empty());
+    EXPECT_TRUE(Region(5, 5, 0, 7).empty());
+    EXPECT_FALSE(Region(0, 0, 1, 1).empty());
+}
+
+TEST(Region, FullCoversMatrix)
+{
+    Region r = Region::full(10, 20);
+    EXPECT_EQ(r.x, 0);
+    EXPECT_EQ(r.y, 0);
+    EXPECT_EQ(r.w, 10);
+    EXPECT_EQ(r.h, 20);
+}
+
+TEST(Region, Contains)
+{
+    Region outer(0, 0, 10, 10);
+    EXPECT_TRUE(outer.contains(Region(2, 3, 4, 5)));
+    EXPECT_TRUE(outer.contains(outer));
+    EXPECT_FALSE(outer.contains(Region(8, 8, 4, 4)));
+    EXPECT_FALSE(outer.contains(Region(-1, 0, 2, 2)));
+}
+
+TEST(Region, ContainsPoint)
+{
+    Region r(2, 3, 4, 5);
+    EXPECT_TRUE(r.containsPoint(2, 3));
+    EXPECT_TRUE(r.containsPoint(5, 7));
+    EXPECT_FALSE(r.containsPoint(6, 3));  // half-open on x
+    EXPECT_FALSE(r.containsPoint(2, 8));  // half-open on y
+}
+
+TEST(Region, IntersectOverlapping)
+{
+    Region a(0, 0, 6, 6);
+    Region b(4, 4, 6, 6);
+    Region c = a.intersect(b);
+    EXPECT_EQ(c, Region(4, 4, 2, 2));
+    EXPECT_TRUE(a.intersects(b));
+}
+
+TEST(Region, IntersectDisjointIsEmpty)
+{
+    Region a(0, 0, 3, 3);
+    Region b(3, 0, 3, 3); // touching edge, half-open => disjoint
+    EXPECT_TRUE(a.intersect(b).empty());
+    EXPECT_FALSE(a.intersects(b));
+}
+
+TEST(Region, UnionBound)
+{
+    Region a(0, 0, 2, 2);
+    Region b(5, 5, 1, 1);
+    EXPECT_EQ(a.unionBound(b), Region(0, 0, 6, 6));
+    EXPECT_EQ(Region().unionBound(b), b);
+    EXPECT_EQ(b.unionBound(Region()), b);
+}
+
+TEST(Region, HashDistinguishesAndMatches)
+{
+    RegionHash hash;
+    Region a(1, 2, 3, 4);
+    Region b(1, 2, 3, 4);
+    Region c(2, 1, 3, 4);
+    EXPECT_EQ(hash(a), hash(b));
+    std::unordered_set<Region, RegionHash> set;
+    set.insert(a);
+    set.insert(b);
+    set.insert(c);
+    EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Region, StreamFormat)
+{
+    std::ostringstream oss;
+    oss << Region(1, 2, 3, 4);
+    EXPECT_EQ(oss.str(), "[1,2 3x4]");
+}
+
+} // namespace
+} // namespace petabricks

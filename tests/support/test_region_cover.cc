@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "support/region.h"
+
+namespace petabricks {
+namespace {
+
+TEST(RegionSubtract, DisjointReturnsOriginal)
+{
+    auto rest = subtractRegion(Region(0, 0, 2, 2), Region(5, 5, 2, 2));
+    ASSERT_EQ(rest.size(), 1u);
+    EXPECT_EQ(rest[0], Region(0, 0, 2, 2));
+}
+
+TEST(RegionSubtract, FullOverlapReturnsNothing)
+{
+    EXPECT_TRUE(subtractRegion(Region(1, 1, 2, 2), Region(0, 0, 4, 4))
+                    .empty());
+}
+
+TEST(RegionSubtract, CenterHoleYieldsFourParts)
+{
+    auto rest = subtractRegion(Region(0, 0, 10, 10), Region(3, 3, 4, 4));
+    ASSERT_EQ(rest.size(), 4u);
+    int64_t area = 0;
+    for (const auto &r : rest) {
+        area += r.area();
+        EXPECT_FALSE(r.intersects(Region(3, 3, 4, 4)));
+    }
+    EXPECT_EQ(area, 100 - 16);
+}
+
+TEST(RegionSubtract, PartsAreDisjoint)
+{
+    auto rest = subtractRegion(Region(0, 0, 8, 8), Region(2, 2, 3, 3));
+    for (size_t i = 0; i < rest.size(); ++i)
+        for (size_t j = i + 1; j < rest.size(); ++j)
+            EXPECT_FALSE(rest[i].intersects(rest[j])) << i << "," << j;
+}
+
+TEST(RegionSubtract, EdgeCutYieldsBand)
+{
+    auto rest = subtractRegion(Region(0, 0, 10, 4), Region(0, 0, 10, 2));
+    ASSERT_EQ(rest.size(), 1u);
+    EXPECT_EQ(rest[0], Region(0, 2, 10, 2));
+}
+
+TEST(RegionsCover, ExactPiece)
+{
+    EXPECT_TRUE(regionsCover({Region(0, 0, 4, 4)}, Region(0, 0, 4, 4)));
+}
+
+TEST(RegionsCover, TwoHalves)
+{
+    EXPECT_TRUE(regionsCover({Region(0, 0, 4, 2), Region(0, 2, 4, 2)},
+                             Region(0, 0, 4, 4)));
+}
+
+TEST(RegionsCover, GapDetected)
+{
+    EXPECT_FALSE(regionsCover({Region(0, 0, 4, 1), Region(0, 2, 4, 2)},
+                              Region(0, 0, 4, 4)));
+}
+
+TEST(RegionsCover, OverlappingPiecesStillCover)
+{
+    EXPECT_TRUE(regionsCover({Region(0, 0, 3, 4), Region(1, 0, 3, 4)},
+                             Region(0, 0, 4, 4)));
+}
+
+TEST(RegionsCover, EmptyTargetAlwaysCovered)
+{
+    EXPECT_TRUE(regionsCover({}, Region(0, 0, 0, 0)));
+}
+
+TEST(RegionsCover, EmptyPiecesNeverCoverNonEmpty)
+{
+    EXPECT_FALSE(regionsCover({}, Region(0, 0, 1, 1)));
+}
+
+TEST(RegionsCover, QuadrantDecomposition)
+{
+    std::vector<Region> quads{Region(0, 0, 2, 2), Region(2, 0, 2, 2),
+                              Region(0, 2, 2, 2), Region(2, 2, 2, 2)};
+    EXPECT_TRUE(regionsCover(quads, Region(0, 0, 4, 4)));
+    quads.pop_back();
+    EXPECT_FALSE(regionsCover(quads, Region(0, 0, 4, 4)));
+}
+
+} // namespace
+} // namespace petabricks

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/rng.h"
+
+namespace petabricks {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniformInt(0, 1000000), b.uniformInt(0, 1000000));
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.uniformInt(0, 1000000) == b.uniformInt(0, 1000000))
+            ++same;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformIntStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = rng.uniformInt(-3, 12);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 12);
+    }
+}
+
+TEST(Rng, UniformRealStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.uniformReal(0.25, 0.75);
+        EXPECT_GE(v, 0.25);
+        EXPECT_LT(v, 0.75);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(11);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, LognormalScaleMedianNearOne)
+{
+    // Halving should be about as common as doubling (paper Section 5.2).
+    Rng rng(42);
+    const int64_t base = 1 << 20;
+    int above = 0, total = 4000;
+    for (int i = 0; i < total; ++i)
+        if (rng.lognormalScale(base) > base)
+            ++above;
+    double frac = static_cast<double>(above) / total;
+    EXPECT_NEAR(frac, 0.5, 0.05);
+}
+
+TEST(Rng, LognormalScaleNeverBelowOne)
+{
+    Rng rng(5);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_GE(rng.lognormalScale(1), 1);
+}
+
+TEST(Rng, LognormalSpreadMatchesSigma)
+{
+    // With sigma = ln 2, ~68% of draws land within [base/2, base*2].
+    Rng rng(9);
+    const int64_t base = 1 << 16;
+    int within = 0, total = 4000;
+    for (int i = 0; i < total; ++i) {
+        int64_t v = rng.lognormalScale(base);
+        if (v >= base / 2 && v <= base * 2)
+            ++within;
+    }
+    double frac = static_cast<double>(within) / total;
+    EXPECT_NEAR(frac, 0.68, 0.06);
+}
+
+} // namespace
+} // namespace petabricks

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+#include "support/table.h"
+
+namespace petabricks {
+namespace {
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer-name", "2"});
+    std::string out = t.toString();
+    // Both data rows start their second column at the same offset.
+    size_t line1 = out.find("x ");
+    size_t line2 = out.find("longer-name");
+    ASSERT_NE(line1, std::string::npos);
+    ASSERT_NE(line2, std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, RowArityChecked)
+{
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), PanicError);
+}
+
+TEST(TextTable, NumFormatsFixedPrecision)
+{
+    EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::num(2.0, 1), "2.0");
+}
+
+TEST(TextTable, RowsCounted)
+{
+    TextTable t({"a"});
+    EXPECT_EQ(t.rows(), 0u);
+    t.addRow({"1"});
+    t.addRow({"2"});
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, HeaderAppearsFirst)
+{
+    TextTable t({"col"});
+    t.addRow({"datum"});
+    std::string out = t.toString();
+    EXPECT_LT(out.find("col"), out.find("datum"));
+}
+
+} // namespace
+} // namespace petabricks

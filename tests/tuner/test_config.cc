@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+#include "tuner/config.h"
+
+namespace petabricks {
+namespace tuner {
+namespace {
+
+TEST(Selector, SingleLevelSelectsEverywhere)
+{
+    Selector s("sort", 7, 3);
+    EXPECT_EQ(s.select(1), 3);
+    EXPECT_EQ(s.select(1 << 30), 3);
+    EXPECT_EQ(s.levels(), 1u);
+}
+
+TEST(Selector, SelectSemanticsMatchPaperFormula)
+{
+    // SELECT = alpha_i s.t. c_i > size >= c_(i-1), c_0 = 0, c_m = inf.
+    Selector s("s", 4, 0);
+    s.insertLevel(100, 1);
+    s.insertLevel(1000, 2);
+    EXPECT_EQ(s.select(0), 0);
+    EXPECT_EQ(s.select(99), 0);
+    EXPECT_EQ(s.select(100), 1); // size >= cutoff picks the next level
+    EXPECT_EQ(s.select(999), 1);
+    EXPECT_EQ(s.select(1000), 2);
+    EXPECT_EQ(s.select(1 << 20), 2);
+}
+
+TEST(Selector, PolyAlgorithmLikeSortConfig)
+{
+    // The paper's Desktop Sort config: IS < 341 <= 4MS < 64294 <= QS
+    // < 174762 <= 2MS.
+    Selector s("sort", 7, 0);
+    s.insertLevel(341, 1);
+    s.insertLevel(64294, 2);
+    s.insertLevel(174762, 3);
+    EXPECT_EQ(s.select(200), 0);
+    EXPECT_EQ(s.select(5000), 1);
+    EXPECT_EQ(s.select(100000), 2);
+    EXPECT_EQ(s.select(1 << 20), 3);
+}
+
+TEST(Selector, InsertKeepsCutoffsSorted)
+{
+    Selector s("s", 3, 0);
+    s.insertLevel(1000, 1);
+    s.insertLevel(10, 2);
+    ASSERT_EQ(s.cutoffs().size(), 2u);
+    EXPECT_LT(s.cutoffs()[0], s.cutoffs()[1]);
+    EXPECT_EQ(s.select(5), 0);
+    EXPECT_EQ(s.select(500), 2);
+    EXPECT_EQ(s.select(5000), 1);
+}
+
+TEST(Selector, InsertCapsAtTwelveLevels)
+{
+    Selector s("s", 2, 0);
+    for (int i = 0; i < 20; ++i)
+        s.insertLevel(1 << (i + 1), i % 2);
+    EXPECT_EQ(s.levels(), static_cast<size_t>(kSelectorLevels));
+}
+
+TEST(Selector, RemoveLevel)
+{
+    Selector s("s", 3, 0);
+    s.insertLevel(100, 1);
+    s.insertLevel(1000, 2);
+    s.removeLevel(1);
+    EXPECT_EQ(s.levels(), 2u);
+    // Removing the only level is a no-op.
+    Selector single("t", 2, 1);
+    single.removeLevel(0);
+    EXPECT_EQ(single.levels(), 1u);
+    EXPECT_EQ(single.select(42), 1);
+}
+
+TEST(Selector, SetCutoffClampsToNeighbors)
+{
+    Selector s("s", 2, 0);
+    s.insertLevel(100, 1);
+    s.insertLevel(1000, 0);
+    s.setCutoff(0, 5000); // would pass its right neighbor: clamped
+    EXPECT_LE(s.cutoffs()[0], s.cutoffs()[1]);
+}
+
+TEST(Selector, SaveLoadRoundTrip)
+{
+    Selector s("conv", 3, 1);
+    s.insertLevel(256, 2);
+    KvFile kv;
+    s.save(kv);
+    Selector back = Selector::load(kv, "conv", 3);
+    EXPECT_EQ(back, s);
+    EXPECT_EQ(back.select(1000), 2);
+}
+
+TEST(Selector, LoadRejectsBadAlgorithms)
+{
+    KvFile kv;
+    kv.setIntList("s.cutoffs", {});
+    kv.setIntList("s.algorithms", {9});
+    EXPECT_THROW(Selector::load(kv, "s", 3), FatalError);
+}
+
+TEST(Config, TunableBounds)
+{
+    Config c;
+    c.addTunable({"lws", 1, 1024, 64, false});
+    EXPECT_EQ(c.tunableValue("lws"), 64);
+    EXPECT_EQ(c.tunable("lws").clamp(5000), 1024);
+    EXPECT_EQ(c.tunable("lws").clamp(0), 1);
+    EXPECT_THROW(c.addTunable({"bad", 10, 20, 5, false}), PanicError);
+}
+
+TEST(Config, DuplicateNamesRejected)
+{
+    Config c;
+    c.addSelector(Selector("s", 2));
+    EXPECT_THROW(c.addSelector(Selector("s", 2)), PanicError);
+    c.addTunable({"t", 1, 8, 4, false});
+    EXPECT_THROW(c.addTunable({"t", 1, 8, 4, false}), PanicError);
+}
+
+TEST(Config, KvRoundTrip)
+{
+    Config c;
+    Selector s("algo", 3, 0);
+    s.insertLevel(512, 2);
+    c.addSelector(s);
+    c.addTunable({"ratio", 0, 8, 6, false});
+    c.addTunable({"cutoff", 1, 1 << 20, 4096, true});
+
+    KvFile kv = c.toKv();
+    Config schema;
+    schema.addSelector(Selector("algo", 3, 0));
+    schema.addTunable({"ratio", 0, 8, 0, false});
+    schema.addTunable({"cutoff", 1, 1 << 20, 1, true});
+    schema.loadValues(kv);
+    EXPECT_EQ(schema, c);
+}
+
+TEST(Config, LoadRejectsOutOfBoundsTunable)
+{
+    Config c;
+    c.addTunable({"ratio", 0, 8, 4, false});
+    KvFile kv;
+    kv.setInt("ratio", 99);
+    EXPECT_THROW(c.loadValues(kv), FatalError);
+}
+
+TEST(Config, SpaceSizeGrowsWithStructure)
+{
+    Config small;
+    small.addTunable({"t", 1, 8, 4, false});
+    Config large;
+    large.addSelector(Selector("s1", 7));
+    large.addSelector(Selector("s2", 3));
+    large.addTunable({"t", 1, 1 << 20, 4, true});
+    double logSmall = small.log10SpaceSize(1 << 20);
+    double logLarge = large.log10SpaceSize(1 << 20);
+    EXPECT_LT(logSmall, 2.0);
+    EXPECT_GT(logLarge, 80.0); // selector spaces are astronomically big
+}
+
+TEST(Config, SpaceSizeOrderOfMagnitudeLikeFigure8)
+{
+    // A benchmark-sized space (several selectors + tunables) should
+    // land in the 10^100+ range that Figure 8 reports.
+    Config c;
+    for (int i = 0; i < 3; ++i)
+        c.addSelector(Selector("sel" + std::to_string(i), 3));
+    for (int i = 0; i < 6; ++i)
+        c.addTunable({"tun" + std::to_string(i), 1, 1024, 16, false});
+    double log10 = c.log10SpaceSize(1 << 22);
+    EXPECT_GT(log10, 100.0);
+    EXPECT_LT(log10, 1000.0);
+}
+
+} // namespace
+} // namespace tuner
+} // namespace petabricks

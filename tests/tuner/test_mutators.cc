@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "tuner/mutators.h"
+
+namespace petabricks {
+namespace tuner {
+namespace {
+
+Config
+sampleConfig()
+{
+    Config c;
+    c.addSelector(Selector("algo", 4, 0));
+    c.addTunable({"lws", 1, 1024, 64, false});
+    c.addTunable({"cutoff", 1, 1 << 20, 1024, true});
+    return c;
+}
+
+TEST(Mutators, GeneratedSetCoversStructure)
+{
+    Config c = sampleConfig();
+    auto mutators = generateMutators(c);
+    // 4 per selector + 1 per tunable.
+    EXPECT_EQ(mutators.size(), 4u + 2u);
+}
+
+TEST(Mutators, AddLevelGrowsSelector)
+{
+    Config c = sampleConfig();
+    Rng rng(3);
+    auto m = makeSelectorAddLevel("algo");
+    EXPECT_TRUE(m->apply(c, rng, 4096));
+    EXPECT_EQ(c.selector("algo").levels(), 2u);
+}
+
+TEST(Mutators, AddLevelSeedsCutoffNearCurrentSize)
+{
+    Config c = sampleConfig();
+    Rng rng(3);
+    makeSelectorAddLevel("algo")->apply(c, rng, 1 << 12);
+    int64_t cutoff = c.selector("algo").cutoffs()[0];
+    // Lognormal around the tested size: within a factor of 32.
+    EXPECT_GT(cutoff, (1 << 12) / 32);
+    EXPECT_LT(cutoff, (1 << 12) * 32);
+}
+
+TEST(Mutators, RemoveLevelNoopOnSingleLevel)
+{
+    Config c = sampleConfig();
+    Rng rng(5);
+    EXPECT_FALSE(makeSelectorRemoveLevel("algo")->apply(c, rng, 64));
+    EXPECT_EQ(c.selector("algo").levels(), 1u);
+}
+
+TEST(Mutators, RemoveUndoesAdd)
+{
+    Config c = sampleConfig();
+    Rng rng(7);
+    makeSelectorAddLevel("algo")->apply(c, rng, 256);
+    EXPECT_TRUE(makeSelectorRemoveLevel("algo")->apply(c, rng, 256));
+    EXPECT_EQ(c.selector("algo").levels(), 1u);
+}
+
+TEST(Mutators, ChangeAlgorithmStaysInRange)
+{
+    Config c = sampleConfig();
+    Rng rng(11);
+    auto m = makeSelectorChangeAlgorithm("algo");
+    for (int i = 0; i < 50; ++i) {
+        m->apply(c, rng, 64);
+        int alg = c.selector("algo").algorithms()[0];
+        EXPECT_GE(alg, 0);
+        EXPECT_LT(alg, 4);
+    }
+}
+
+TEST(Mutators, ScaleCutoffNoopWithoutCutoffs)
+{
+    Config c = sampleConfig();
+    Rng rng(13);
+    EXPECT_FALSE(makeSelectorScaleCutoff("algo")->apply(c, rng, 64));
+}
+
+TEST(Mutators, LognormalRespectsBounds)
+{
+    Config c = sampleConfig();
+    Rng rng(17);
+    auto m = makeTunableLognormal("cutoff");
+    for (int i = 0; i < 200; ++i) {
+        m->apply(c, rng, 64);
+        int64_t v = c.tunableValue("cutoff");
+        EXPECT_GE(v, 1);
+        EXPECT_LE(v, 1 << 20);
+    }
+}
+
+TEST(Mutators, LognormalHalvesAndDoubles)
+{
+    // Over many applications from a fixed start, both halving-or-more
+    // and doubling-or-more must occur (Section 5.2's symmetry).
+    Rng rng(19);
+    auto m = makeTunableLognormal("cutoff");
+    int halved = 0, doubled = 0;
+    for (int i = 0; i < 300; ++i) {
+        Config c = sampleConfig(); // reset to 1024 each time
+        m->apply(c, rng, 64);
+        int64_t v = c.tunableValue("cutoff");
+        if (v <= 512)
+            ++halved;
+        if (v >= 2048)
+            ++doubled;
+    }
+    EXPECT_GT(halved, 30);
+    EXPECT_GT(doubled, 30);
+}
+
+TEST(Mutators, UniformCoversRange)
+{
+    Config c = sampleConfig();
+    Rng rng(23);
+    auto m = makeTunableUniform("lws");
+    int64_t lo = 1 << 20, hi = 0;
+    for (int i = 0; i < 300; ++i) {
+        m->apply(c, rng, 64);
+        lo = std::min(lo, c.tunableValue("lws"));
+        hi = std::max(hi, c.tunableValue("lws"));
+    }
+    EXPECT_LT(lo, 64);
+    EXPECT_GT(hi, 900);
+}
+
+TEST(Mutators, NamesIdentifyTargets)
+{
+    EXPECT_NE(makeSelectorAddLevel("algo")->name().find("algo"),
+              std::string::npos);
+    EXPECT_NE(makeTunableUniform("lws")->name().find("lws"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace tuner
+} // namespace petabricks
