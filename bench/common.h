@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "benchmarks/benchmark.h"
+#include "engine/execution_engine.h"
 #include "support/table.h"
 
 namespace petabricks {
@@ -42,11 +43,9 @@ inline tuner::TuningResult
 tuneFor(const apps::Benchmark &benchmark,
         const sim::MachineProfile &machine)
 {
-    apps::MachineEvaluator evaluator(benchmark, machine);
-    tuner::EvolutionaryTuner tuner(
-        evaluator, benchmark.seedConfig(),
-        figureTunerOptions(benchmark, machine));
-    return tuner.run();
+    engine::ModelEngine engine(machine);
+    return apps::tuneWithEngine(benchmark, engine,
+                                figureTunerOptions(benchmark, machine));
 }
 
 /** A named configuration column of a Figure 7 style table. */
@@ -71,29 +70,33 @@ printCrossTable(const apps::Benchmark &benchmark,
     int64_t n = benchmark.testingInputSize();
 
     std::vector<std::string> header{"Config"};
-    for (const auto &machine : machines)
+    std::vector<engine::ModelEngine> engines;
+    for (const auto &machine : machines) {
         header.push_back("on " + machine.name);
+        engines.emplace_back(machine);
+    }
     TextTable table(header);
 
     // Native times used for normalization (config i on machine i).
     std::map<std::string, double> native;
     for (size_t m = 0; m < machines.size(); ++m) {
         native[machines[m].name] =
-            benchmark.evaluate(configs[m].config, n, machines[m]);
+            engines[m].run(benchmark, configs[m].config, n).seconds;
     }
 
     for (const NamedConfig &config : configs) {
         std::vector<std::string> row{config.name};
-        for (const auto &machine : machines) {
+        for (engine::ModelEngine &engine : engines) {
             double t;
             try {
-                t = benchmark.evaluate(config.config, n, machine);
+                t = engine.run(benchmark, config.config, n).seconds;
             } catch (const FatalError &) {
                 row.push_back("n/a");
                 continue;
             }
-            row.push_back(TextTable::num(t / native[machine.name], 2) +
-                          "x");
+            row.push_back(
+                TextTable::num(t / native[engine.machine().name], 2) +
+                "x");
         }
         table.addRow(row);
     }

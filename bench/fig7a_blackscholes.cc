@@ -28,7 +28,7 @@ main()
     // over GPU-only on Laptop and a large slowdown on Desktop.
     tuner::Config gpuOnly = bench.seedConfig();
     gpuOnly.selector("BlackScholes.backend")
-        .setAlgorithm(0, kBackendOpenCl);
+        .setAlgorithm(0, backendAlg(compiler::Backend::OpenClGlobal));
     tuner::Config split = gpuOnly;
     split.tunable("BlackScholes.ratio").value = 6;
     auto laptop = sim::MachineProfile::laptop();

@@ -28,14 +28,13 @@ main()
         // search effort (the JIT-compile model dominates, Section 5.4).
         double seconds = 0.0;
         for (const auto &machine : sim::MachineProfile::all()) {
-            apps::MachineEvaluator evaluator(*benchmark, machine);
+            engine::ModelEngine engine(machine);
             tuner::TunerOptions options =
                 bench::figureTunerOptions(*benchmark, machine);
             options.populationSize = 16;
             options.generationsPerSize = 150;
-            tuner::EvolutionaryTuner tuner(
-                evaluator, benchmark->seedConfig(), options);
-            seconds += tuner.run().tuningSeconds;
+            seconds += apps::tuneWithEngine(*benchmark, engine, options)
+                           .tuningSeconds;
         }
         double hours = seconds / 3.0 / 3600.0;
         totalHours += hours;

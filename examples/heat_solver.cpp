@@ -1,16 +1,17 @@
 /**
  * Heat/Laplace solver: red-black SOR via the Poisson2D transform, with
  * the split phase on the CPU and the iterations on the emulated GPU —
- * the paper's Desktop-style placement.
+ * the paper's Desktop-style placement — executed through the
+ * RuntimeEngine.
  *
- * Build & run:  ./build/examples/heat_solver
+ * Build & run:  ./build/heat_solver
  */
 
 #include <iostream>
 
 #include "benchmarks/backend_util.h"
 #include "benchmarks/poisson.h"
-#include "compiler/executor.h"
+#include "engine/execution_engine.h"
 
 using namespace petabricks;
 using namespace petabricks::apps;
@@ -23,27 +24,20 @@ main()
     PoissonBenchmark bench(iterations);
     Rng rng(3);
 
-    ocl::Device gpu(sim::MachineProfile::desktop().ocl);
-    runtime::Runtime rt(4, &gpu);
-    compiler::TransformExecutor exec(rt);
-
     tuner::Config config = bench.seedConfig();
-    config.selector("Poisson.split.backend").setAlgorithm(0, kBackendCpu);
+    config.selector("Poisson.split.backend")
+        .setAlgorithm(0, backendAlg(compiler::Backend::Cpu));
     config.selector("Poisson.iterate.backend")
-        .setAlgorithm(0, kBackendOpenClLocal);
+        .setAlgorithm(0, backendAlg(compiler::Backend::OpenClLocal));
+
+    engine::RuntimeEngineOptions options;
+    options.workers = 4;
+    engine::RuntimeEngine engine(options);
 
     lang::Binding binding = bench.makeBinding(n, rng);
     MatrixD initial = binding.matrix("In").clone();
-    exec.execute(bench.transform(), binding, bench.planFor(config, n));
-    exec.syncOutputs(bench.transform(), binding);
-
-    MatrixD got = bench.unpackResult(binding);
-    MatrixD ref =
-        PoissonBenchmark::reference(initial, iterations,
-                                    PoissonBenchmark::kOmega);
-    double err = 0.0;
-    for (int64_t i = 0; i < got.size(); ++i)
-        err = std::max(err, std::abs(got[i] - ref[i]));
+    engine::RunResult run =
+        engine.runOnBinding(bench, config, n, binding);
 
     // Residual decrease as a sanity check that SOR is converging.
     auto residual = [](const MatrixD &g) {
@@ -58,8 +52,8 @@ main()
     std::cout << iterations << " red-black SOR iterations on a " << n
               << "x" << n << " grid\n"
               << "  split on CPU, iterate on GPU (local memory)\n"
-              << "  max error vs direct SOR: " << err << "\n"
+              << "  max error vs direct SOR: " << run.maxError << "\n"
               << "  residual: " << residual(initial) << " -> "
-              << residual(got) << "\n";
+              << residual(bench.unpackResult(binding)) << "\n";
     return 0;
 }

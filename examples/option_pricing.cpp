@@ -1,16 +1,17 @@
 /**
  * Option pricing: price a portfolio of European calls with the
  * Black-Scholes transform, splitting the work between the CPU workers
- * and the (emulated) GPU with the paper's ratio mechanism.
+ * and the (emulated) GPU with the paper's ratio mechanism — executed
+ * through the RuntimeEngine.
  *
- * Build & run:  ./build/examples/option_pricing
+ * Build & run:  ./build/option_pricing
  */
 
 #include <iostream>
 
 #include "benchmarks/backend_util.h"
 #include "benchmarks/blackscholes.h"
-#include "compiler/executor.h"
+#include "engine/execution_engine.h"
 
 using namespace petabricks;
 using namespace petabricks::apps;
@@ -22,33 +23,30 @@ main()
     BlackScholesBenchmark bench;
     Rng rng(7);
 
-    ocl::Device gpu(sim::MachineProfile::laptop().ocl);
-    runtime::Runtime rt(2, &gpu);
-    compiler::TransformExecutor exec(rt);
-
     // The Laptop-style configuration: 75% of the portfolio priced on
     // the GPU, 25% concurrently on the CPU workers.
     tuner::Config config = bench.seedConfig();
     config.selector("BlackScholes.backend")
-        .setAlgorithm(0, kBackendOpenCl);
+        .setAlgorithm(0, backendAlg(compiler::Backend::OpenClGlobal));
     config.tunable("BlackScholes.ratio").value = 6;
 
+    engine::RuntimeEngineOptions engineOptions;
+    engineOptions.machine = sim::MachineProfile::laptop();
+    engine::RuntimeEngine engine(engineOptions);
+
     lang::Binding binding = bench.makeBinding(options, rng);
-    exec.execute(bench.transform(), binding,
-                 bench.planFor(config, options));
-    exec.syncOutputs(bench.transform(), binding);
+    engine::RunResult run =
+        engine.runOnBinding(bench, config, options, binding);
 
     const MatrixD &price = binding.matrix("Price");
-    MatrixD ref = BlackScholesBenchmark::reference(binding);
-    double total = 0.0, err = 0.0;
-    for (int64_t i = 0; i < price.size(); ++i) {
+    double total = 0.0;
+    for (int64_t i = 0; i < price.size(); ++i)
         total += price[i];
-        err = std::max(err, std::abs(price[i] - ref[i]));
-    }
     std::cout << "priced " << options << " options, portfolio value "
-              << total << ", max error vs reference " << err << "\n";
+              << total << ", max error vs reference " << run.maxError
+              << "\n";
 
-    auto stats = rt.gpuMemory().statsSnapshot();
+    auto stats = engine.runtime().gpuMemory().statsSnapshot();
     std::cout << "GPU memory table: " << stats.copyInsPerformed
               << " copy-ins, " << stats.lazyCopyOuts
               << " lazy copy-outs\n";

@@ -2,16 +2,16 @@
  * Poly-algorithm sorting: build the paper's Desktop-style sort
  * configuration (2-way merge sort at the top, quicksort in the middle,
  * 4-way merge sort lower, insertion sort at the base) with selectors,
- * then sort with it and compare algorithm choices.
+ * run it through the RuntimeEngine, and compare algorithm choices with
+ * the ModelEngine.
  *
- * Build & run:  ./build/examples/poly_sort
+ * Build & run:  ./build/poly_sort
  */
 
-#include <algorithm>
 #include <iostream>
 
 #include "benchmarks/sort.h"
-#include "support/rng.h"
+#include "engine/execution_engine.h"
 
 using namespace petabricks;
 using namespace petabricks::apps;
@@ -30,29 +30,25 @@ main()
     s.insertLevel(64294, kSortQuick);
     s.insertLevel(174762, kSortMerge2);
 
-    Rng rng(99);
-    std::vector<double> data(500000);
-    for (double &d : data)
-        d = rng.uniformReal(-1e9, 1e9);
-    std::vector<double> expect = data;
-    std::sort(expect.begin(), expect.end());
-
-    std::vector<double> work = data;
-    SortBenchmark::sortWithConfig(config, work);
-    std::cout << "poly-algorithm sort of " << data.size() << " doubles: "
-              << (work == expect ? "correct" : "WRONG") << "\n";
-    std::cout << "configuration: " << bench.describeConfig(
-                     config, static_cast<int64_t>(data.size()))
+    const int64_t n = 500000;
+    engine::RuntimeEngine real;
+    engine::RunResult run = real.run(bench, config, n);
+    std::cout << "poly-algorithm sort of " << n << " doubles: "
+              << (run.maxError <= bench.realModeTolerance() ? "correct"
+                                                            : "WRONG")
+              << " (" << run.seconds * 1e3 << " ms measured)\n";
+    std::cout << "configuration: " << bench.describeConfig(config, n)
               << "\n";
 
     // Compare modeled cost against single-algorithm configs per machine.
     for (const auto &machine : sim::MachineProfile::all()) {
+        engine::ModelEngine model(machine);
         tuner::Config merge = bench.seedConfig();
         merge.selector("Sort.algorithm").setAlgorithm(0, kSortMerge2);
-        double poly = bench.evaluate(config, 1 << 20, machine);
-        double mono = bench.evaluate(merge, 1 << 20, machine);
-        double gpu = bench.evaluate(SortBenchmark::gpuOnlyConfig(),
-                                    1 << 20, machine);
+        double poly = model.run(bench, config, 1 << 20).seconds;
+        double mono = model.run(bench, merge, 1 << 20).seconds;
+        double gpu = model.run(bench, SortBenchmark::gpuOnlyConfig(),
+                               1 << 20).seconds;
         std::cout << machine.name << ": poly " << poly * 1e3
                   << " ms, pure 2MS " << mono * 1e3
                   << " ms, GPU bitonic " << gpu * 1e3 << " ms\n";

@@ -1,16 +1,17 @@
 /**
- * Quickstart: define a transform with two algorithmic choices, run it
- * on the heterogeneous runtime under different placements, and let the
- * autotuner pick a configuration for a machine profile.
+ * Quickstart: evaluate one benchmark configuration through the unified
+ * ExecutionEngine API — the same call priced on a machine profile
+ * (ModelEngine) and really executed on the heterogeneous runtime with
+ * the emulated OpenCL device (RuntimeEngine) — then autotune against
+ * either engine with a one-line swap.
  *
- * Build & run:  ./build/examples/quickstart
+ * Build & run:  ./build/quickstart
  */
 
 #include <iostream>
 
-#include "benchmarks/backend_util.h"
 #include "benchmarks/convolution.h"
-#include "compiler/executor.h"
+#include "engine/execution_engine.h"
 
 using namespace petabricks;
 using namespace petabricks::apps;
@@ -21,39 +22,29 @@ main()
     // SeparableConvolution, the paper's running example: choice of a
     // single-pass 2-D convolution or two 1-D passes, each mappable to
     // the CPU backend or the (emulated) OpenCL backend.
-    const int64_t n = 64, kwidth = 5;
-    ConvolutionBenchmark bench(kwidth);
-    Rng rng(42);
-
-    // --- Real mode: execute on the work-stealing runtime + GPU ------
-    ocl::Device gpu(sim::MachineProfile::desktop().ocl);
-    runtime::Runtime rt(4, &gpu);
-    compiler::TransformExecutor exec(rt);
-
-    lang::Binding binding = bench.makeBinding(n, rng);
+    ConvolutionBenchmark bench(5);
     tuner::Config config =
         ConvolutionBenchmark::fixedMapping(/*separable=*/true,
                                            /*localMem=*/true);
-    exec.execute(bench.transform(), binding, bench.planFor(config, n));
-    exec.syncOutputs(bench.transform(), binding); // lazy copy-out check
 
-    MatrixD ref = ConvolutionBenchmark::reference(binding, kwidth);
-    double err = 0.0;
-    const MatrixD &out = binding.matrix("Out");
-    for (int64_t i = 0; i < out.size(); ++i)
-        err = std::max(err, std::abs(out[i] - ref[i]));
-    std::cout << "separable+local-memory on the emulated GPU: max error "
-              << err << "\n";
+    // --- Real mode: execute on the work-stealing runtime + GPU ------
+    engine::RuntimeEngine real;
+    engine::RunResult run = real.run(bench, config, 64);
+    std::cout << "separable+local-memory on the emulated GPU: "
+              << run.kernelCount << " kernels, max error "
+              << run.maxError << "\n";
 
     // --- Model mode: what would each mapping cost on each machine? --
     for (const auto &machine : sim::MachineProfile::all()) {
+        engine::ModelEngine model(machine);
         std::cout << machine.name << ":";
         for (bool separable : {false, true}) {
-            double t = bench.evaluate(
+            engine::RunResult r = model.run(
+                bench,
                 ConvolutionBenchmark::fixedMapping(separable, false),
-                3520, machine);
+                3520);
             std::cout << (separable ? "  separable=" : "  2d=")
-                      << t * 1e3 << "ms";
+                      << r.seconds * 1e3 << "ms";
         }
         std::cout << "\n";
     }
@@ -65,5 +56,19 @@ main()
               << bench.describeConfig(tuned.best, 3520) << "\n"
               << "modeled time " << tuned.bestSeconds * 1e3
               << " ms after " << tuned.evaluations << " evaluations\n";
+
+    // --- The same search against real execution ----------------------
+    // tuneWithEngine() is the engine swap: candidates are now timed by
+    // actually running them (kept tiny here — real runs are slower).
+    tuner::TunerOptions small;
+    small.populationSize = 3;
+    small.generationsPerSize = 2;
+    small.minInputSize = 48;
+    small.maxInputSize = 96;
+    tuner::TuningResult realTuned = tuneWithEngine(bench, real, small);
+    std::cout << "real-execution tuned config: "
+              << bench.describeConfig(realTuned.best, 96) << "\n"
+              << "measured " << realTuned.bestSeconds * 1e3
+              << " ms per run\n";
     return 0;
 }

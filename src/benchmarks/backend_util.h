@@ -3,11 +3,12 @@
  * Shared glue mapping tuner configurations onto stage placements.
  *
  * Convention used by the transform-style benchmarks: a backend selector
- * named "<Rule>.backend" with the algorithm set
- *   0 = CPU, 1 = OpenCL (global memory), 2 = OpenCL + local memory,
- * plus tunables "<Rule>.lws" (local work size), "<Rule>.ratio"
- * (GPU-CPU workload ratio in eighths), and a per-benchmark
- * "<Bench>.split" (CPU chunking) — the Section 5.3 choice encoding.
+ * named "<Rule>.backend" whose algorithm ids are the
+ * compiler::Backend enumerators (CPU, OpenCL global memory, OpenCL +
+ * local memory), plus tunables "<Rule>.lws" (local work size),
+ * "<Rule>.ratio" (GPU-CPU workload ratio in eighths), and a
+ * per-benchmark "<Bench>.split" (CPU chunking) — the Section 5.3
+ * choice encoding.
  */
 
 #ifndef PETABRICKS_BENCHMARKS_BACKEND_UTIL_H
@@ -21,21 +22,24 @@
 namespace petabricks {
 namespace apps {
 
-/** Backend algorithm ids used by backend selectors. */
-enum BackendAlg
+/** Selector algorithm id of a backend (selectors store plain ints). */
+inline int
+backendAlg(compiler::Backend backend)
 {
-    kBackendCpu = 0,
-    kBackendOpenCl = 1,
-    kBackendOpenClLocal = 2,
-};
+    return static_cast<int>(backend);
+}
+
+/** Number of backends a rule can choose from. */
+inline constexpr int kBackendCount = 3;
 
 /** Register the standard per-rule choice structure on @p config. */
 inline void
 addBackendChoices(tuner::Config &config, const std::string &rule,
                   bool hasLocalVariant)
 {
-    config.addSelector(tuner::Selector(rule + ".backend",
-                                       hasLocalVariant ? 3 : 2, 0));
+    config.addSelector(tuner::Selector(
+        rule + ".backend", hasLocalVariant ? kBackendCount : 2,
+        backendAlg(compiler::Backend::Cpu)));
     config.addTunable({rule + ".lws", 1, 1024, 64, false});
     config.addTunable({rule + ".ratio", 0, 8, 8, false});
 }
@@ -45,20 +49,12 @@ inline compiler::StageConfig
 stageFor(const tuner::Config &config, const std::string &rule, int64_t n,
          int cpuSplit)
 {
+    int alg = config.selector(rule + ".backend").select(n);
+    PB_ASSERT(alg >= 0 && alg < kBackendCount,
+              "bad backend algorithm " << alg << " for rule '" << rule
+                                       << "'");
     compiler::StageConfig stage;
-    switch (config.selector(rule + ".backend").select(n)) {
-      case kBackendCpu:
-        stage.backend = compiler::Backend::Cpu;
-        break;
-      case kBackendOpenCl:
-        stage.backend = compiler::Backend::OpenClGlobal;
-        break;
-      case kBackendOpenClLocal:
-        stage.backend = compiler::Backend::OpenClLocal;
-        break;
-      default:
-        PB_PANIC("bad backend algorithm for rule '" << rule << "'");
-    }
+    stage.backend = static_cast<compiler::Backend>(alg);
     stage.localWorkSize =
         static_cast<int>(config.tunableValue(rule + ".lws"));
     stage.gpuRatioEighths =
@@ -71,22 +67,17 @@ stageFor(const tuner::Config &config, const std::string &rule, int64_t n,
 inline std::string
 describeStage(const compiler::StageConfig &stage)
 {
-    switch (stage.backend) {
-      case compiler::Backend::Cpu:
-        return "CPU";
-      case compiler::Backend::OpenClGlobal:
-        if (stage.gpuRatioEighths >= 8)
-            return "OpenCL";
-        return "OpenCL " + std::to_string(stage.gpuRatioEighths * 100 / 8) +
-               "% / CPU " +
-               std::to_string(100 - stage.gpuRatioEighths * 100 / 8) + "%";
-      case compiler::Backend::OpenClLocal:
-        if (stage.gpuRatioEighths >= 8)
-            return "OpenCL+local";
-        return "OpenCL+local " +
-               std::to_string(stage.gpuRatioEighths * 100 / 8) + "%";
-    }
-    return "?";
+    std::string name = compiler::backendName(stage.backend);
+    if (stage.backend == compiler::Backend::Cpu ||
+        stage.gpuRatioEighths >= 8)
+        return name;
+    // A partial GPU ratio computes the rest concurrently on the CPU.
+    int gpuPercent = stage.gpuRatioEighths * 100 / 8;
+    std::string split =
+        name + " " + std::to_string(gpuPercent) + "%";
+    if (stage.backend == compiler::Backend::OpenClGlobal)
+        split += " / CPU " + std::to_string(100 - gpuPercent) + "%";
+    return split;
 }
 
 /** Kernel source ids a stage JIT-compiles under the Section 5.4 model. */

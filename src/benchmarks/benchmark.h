@@ -10,25 +10,71 @@
  *  - metadata for the Figure 8 table, and
  *  - a human-readable config summary for the Figure 6 table.
  *
- * Functional (real-mode) implementations and their correctness tests
- * live with each benchmark's own header.
+ * Benchmarks also expose a uniform *real-mode* surface — the transform,
+ * an input binding, and the stage placement a configuration selects —
+ * so that engine::RuntimeEngine can execute any benchmark on the
+ * heterogeneous runtime exactly the way engine::ModelEngine prices it
+ * on a machine profile (the paper's Section 6 methodology: autotuning
+ * against real execution).
  */
 
 #ifndef PETABRICKS_BENCHMARKS_BENCHMARK_H
 #define PETABRICKS_BENCHMARKS_BENCHMARK_H
 
+#include <cmath>
 #include <limits>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "compiler/backend.h"
+#include "lang/transform.h"
 #include "sim/machine.h"
 #include "support/error.h"
+#include "support/rng.h"
 #include "tuner/evolution.h"
 
 namespace petabricks {
+
+namespace engine {
+class ExecutionEngine;
+} // namespace engine
+
 namespace apps {
+
+/**
+ * Runtime choice state shared between planFor() and the region-rule
+ * bodies of function-style transforms (Sort, Strassen, SVD,
+ * Tridiagonal), whose poly-algorithms consult selectors at every
+ * recursive call site. This mirrors the paper's *choice configuration
+ * file* (Figure 3): the compiled program reads the autotuner's
+ * selectors at startup and dispatches on them while running.
+ * planFor() arms the file; the transform's rules read it during
+ * execution.
+ */
+class ChoiceFile
+{
+  public:
+    void
+    arm(const tuner::Config &config)
+    {
+        config_ = std::make_shared<tuner::Config>(config);
+    }
+
+    const tuner::Config &
+    get() const
+    {
+        PB_ASSERT(config_ != nullptr,
+                  "choice file not armed: call planFor() before "
+                  "executing the transform");
+        return *config_;
+    }
+
+  private:
+    std::shared_ptr<const tuner::Config> config_;
+};
+
+using ChoiceFilePtr = std::shared_ptr<ChoiceFile>;
 
 /** See file comment. */
 class Benchmark
@@ -70,45 +116,79 @@ class Benchmark
     /** Figure 6: one-line summary of what @p config chose. */
     virtual std::string describeConfig(const tuner::Config &config,
                                        int64_t n) const = 0;
+
+    // ---- Real-mode surface (engine::RuntimeEngine) --------------------
+
+    /** True if the benchmark implements the real-mode surface below. */
+    virtual bool supportsRealMode() const { return false; }
+
+    /** The transform real mode executes. Requires supportsRealMode(). */
+    virtual const lang::Transform &transform() const;
+
+    /** Bind random inputs for size @p n. Requires supportsRealMode(). */
+    virtual lang::Binding makeBinding(int64_t n, Rng &rng) const;
+
+    /**
+     * Stage placement @p config selects at size @p n. Function-style
+     * benchmarks also arm their ChoiceFile here, so call planFor()
+     * before executing the transform. Requires supportsRealMode().
+     */
+    virtual compiler::TransformConfig
+    planFor(const tuner::Config &config, int64_t n) const;
+
+    /**
+     * Residual of @p binding's outputs against the benchmark's
+     * reference implementation, after a real run (max absolute
+     * difference, or relative error for variable-accuracy benchmarks).
+     * Requires supportsRealMode().
+     */
+    virtual double checkOutput(const lang::Binding &binding) const;
+
+    /** Residual bound a correct real run must stay under. */
+    virtual double realModeTolerance() const { return 1e-9; }
+
+    /**
+     * Input size for real-mode smoke runs: large enough to exercise
+     * every stage, small enough that the emulated device stays fast.
+     */
+    virtual int64_t realModeProbeSize() const { return minTuningSize(); }
 };
 
 using BenchmarkPtr = std::shared_ptr<Benchmark>;
 
-/** tuner::Evaluator binding a benchmark to one machine profile. */
-class MachineEvaluator : public tuner::Evaluator
+/** Largest absolute elementwise difference (residual helper). */
+inline double
+maxAbsDiff(const MatrixD &a, const MatrixD &b)
 {
-  public:
-    MachineEvaluator(const Benchmark &benchmark,
-                     const sim::MachineProfile &machine)
-        : benchmark_(benchmark), machine_(machine)
-    {}
+    PB_ASSERT(a.width() == b.width() && a.height() == b.height(),
+              "residual shape mismatch: " << a.width() << "x"
+                                          << a.height() << " vs "
+                                          << b.width() << "x"
+                                          << b.height());
+    double worst = 0.0;
+    for (int64_t i = 0; i < a.size(); ++i)
+        worst = std::max(worst, std::abs(a[i] - b[i]));
+    return worst;
+}
 
-    double
-    evaluate(const tuner::Config &config, int64_t inputSize) override
-    {
-        try {
-            return benchmark_.evaluate(config, inputSize, machine_);
-        } catch (const FatalError &) {
-            // Infeasible placement (local memory overflow, inadmissible
-            // backend, ...): never selected.
-            return std::numeric_limits<double>::infinity();
-        }
-    }
+/**
+ * Autotune @p benchmark against @p engine (model-mode pricing or real
+ * execution — the paper's actual methodology). Deterministic for a
+ * given seed when the engine is.
+ */
+tuner::TuningResult tuneWithEngine(const Benchmark &benchmark,
+                                   engine::ExecutionEngine &engine,
+                                   tuner::TunerOptions options);
 
-    std::vector<std::string>
-    kernelSources(const tuner::Config &config, int64_t inputSize) override
-    {
-        return benchmark_.kernelSources(config, inputSize);
-    }
-
-  private:
-    const Benchmark &benchmark_;
-    const sim::MachineProfile &machine_;
-};
+/** tuneWithEngine() with the benchmark's default search sizing. */
+tuner::TuningResult tuneWithEngine(const Benchmark &benchmark,
+                                   engine::ExecutionEngine &engine,
+                                   uint64_t seed = 20130316);
 
 /**
  * Autotune @p benchmark for @p machine (the experiment's "X Config"
- * step). Deterministic for a given seed.
+ * step): tuneWithEngine() over a ModelEngine for the profile.
+ * Deterministic for a given seed.
  */
 tuner::TuningResult tuneOnMachine(const Benchmark &benchmark,
                                   const sim::MachineProfile &machine,

@@ -176,12 +176,19 @@ BlackScholesBenchmark::reference(const lang::Binding &binding)
     return out;
 }
 
+double
+BlackScholesBenchmark::checkOutput(const lang::Binding &binding) const
+{
+    return maxAbsDiff(binding.matrix("Price"), reference(binding));
+}
+
 tuner::Config
 BlackScholesBenchmark::cpuOnlyConfig()
 {
     BlackScholesBenchmark proto;
     tuner::Config config = proto.seedConfig();
-    config.selector("BlackScholes.backend").setAlgorithm(0, kBackendCpu);
+    config.selector("BlackScholes.backend")
+        .setAlgorithm(0, backendAlg(compiler::Backend::Cpu));
     return config;
 }
 

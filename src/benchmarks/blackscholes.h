@@ -45,24 +45,26 @@ class BlackScholesBenchmark : public Benchmark
     std::string describeConfig(const tuner::Config &config,
                                int64_t n) const override;
 
-    const lang::Transform &transform() const { return *transform_; }
-
-    /**
-     * Bind a batch of n options (shaped into a near-square matrix so
-     * the GPU-CPU ratio can split rows). Inputs: Spot, Strike, Years —
-     * all drawn from realistic ranges; rate and volatility are
-     * transform params scaled by 1e4.
-     */
-    lang::Binding makeBinding(int64_t n, Rng &rng) const;
+    // Real-mode surface. makeBinding() shapes the n options into a
+    // near-square matrix so the GPU-CPU ratio can split rows; inputs
+    // Spot, Strike, Years are drawn from realistic ranges, and rate and
+    // volatility are transform params scaled by 1e4.
+    bool supportsRealMode() const override { return true; }
+    const lang::Transform &transform() const override
+    {
+        return *transform_;
+    }
+    lang::Binding makeBinding(int64_t n, Rng &rng) const override;
+    compiler::TransformConfig planFor(const tuner::Config &config,
+                                      int64_t n) const override;
+    double checkOutput(const lang::Binding &binding) const override;
+    int64_t realModeProbeSize() const override { return 2048; }
 
     /** Row count of the matrix shape used for n options. */
     static int64_t rowsFor(int64_t n);
 
     /** Reference pricing for correctness checks. */
     static MatrixD reference(const lang::Binding &binding);
-
-    compiler::TransformConfig planFor(const tuner::Config &config,
-                                      int64_t n) const;
 
     /** The Figure 7(a) "CPU-only Config" baseline. */
     static tuner::Config cpuOnlyConfig();

@@ -238,6 +238,13 @@ ConvolutionBenchmark::reference(const lang::Binding &binding,
     return out;
 }
 
+double
+ConvolutionBenchmark::checkOutput(const lang::Binding &binding) const
+{
+    return maxAbsDiff(binding.matrix("Out"),
+                      reference(binding, kwidth_));
+}
+
 tuner::Config
 ConvolutionBenchmark::fixedMapping(bool separable, bool localMem)
 {
@@ -245,7 +252,8 @@ ConvolutionBenchmark::fixedMapping(bool separable, bool localMem)
     tuner::Config config = proto.seedConfig();
     config.selector("SeparableConvolution.choice")
         .setAlgorithm(0, separable ? 1 : 0);
-    int backend = localMem ? kBackendOpenClLocal : kBackendOpenCl;
+    int backend = backendAlg(localMem ? compiler::Backend::OpenClLocal
+                                      : compiler::Backend::OpenClGlobal);
     for (const char *rule : kRules)
         config.selector(std::string(rule) + ".backend")
             .setAlgorithm(0, backend);

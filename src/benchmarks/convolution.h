@@ -41,18 +41,20 @@ class ConvolutionBenchmark : public Benchmark
 
     int64_t kwidth() const { return kwidth_; }
 
-    /** The transform itself (for the compiler tests and examples). */
-    const lang::Transform &transform() const { return *transform_; }
-
-    /** Bind random matrices for an n x n input. */
-    lang::Binding makeBinding(int64_t n, Rng &rng) const;
+    // Real-mode surface.
+    bool supportsRealMode() const override { return true; }
+    const lang::Transform &transform() const override
+    {
+        return *transform_;
+    }
+    lang::Binding makeBinding(int64_t n, Rng &rng) const override;
+    compiler::TransformConfig planFor(const tuner::Config &config,
+                                      int64_t n) const override;
+    double checkOutput(const lang::Binding &binding) const override;
+    int64_t realModeProbeSize() const override { return 64; }
 
     /** Reference result for correctness checks. */
     static MatrixD reference(const lang::Binding &binding, int64_t kwidth);
-
-    /** Placement selected by @p config at size @p n. */
-    compiler::TransformConfig planFor(const tuner::Config &config,
-                                      int64_t n) const;
 
     /**
      * Fixed expert placements for the Figure 2 sweep: 2D / separable,

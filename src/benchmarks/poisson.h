@@ -52,12 +52,20 @@ class PoissonBenchmark : public Benchmark
     std::string describeConfig(const tuner::Config &config,
                                int64_t n) const override;
 
-    const lang::Transform &transform() const { return *transform_; }
     int iterations() const { return iterations_; }
 
-    /** Bind a random boundary-value problem on an n x n grid
-     * (n must be even). */
-    lang::Binding makeBinding(int64_t n, Rng &rng) const;
+    // Real-mode surface. makeBinding() binds a random boundary-value
+    // problem on an n x n grid (n must be even).
+    bool supportsRealMode() const override { return true; }
+    const lang::Transform &transform() const override
+    {
+        return *transform_;
+    }
+    lang::Binding makeBinding(int64_t n, Rng &rng) const override;
+    compiler::TransformConfig planFor(const tuner::Config &config,
+                                      int64_t n) const override;
+    double checkOutput(const lang::Binding &binding) const override;
+    int64_t realModeProbeSize() const override { return 32; }
 
     /**
      * Reference: the same red-black SOR computed directly on the
@@ -68,9 +76,6 @@ class PoissonBenchmark : public Benchmark
 
     /** Merge the packed Red/Black outputs of @p binding into a grid. */
     MatrixD unpackResult(const lang::Binding &binding) const;
-
-    compiler::TransformConfig planFor(const tuner::Config &config,
-                                      int64_t n) const;
 
     /** Figure 7(b)'s CPU-only baseline config. */
     static tuner::Config cpuOnlyConfig();

@@ -318,7 +318,72 @@ sortAlgName(int alg)
     return "?";
 }
 
+/** The Sort transform: one region rule running the poly-algorithm. */
+std::shared_ptr<lang::Transform>
+makeSortTransform(const ChoiceFilePtr &choices)
+{
+    auto t = std::make_shared<lang::Transform>("Sort");
+    t->slot("In", lang::SlotRole::Input)
+        .slot("Out", lang::SlotRole::Output);
+    auto rule = lang::RuleDef::makeRegion(
+        "SortPoly", "Out", {"In"},
+        [choices](lang::RuleDef::RegionRunArgs &args) {
+            const MatrixD &in = args.inputs[0];
+            for (int64_t i = 0; i < in.size(); ++i)
+                args.output[i] = in[i];
+            dispatchSort(choices->get(), args.output.data(),
+                         args.output.size());
+        },
+        [](const Region &region, const lang::ParamEnv &) {
+            // ~n log n comparison-sort work; the precise choice-aware
+            // model lives in SortBenchmark::evaluate.
+            double n = static_cast<double>(region.w * region.h);
+            sim::CostReport cost;
+            cost.flops = kMerge2Ops * n * std::log2(std::max(2.0, n));
+            return cost;
+        });
+    t->choice("poly", {rule});
+    return t;
+}
+
 } // namespace
+
+SortBenchmark::SortBenchmark()
+    : choices_(std::make_shared<ChoiceFile>()),
+      transform_(makeSortTransform(choices_))
+{}
+
+lang::Binding
+SortBenchmark::makeBinding(int64_t n, Rng &rng) const
+{
+    lang::Binding binding;
+    MatrixD in = MatrixD::vector(n);
+    for (int64_t i = 0; i < n; ++i)
+        in[i] = rng.uniformReal(-1e6, 1e6);
+    binding.matrices.emplace("In", in);
+    binding.matrices.emplace("Out", MatrixD::vector(n));
+    return binding;
+}
+
+compiler::TransformConfig
+SortBenchmark::planFor(const tuner::Config &config, int64_t n) const
+{
+    (void)n;
+    choices_->arm(config);
+    compiler::TransformConfig plan;
+    plan.choiceIndex = 0;
+    plan.stages = {compiler::StageConfig{}}; // region rule: CPU native
+    return plan;
+}
+
+double
+SortBenchmark::checkOutput(const lang::Binding &binding) const
+{
+    const MatrixD &in = binding.matrix("In");
+    MatrixD expect = in.clone();
+    std::sort(expect.data(), expect.data() + expect.size());
+    return maxAbsDiff(binding.matrix("Out"), expect);
+}
 
 tuner::Config
 SortBenchmark::seedConfig() const

@@ -39,6 +39,8 @@ enum SortAlg
 class SortBenchmark : public Benchmark
 {
   public:
+    SortBenchmark();
+
     std::string name() const override { return "Sort"; }
     tuner::Config seedConfig() const override;
     double evaluate(const tuner::Config &config, int64_t n,
@@ -49,6 +51,19 @@ class SortBenchmark : public Benchmark
     int openclKernelCount() const override { return 7; }
     std::string describeConfig(const tuner::Config &config,
                                int64_t n) const override;
+
+    // Real-mode surface: a single region rule sorting In into Out with
+    // the poly-algorithm the armed choice file selects.
+    bool supportsRealMode() const override { return true; }
+    const lang::Transform &transform() const override
+    {
+        return *transform_;
+    }
+    lang::Binding makeBinding(int64_t n, Rng &rng) const override;
+    compiler::TransformConfig planFor(const tuner::Config &config,
+                                      int64_t n) const override;
+    double checkOutput(const lang::Binding &binding) const override;
+    int64_t realModeProbeSize() const override { return 4096; }
 
     /**
      * Execute the poly-algorithm @p config selects on @p data (real
@@ -67,6 +82,10 @@ class SortBenchmark : public Benchmark
      */
     static double handCodedRadixSeconds(int64_t n,
                                         const sim::MachineProfile &m);
+
+  private:
+    ChoiceFilePtr choices_;
+    std::shared_ptr<lang::Transform> transform_;
 };
 
 } // namespace apps

@@ -385,6 +385,76 @@ describeMatmul(const tuner::Config &config, const std::string &prefix,
     return out.empty() ? "naive" : out;
 }
 
+namespace {
+
+/** The Strassen transform: C = A * B through the poly-algorithm. */
+std::shared_ptr<lang::Transform>
+makeStrassenTransform(const ChoiceFilePtr &choices)
+{
+    auto t = std::make_shared<lang::Transform>("Strassen");
+    t->slot("A", lang::SlotRole::Input)
+        .slot("B", lang::SlotRole::Input)
+        .slot("C", lang::SlotRole::Output);
+    auto rule = lang::RuleDef::makeRegion(
+        "MatMulPoly", "C", {"A", "B"},
+        [choices](lang::RuleDef::RegionRunArgs &args) {
+            runMatmul(choices->get(), "Strassen", args.inputs[0],
+                      args.inputs[1], args.output);
+        },
+        [](const Region &region, const lang::ParamEnv &) {
+            // ~2 n^3 flops; the choice-aware model lives in evaluate().
+            double n = static_cast<double>(region.w);
+            sim::CostReport cost;
+            cost.flops = 2.0 * n * n * n;
+            return cost;
+        });
+    t->choice("poly", {rule});
+    return t;
+}
+
+} // namespace
+
+StrassenBenchmark::StrassenBenchmark()
+    : choices_(std::make_shared<ChoiceFile>()),
+      transform_(makeStrassenTransform(choices_))
+{}
+
+lang::Binding
+StrassenBenchmark::makeBinding(int64_t n, Rng &rng) const
+{
+    lang::Binding binding;
+    MatrixD a(n, n), b(n, n);
+    for (int64_t i = 0; i < a.size(); ++i) {
+        a[i] = rng.uniformReal(-1.0, 1.0);
+        b[i] = rng.uniformReal(-1.0, 1.0);
+    }
+    binding.matrices.emplace("A", a);
+    binding.matrices.emplace("B", b);
+    binding.matrices.emplace("C", MatrixD(n, n));
+    return binding;
+}
+
+compiler::TransformConfig
+StrassenBenchmark::planFor(const tuner::Config &config, int64_t n) const
+{
+    (void)n;
+    choices_->arm(config);
+    compiler::TransformConfig plan;
+    plan.choiceIndex = 0;
+    plan.stages = {compiler::StageConfig{}}; // region rule: CPU native
+    return plan;
+}
+
+double
+StrassenBenchmark::checkOutput(const lang::Binding &binding) const
+{
+    const MatrixD &a = binding.matrix("A");
+    const MatrixD &b = binding.matrix("B");
+    MatrixD ref(a.width(), a.height());
+    blas::gemm(a, b, ref);
+    return maxAbsDiff(binding.matrix("C"), ref);
+}
+
 tuner::Config
 StrassenBenchmark::seedConfig() const
 {

@@ -69,6 +69,8 @@ std::string describeMatmul(const tuner::Config &config,
 class StrassenBenchmark : public Benchmark
 {
   public:
+    StrassenBenchmark();
+
     std::string name() const override { return "Strassen"; }
     tuner::Config seedConfig() const override;
     double evaluate(const tuner::Config &config, int64_t n,
@@ -81,6 +83,21 @@ class StrassenBenchmark : public Benchmark
     std::string describeConfig(const tuner::Config &config,
                                int64_t n) const override;
 
+    // Real-mode surface: C = A * B via a region rule running the
+    // selector-driven matmul poly-algorithm.
+    bool supportsRealMode() const override { return true; }
+    const lang::Transform &transform() const override
+    {
+        return *transform_;
+    }
+    lang::Binding makeBinding(int64_t n, Rng &rng) const override;
+    compiler::TransformConfig planFor(const tuner::Config &config,
+                                      int64_t n) const override;
+    double checkOutput(const lang::Binding &binding) const override;
+    /** Strassen's recursion loses a few digits to cancellation. */
+    double realModeTolerance() const override { return 1e-8; }
+    int64_t realModeProbeSize() const override { return 64; }
+
     /**
      * Modeled seconds of the NVIDIA-SDK-style hand-coded local-memory
      * matmul kernel (the Figure 7(e) baseline; ~1.4x faster than the
@@ -88,6 +105,10 @@ class StrassenBenchmark : public Benchmark
      */
     static double handCodedMatmulSeconds(int64_t n,
                                          const sim::MachineProfile &m);
+
+  private:
+    ChoiceFilePtr choices_;
+    std::shared_ptr<lang::Transform> transform_;
 };
 
 } // namespace apps

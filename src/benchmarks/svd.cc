@@ -70,9 +70,131 @@ jacobiEigen(MatrixD &b, MatrixD &v, int sweeps)
     }
 }
 
-SvdBenchmark::SvdBenchmark(double accuracyTarget)
-    : accuracyTarget_(accuracyTarget)
+namespace {
+
+/** The real-mode approximation (see SvdBenchmark::approximate). */
+MatrixD
+approximateWithConfig(const tuner::Config &config, const MatrixD &a,
+                      double *errorOut)
 {
+    int64_t n = a.width();
+    PB_ASSERT(a.height() == n, "square matrices only");
+    int64_t k = std::max<int64_t>(1, n * config.tunableValue("SVD.k8") / 8);
+
+    // Phase 1: B = A^T A via the configured matmul machinery.
+    MatrixD at(n, n);
+    blas::transpose(a, at);
+    MatrixD b(n, n);
+    runMatmul(config, "SVD", at, a, b);
+
+    // Phase 2: eigendecompose B (B is SPD; eigenvectors of B are the
+    // right singular vectors of A).
+    MatrixD v;
+    jacobiEigen(b, v, kJacobiSweeps);
+
+    // Order eigenpairs by eigenvalue, descending.
+    std::vector<int64_t> order(static_cast<size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int64_t i, int64_t j) {
+        return b.at(i, i) > b.at(j, j);
+    });
+
+    // Phase 3: A_k = A Vk Vk^T.
+    MatrixD vk(k, n);
+    for (int64_t c = 0; c < k; ++c)
+        for (int64_t r = 0; r < n; ++r)
+            vk.at(c, r) = v.at(order[static_cast<size_t>(c)], r);
+    MatrixD vkt(n, k);
+    blas::transpose(vk, vkt);
+    MatrixD proj(n, n);
+    runMatmul(config, "SVD", vk, vkt, proj);
+    MatrixD ak(n, n);
+    runMatmul(config, "SVD", a, proj, ak);
+
+    if (errorOut) {
+        double base = 0.0;
+        for (int64_t i = 0; i < a.size(); ++i)
+            base += a[i] * a[i];
+        *errorOut = blas::frobeniusDiff(a, ak) /
+                    std::max(std::sqrt(base), 1e-300);
+    }
+    return ak;
+}
+
+/** The SVD transform: Ak = truncated approximation of A. */
+std::shared_ptr<lang::Transform>
+makeSvdTransform(const ChoiceFilePtr &choices)
+{
+    auto t = std::make_shared<lang::Transform>("SVD");
+    t->slot("A", lang::SlotRole::Input)
+        .slot("Ak", lang::SlotRole::Output);
+    auto rule = lang::RuleDef::makeRegion(
+        "SvdApproximate", "Ak", {"A"},
+        [choices](lang::RuleDef::RegionRunArgs &args) {
+            MatrixD ak = approximateWithConfig(choices->get(),
+                                               args.inputs[0], nullptr);
+            for (int64_t i = 0; i < ak.size(); ++i)
+                args.output[i] = ak[i];
+        },
+        [](const Region &region, const lang::ParamEnv &) {
+            // Three matmuls plus Jacobi sweeps; the choice-aware model
+            // lives in evaluate().
+            double n = static_cast<double>(region.w);
+            sim::CostReport cost;
+            cost.flops = (6.0 + kJacobiFlopsPerN3) * n * n * n;
+            return cost;
+        });
+    t->choice("approximate", {rule});
+    return t;
+}
+
+} // namespace
+
+SvdBenchmark::SvdBenchmark(double accuracyTarget)
+    : accuracyTarget_(accuracyTarget),
+      choices_(std::make_shared<ChoiceFile>()),
+      transform_(makeSvdTransform(choices_))
+{
+}
+
+lang::Binding
+SvdBenchmark::makeBinding(int64_t n, Rng &rng) const
+{
+    lang::Binding binding;
+    MatrixD a(n, n);
+    for (int64_t i = 0; i < a.size(); ++i)
+        a[i] = rng.uniformReal(-1.0, 1.0);
+    // A decaying diagonal boost gives the spectrum the truncation-aware
+    // structure the tuning model assumes.
+    for (int64_t i = 0; i < n; ++i)
+        a.at(i, i) += 5.0 * std::exp(-4.0 * static_cast<double>(i) /
+                                     static_cast<double>(n));
+    binding.matrices.emplace("A", a);
+    binding.matrices.emplace("Ak", MatrixD(n, n));
+    return binding;
+}
+
+compiler::TransformConfig
+SvdBenchmark::planFor(const tuner::Config &config, int64_t n) const
+{
+    (void)n;
+    choices_->arm(config);
+    compiler::TransformConfig plan;
+    plan.choiceIndex = 0;
+    plan.stages = {compiler::StageConfig{}}; // region rule: CPU native
+    return plan;
+}
+
+double
+SvdBenchmark::checkOutput(const lang::Binding &binding) const
+{
+    const MatrixD &a = binding.matrix("A");
+    const MatrixD &ak = binding.matrix("Ak");
+    double base = 0.0;
+    for (int64_t i = 0; i < a.size(); ++i)
+        base += a[i] * a[i];
+    return blas::frobeniusDiff(a, ak) /
+           std::max(std::sqrt(base), 1e-300);
 }
 
 tuner::Config
@@ -171,49 +293,7 @@ MatrixD
 SvdBenchmark::approximate(const tuner::Config &config, const MatrixD &a,
                           double *errorOut) const
 {
-    int64_t n = a.width();
-    PB_ASSERT(a.height() == n, "square matrices only");
-    int64_t k = std::max<int64_t>(
-        1, n * config.tunableValue("SVD.k8") / 8);
-
-    // Phase 1: B = A^T A via the configured matmul machinery.
-    MatrixD at(n, n);
-    blas::transpose(a, at);
-    MatrixD b(n, n);
-    runMatmul(config, "SVD", at, a, b);
-
-    // Phase 2: eigendecompose B (B is SPD; eigenvectors of B are the
-    // right singular vectors of A).
-    MatrixD v;
-    jacobiEigen(b, v, kJacobiSweeps);
-
-    // Order eigenpairs by eigenvalue, descending.
-    std::vector<int64_t> order(static_cast<size_t>(n));
-    std::iota(order.begin(), order.end(), 0);
-    std::sort(order.begin(), order.end(), [&](int64_t i, int64_t j) {
-        return b.at(i, i) > b.at(j, j);
-    });
-
-    // Phase 3: A_k = A Vk Vk^T.
-    MatrixD vk(k, n);
-    for (int64_t c = 0; c < k; ++c)
-        for (int64_t r = 0; r < n; ++r)
-            vk.at(c, r) = v.at(order[static_cast<size_t>(c)], r);
-    MatrixD vkt(n, k);
-    blas::transpose(vk, vkt);
-    MatrixD proj(n, n);
-    runMatmul(config, "SVD", vk, vkt, proj);
-    MatrixD ak(n, n);
-    runMatmul(config, "SVD", a, proj, ak);
-
-    if (errorOut) {
-        double base = 0.0;
-        for (int64_t i = 0; i < a.size(); ++i)
-            base += a[i] * a[i];
-        *errorOut = blas::frobeniusDiff(a, ak) /
-                    std::max(std::sqrt(base), 1e-300);
-    }
-    return ak;
+    return approximateWithConfig(config, a, errorOut);
 }
 
 } // namespace apps

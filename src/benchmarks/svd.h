@@ -67,6 +67,22 @@ class SvdBenchmark : public Benchmark
     MatrixD approximate(const tuner::Config &config, const MatrixD &a,
                         double *errorOut = nullptr) const;
 
+    // Real-mode surface: Ak = rank-k approximation of A via a region
+    // rule. checkOutput() returns the relative Frobenius error of the
+    // approximation — the benchmark's variable-accuracy residual — so
+    // the tolerance is the accuracy target itself.
+    bool supportsRealMode() const override { return true; }
+    const lang::Transform &transform() const override
+    {
+        return *transform_;
+    }
+    lang::Binding makeBinding(int64_t n, Rng &rng) const override;
+    compiler::TransformConfig planFor(const tuner::Config &config,
+                                      int64_t n) const override;
+    double checkOutput(const lang::Binding &binding) const override;
+    double realModeTolerance() const override { return accuracyTarget_; }
+    int64_t realModeProbeSize() const override { return 32; }
+
     /**
      * Modeled relative error of a rank-(k8/8 * n) approximation under
      * the synthetic exponential spectrum used for tuning.
@@ -78,6 +94,8 @@ class SvdBenchmark : public Benchmark
 
   private:
     double accuracyTarget_;
+    ChoiceFilePtr choices_;
+    std::shared_ptr<lang::Transform> transform_;
 };
 
 /**

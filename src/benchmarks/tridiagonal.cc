@@ -155,7 +155,84 @@ cyclicReduceGpu(const TridiagProblem &p)
     return x;
 }
 
+/** View the bound batch as a TridiagProblem (shares storage). */
+TridiagProblem
+problemOf(const lang::Binding &binding)
+{
+    return TridiagProblem{
+        binding.matrix("Lower"), binding.matrix("Diag"),
+        binding.matrix("Upper"), binding.matrix("Rhs")};
+}
+
+/** The Tridiagonal transform: one region rule running the solver. */
+std::shared_ptr<lang::Transform>
+makeTridiagTransform(const ChoiceFilePtr &choices)
+{
+    auto t = std::make_shared<lang::Transform>("TridiagonalSolver");
+    t->slot("Lower", lang::SlotRole::Input)
+        .slot("Diag", lang::SlotRole::Input)
+        .slot("Upper", lang::SlotRole::Input)
+        .slot("Rhs", lang::SlotRole::Input)
+        .slot("X", lang::SlotRole::Output);
+    auto rule = lang::RuleDef::makeRegion(
+        "TridiagSolve", "X", {"Lower", "Diag", "Upper", "Rhs"},
+        [choices](lang::RuleDef::RegionRunArgs &args) {
+            TridiagProblem p{args.inputs[0], args.inputs[1],
+                             args.inputs[2], args.inputs[3]};
+            MatrixD x =
+                TridiagBenchmark::solveWithConfig(choices->get(), p);
+            for (int64_t i = 0; i < x.size(); ++i)
+                args.output[i] = x[i];
+        },
+        [](const Region &region, const lang::ParamEnv &) {
+            double unknowns =
+                static_cast<double>(region.w * region.h);
+            sim::CostReport cost;
+            cost.flops = kThomasOps * unknowns;
+            cost.globalBytesRead = kThomasBytes * unknowns;
+            return cost;
+        });
+    t->choice("solve", {rule});
+    return t;
+}
+
 } // namespace
+
+TridiagBenchmark::TridiagBenchmark()
+    : choices_(std::make_shared<ChoiceFile>()),
+      transform_(makeTridiagTransform(choices_))
+{}
+
+lang::Binding
+TridiagBenchmark::makeBinding(int64_t n, Rng &rng) const
+{
+    TridiagProblem p = makeProblem(n, rng);
+    lang::Binding binding;
+    binding.matrices.emplace("Lower", p.lower);
+    binding.matrices.emplace("Diag", p.diag);
+    binding.matrices.emplace("Upper", p.upper);
+    binding.matrices.emplace("Rhs", p.rhs);
+    binding.matrices.emplace("X", MatrixD(n, n));
+    return binding;
+}
+
+compiler::TransformConfig
+TridiagBenchmark::planFor(const tuner::Config &config, int64_t n) const
+{
+    (void)n;
+    choices_->arm(config);
+    compiler::TransformConfig plan;
+    plan.choiceIndex = 0;
+    plan.stages = {compiler::StageConfig{}}; // region rule: CPU native
+    return plan;
+}
+
+double
+TridiagBenchmark::checkOutput(const lang::Binding &binding) const
+{
+    return maxAbsDiff(binding.matrix("X"),
+                      referenceSolve(problemOf(binding)));
+}
 
 tuner::Config
 TridiagBenchmark::seedConfig() const

@@ -46,6 +46,8 @@ struct TridiagProblem
 class TridiagBenchmark : public Benchmark
 {
   public:
+    TridiagBenchmark();
+
     std::string name() const override { return "Tridiagonal Solver"; }
     tuner::Config seedConfig() const override;
     double evaluate(const tuner::Config &config, int64_t n,
@@ -69,6 +71,25 @@ class TridiagBenchmark : public Benchmark
 
     /** Modeled seconds of a CUDPP-style hand-tuned GPU CR solver. */
     static double cudppSeconds(int64_t n, const sim::MachineProfile &m);
+
+    // Real-mode surface: solve the Lower/Diag/Upper/Rhs batch into X
+    // with the algorithm the armed choice file selects.
+    bool supportsRealMode() const override { return true; }
+    const lang::Transform &transform() const override
+    {
+        return *transform_;
+    }
+    lang::Binding makeBinding(int64_t n, Rng &rng) const override;
+    compiler::TransformConfig planFor(const tuner::Config &config,
+                                      int64_t n) const override;
+    double checkOutput(const lang::Binding &binding) const override;
+    /** Cyclic reduction is less stable than the Thomas reference. */
+    double realModeTolerance() const override { return 1e-7; }
+    int64_t realModeProbeSize() const override { return 64; }
+
+  private:
+    ChoiceFilePtr choices_;
+    std::shared_ptr<lang::Transform> transform_;
 };
 
 } // namespace apps

@@ -1,0 +1,89 @@
+#include "engine/execution_engine.h"
+
+#include <chrono>
+
+namespace petabricks {
+namespace engine {
+
+// ---- ModelEngine -------------------------------------------------------
+
+RunResult
+ModelEngine::run(const apps::Benchmark &benchmark,
+                 const tuner::Config &config, int64_t n)
+{
+    RunResult result;
+    result.seconds = benchmark.evaluate(config, n, machine_);
+    result.kernelCount =
+        static_cast<int>(benchmark.kernelSources(config, n).size());
+    return result;
+}
+
+void
+ModelEngine::configureTuner(tuner::TunerOptions &options) const
+{
+    options.kernelCompileSeconds = machine_.kernelCompileSeconds;
+    options.irCacheSavings = machine_.irCacheSavings;
+}
+
+// ---- RuntimeEngine -----------------------------------------------------
+
+RuntimeEngine::RuntimeEngine(RuntimeEngineOptions options)
+    : options_(std::move(options))
+{
+    if (options_.useGpu && options_.machine.hasOpenCL)
+        device_ = std::make_unique<ocl::Device>(options_.machine.ocl);
+    runtime_ = std::make_unique<runtime::Runtime>(
+        options_.workers, device_.get(), options_.bindingSeed);
+    executor_ = std::make_unique<compiler::TransformExecutor>(*runtime_);
+}
+
+RuntimeEngine::~RuntimeEngine() = default;
+
+std::string
+RuntimeEngine::name() const
+{
+    return "runtime:" + options_.machine.name +
+           (device_ ? "" : " (CPU-only)");
+}
+
+RunResult
+RuntimeEngine::run(const apps::Benchmark &benchmark,
+                   const tuner::Config &config, int64_t n)
+{
+    if (!benchmark.supportsRealMode())
+        PB_FATAL("benchmark '" << benchmark.name()
+                               << "' has no real-mode implementation");
+    Rng rng(options_.bindingSeed ^ static_cast<uint64_t>(n));
+    lang::Binding binding = benchmark.makeBinding(n, rng);
+    return runOnBinding(benchmark, config, n, binding);
+}
+
+RunResult
+RuntimeEngine::runOnBinding(const apps::Benchmark &benchmark,
+                            const tuner::Config &config, int64_t n,
+                            lang::Binding &binding)
+{
+    if (!benchmark.supportsRealMode())
+        PB_FATAL("benchmark '" << benchmark.name()
+                               << "' has no real-mode implementation");
+
+    // planFor() both builds the stage placement and arms the choice
+    // file the function-style transforms dispatch on.
+    compiler::TransformConfig plan = benchmark.planFor(config, n);
+
+    auto start = std::chrono::steady_clock::now();
+    executor_->execute(benchmark.transform(), binding, plan);
+    executor_->syncOutputs(benchmark.transform(), binding);
+    auto stop = std::chrono::steady_clock::now();
+
+    RunResult result;
+    result.seconds =
+        std::chrono::duration<double>(stop - start).count();
+    result.maxError = benchmark.checkOutput(binding);
+    result.kernelCount =
+        static_cast<int>(benchmark.kernelSources(config, n).size());
+    return result;
+}
+
+} // namespace engine
+} // namespace petabricks

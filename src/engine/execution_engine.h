@@ -1,0 +1,230 @@
+/**
+ * @file
+ * The unified execution API: one polymorphic path for model-mode and
+ * real-mode evaluation of any benchmark configuration.
+ *
+ * The paper evaluates choice configurations two ways: the autotuner's
+ * analytic cost model prices a configuration on a machine profile
+ * (fast, used during search), and the compiled program executes it on
+ * the heterogeneous runtime (ground truth, used for the Section 6
+ * results). ExecutionEngine abstracts over both so the tuner, the
+ * figure harnesses, and the examples are written once:
+ *
+ *  - ModelEngine wraps a sim::MachineProfile and Benchmark::evaluate;
+ *  - RuntimeEngine owns an emulated ocl::Device, a runtime::Runtime,
+ *    and a compiler::TransformExecutor, really executes the transform,
+ *    and checks the result against the benchmark's reference.
+ *
+ * Autotuning against real execution is then a one-line engine swap:
+ * EngineEvaluator adapts any engine to the tuner::Evaluator interface.
+ */
+
+#ifndef PETABRICKS_ENGINE_EXECUTION_ENGINE_H
+#define PETABRICKS_ENGINE_EXECUTION_ENGINE_H
+
+#include <memory>
+#include <string>
+
+#include "benchmarks/benchmark.h"
+#include "compiler/executor.h"
+#include "ocl/device.h"
+#include "runtime/runtime.h"
+
+namespace petabricks {
+namespace engine {
+
+/** Outcome of evaluating one configuration at one input size. */
+struct RunResult
+{
+    /** Execution seconds: modeled (ModelEngine) or measured wall time
+     * of the emulated run (RuntimeEngine). */
+    double seconds = 0.0;
+
+    /** Residual against the benchmark's reference; always 0 in model
+     * mode, which trusts the configuration to be correct. */
+    double maxError = 0.0;
+
+    /** OpenCL kernel sources the configuration JIT-compiles (the
+     * Section 5.4 tuning-time model's unit of compile cost). */
+    int kernelCount = 0;
+};
+
+/** See file comment. */
+class ExecutionEngine
+{
+  public:
+    virtual ~ExecutionEngine() = default;
+
+    /** Display name ("model:Desktop", "runtime:Desktop", ...). */
+    virtual std::string name() const = 0;
+
+    /** True if this engine can evaluate @p benchmark. */
+    virtual bool supports(const apps::Benchmark &benchmark) const = 0;
+
+    /**
+     * Evaluate @p config on @p benchmark at input size @p n.
+     * @throws FatalError for infeasible configurations (inadmissible
+     *         placements, local-memory overflow, ...).
+     */
+    virtual RunResult run(const apps::Benchmark &benchmark,
+                          const tuner::Config &config, int64_t n) = 0;
+
+    /**
+     * The tuner's inner loop: execution seconds only, with incorrect
+     * results priced as infeasible — a real run whose residual exceeds
+     * the benchmark's tolerance returns +inf, so wrong-but-fast
+     * configurations can never win the search (the paper's
+     * variable-accuracy mechanism, Section 6.2). Engines may override
+     * to skip result assembly the tuner discards.
+     */
+    virtual double
+    measure(const apps::Benchmark &benchmark, const tuner::Config &config,
+            int64_t n)
+    {
+        RunResult result = run(benchmark, config, n);
+        if (result.maxError > benchmark.realModeTolerance())
+            return std::numeric_limits<double>::infinity();
+        return result.seconds;
+    }
+
+    /**
+     * Seed @p options with engine-specific cost-model parameters
+     * (e.g. the machine profile's JIT compile model). Default: none.
+     */
+    virtual void
+    configureTuner(tuner::TunerOptions &options) const
+    {
+        (void)options;
+    }
+};
+
+/** Model mode: price configurations on a machine profile. */
+class ModelEngine : public ExecutionEngine
+{
+  public:
+    explicit ModelEngine(sim::MachineProfile machine)
+        : machine_(std::move(machine))
+    {}
+
+    const sim::MachineProfile &machine() const { return machine_; }
+
+    std::string name() const override { return "model:" + machine_.name; }
+    bool
+    supports(const apps::Benchmark &) const override
+    {
+        return true;
+    }
+    RunResult run(const apps::Benchmark &benchmark,
+                  const tuner::Config &config, int64_t n) override;
+
+    /** Model mode trusts correctness: just the cost-model seconds,
+     * without assembling the kernel-source list run() reports. */
+    double
+    measure(const apps::Benchmark &benchmark, const tuner::Config &config,
+            int64_t n) override
+    {
+        return benchmark.evaluate(config, n, machine_);
+    }
+
+    void configureTuner(tuner::TunerOptions &options) const override;
+
+  private:
+    sim::MachineProfile machine_;
+};
+
+/** Construction knobs for RuntimeEngine. */
+struct RuntimeEngineOptions
+{
+    /** Machine whose OpenCL device spec the emulated device uses. */
+    sim::MachineProfile machine = sim::MachineProfile::desktop();
+
+    /** CPU worker threads of the runtime. */
+    int workers = 2;
+
+    /** Manage an emulated OpenCL device (requires machine.hasOpenCL). */
+    bool useGpu = true;
+
+    /** Seed for the random input bindings runs are checked on. */
+    uint64_t bindingSeed = 20130316;
+};
+
+/**
+ * Real mode: execute the benchmark's transform on the heterogeneous
+ * runtime (work-stealing CPU workers + GPU management thread driving
+ * the emulated OpenCL device) and verify the result.
+ */
+class RuntimeEngine : public ExecutionEngine
+{
+  public:
+    explicit RuntimeEngine(RuntimeEngineOptions options = {});
+    ~RuntimeEngine() override;
+
+    std::string name() const override;
+    bool
+    supports(const apps::Benchmark &benchmark) const override
+    {
+        return benchmark.supportsRealMode();
+    }
+    RunResult run(const apps::Benchmark &benchmark,
+                  const tuner::Config &config, int64_t n) override;
+
+    /**
+     * run() on a caller-provided binding, so outputs stay accessible
+     * afterwards (run() binds fresh random inputs internally).
+     */
+    RunResult runOnBinding(const apps::Benchmark &benchmark,
+                           const tuner::Config &config, int64_t n,
+                           lang::Binding &binding);
+
+    /** The managed device, or nullptr when running CPU-only. */
+    ocl::Device *device() { return device_.get(); }
+
+    runtime::Runtime &runtime() { return *runtime_; }
+
+  private:
+    RuntimeEngineOptions options_;
+    std::unique_ptr<ocl::Device> device_;
+    std::unique_ptr<runtime::Runtime> runtime_;
+    std::unique_ptr<compiler::TransformExecutor> executor_;
+};
+
+/**
+ * Adapts an ExecutionEngine to the tuner::Evaluator interface, so
+ * tuning against real execution is the same code path as tuning
+ * against the model. Infeasible configurations evaluate to +inf.
+ */
+class EngineEvaluator : public tuner::Evaluator
+{
+  public:
+    EngineEvaluator(const apps::Benchmark &benchmark,
+                    ExecutionEngine &engine)
+        : benchmark_(benchmark), engine_(engine)
+    {}
+
+    double
+    evaluate(const tuner::Config &config, int64_t inputSize) override
+    {
+        try {
+            return engine_.measure(benchmark_, config, inputSize);
+        } catch (const FatalError &) {
+            // Infeasible placement (local memory overflow, inadmissible
+            // backend, ...): never selected.
+            return std::numeric_limits<double>::infinity();
+        }
+    }
+
+    std::vector<std::string>
+    kernelSources(const tuner::Config &config, int64_t inputSize) override
+    {
+        return benchmark_.kernelSources(config, inputSize);
+    }
+
+  private:
+    const apps::Benchmark &benchmark_;
+    ExecutionEngine &engine_;
+};
+
+} // namespace engine
+} // namespace petabricks
+
+#endif // PETABRICKS_ENGINE_EXECUTION_ENGINE_H

@@ -39,7 +39,7 @@ Runtime::Runtime(int workers, ocl::Device *gpuDevice, uint64_t seed)
 
 Runtime::~Runtime()
 {
-    wait();
+    drain(); // discard any pending failure: nobody is left to observe it
     shutdown_.store(true, std::memory_order_release);
     idleCv_.notify_all();
     gpuCv_.notify_all();
@@ -92,12 +92,25 @@ Runtime::spawn(const TaskPtr &task)
 }
 
 void
-Runtime::wait()
+Runtime::drain()
 {
     std::unique_lock<std::mutex> lock(doneMutex_);
     doneCv_.wait(lock, [this] {
         return liveTasks_.load(std::memory_order_acquire) == 0;
     });
+}
+
+void
+Runtime::wait()
+{
+    drain();
+    std::exception_ptr error;
+    {
+        std::lock_guard<std::mutex> lock(errorMutex_);
+        std::swap(error, firstError_);
+    }
+    if (error)
+        std::rethrow_exception(error);
 }
 
 void
@@ -157,7 +170,17 @@ Runtime::executeTask(const TaskPtr &task, bool onGpuManager,
 {
     TaskContext ctx;
     std::vector<TaskPtr> newlyRunnable;
-    TaskPtr continuation = task->run(ctx, newlyRunnable);
+    TaskPtr continuation;
+    try {
+        continuation = task->run(ctx, newlyRunnable);
+    } catch (...) {
+        // The task failed; Task::run released its dependents before
+        // rethrowing. Record the first failure for wait() and finish
+        // the bookkeeping as a completed task.
+        std::lock_guard<std::mutex> lock(errorMutex_);
+        if (!firstError_)
+            firstError_ = std::current_exception();
+    }
 
     // Children first: the continuation usually depends on them.
     for (const TaskPtr &child : ctx.spawned())

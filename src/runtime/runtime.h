@@ -73,7 +73,15 @@ class Runtime
      */
     void spawn(const TaskPtr &task);
 
-    /** Block until no tasks remain anywhere in the system. */
+    /**
+     * Block until no tasks remain anywhere in the system.
+     * @throws the first exception a task body raised, if any: a failed
+     *         task releases its dependents (their results are
+     *         discarded) so the graph drains, and wait() reports the
+     *         failure on the submitting thread — which is how
+     *         infeasible real-mode configurations surface as
+     *         FatalError instead of crashing a worker.
+     */
     void wait();
 
     /** Convenience: spawn + wait. */
@@ -106,6 +114,9 @@ class Runtime
     void workerLoop(int index);
     void gpuLoop();
 
+    /** wait() minus the failure rethrow (for the destructor). */
+    void drain();
+
     /** Dispatch a runnable task according to the Figure 5 policy. */
     void dispatch(TaskPtr task, bool fromGpuManager, int workerIndex);
 
@@ -132,6 +143,10 @@ class Runtime
     std::atomic<int64_t> liveTasks_{0};
     std::mutex doneMutex_;
     std::condition_variable doneCv_;
+
+    // First task-body failure, reported from wait().
+    std::mutex errorMutex_;
+    std::exception_ptr firstError_;
 
     // GPU management thread state.
     std::unique_ptr<ocl::CommandQueue> gpuQueue_;

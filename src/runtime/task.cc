@@ -118,7 +118,16 @@ Task::run(TaskContext &ctx, std::vector<TaskPtr> &newlyRunnable)
     PB_ASSERT(state() == TaskState::Runnable,
               "running " << taskStateName(state()) << " task '" << name_
                          << "'");
-    TaskPtr continuation = body_ ? body_(ctx) : nullptr;
+    TaskPtr continuation;
+    try {
+        continuation = body_ ? body_(ctx) : nullptr;
+    } catch (...) {
+        // Fail the task but keep the graph draining: dependents are
+        // released (their results are discarded — the runtime reports
+        // the first failure from wait()).
+        complete(newlyRunnable);
+        throw;
+    }
 
     if (ctx.requeueRequested()) {
         PB_ASSERT(continuation == nullptr,

@@ -19,16 +19,7 @@ namespace petabricks {
 namespace apps {
 namespace {
 
-double
-maxAbsDiff(const MatrixD &a, const MatrixD &b)
-{
-    EXPECT_EQ(a.width(), b.width());
-    EXPECT_EQ(a.height(), b.height());
-    double worst = 0.0;
-    for (int64_t i = 0; i < a.size(); ++i)
-        worst = std::max(worst, std::abs(a[i] - b[i]));
-    return worst;
-}
+// (residuals use apps::maxAbsDiff from benchmark.h)
 
 // ---- Black-Scholes -----------------------------------------------------
 
@@ -49,17 +40,18 @@ TEST(BlackScholesReal, ExecutorMatchesReferenceOnCpuAndGpu)
     runtime::Runtime rt(2, &device);
     compiler::TransformExecutor exec(rt);
 
-    for (int backendAlg : {kBackendCpu, kBackendOpenCl}) {
+    for (compiler::Backend backend :
+         {compiler::Backend::Cpu, compiler::Backend::OpenClGlobal}) {
         lang::Binding binding = bench.makeBinding(900, rng);
         tuner::Config config = bench.seedConfig();
         config.selector("BlackScholes.backend")
-            .setAlgorithm(0, backendAlg);
+            .setAlgorithm(0, backendAlg(backend));
         exec.execute(bench.transform(), binding,
                      bench.planFor(config, 900));
         exec.syncOutputs(bench.transform(), binding);
         MatrixD ref = BlackScholesBenchmark::reference(binding);
         EXPECT_LT(maxAbsDiff(binding.matrix("Price"), ref), 1e-9)
-            << "backend " << backendAlg;
+            << compiler::backendName(backend);
     }
 }
 
@@ -73,7 +65,7 @@ TEST(BlackScholesReal, SplitRatioMatchesReference)
     lang::Binding binding = bench.makeBinding(640, rng);
     tuner::Config config = bench.seedConfig();
     config.selector("BlackScholes.backend")
-        .setAlgorithm(0, kBackendOpenCl);
+        .setAlgorithm(0, backendAlg(compiler::Backend::OpenClGlobal));
     config.tunable("BlackScholes.ratio").value = 6; // 75% GPU, 25% CPU
     exec.execute(bench.transform(), binding, bench.planFor(config, 640));
     exec.syncOutputs(bench.transform(), binding);
@@ -144,9 +136,9 @@ TEST(PoissonReal, GpuIterationMatchesCpu)
     lang::Binding binding = bench.makeBinding(24, rng);
     MatrixD initial = binding.matrix("In").clone();
     tuner::Config config = bench.seedConfig();
-    config.selector("Poisson.split.backend").setAlgorithm(0, kBackendCpu);
+    config.selector("Poisson.split.backend").setAlgorithm(0, backendAlg(compiler::Backend::Cpu));
     config.selector("Poisson.iterate.backend")
-        .setAlgorithm(0, kBackendOpenClLocal);
+        .setAlgorithm(0, backendAlg(compiler::Backend::OpenClLocal));
     exec.execute(bench.transform(), binding, bench.planFor(config, 24));
     exec.syncOutputs(bench.transform(), binding);
     MatrixD ref = PoissonBenchmark::reference(initial, 3,

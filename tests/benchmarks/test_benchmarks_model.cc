@@ -26,7 +26,7 @@ TEST(ModelBlackScholes, GpuDominatesOnDesktop)
 {
     BlackScholesBenchmark bench;
     tuner::Config gpu = bench.seedConfig();
-    gpu.selector("BlackScholes.backend").setAlgorithm(0, kBackendOpenCl);
+    gpu.selector("BlackScholes.backend").setAlgorithm(0, backendAlg(compiler::Backend::OpenClGlobal));
     tuner::Config cpu = BlackScholesBenchmark::cpuOnlyConfig();
     int64_t n = bench.testingInputSize();
     // "OpenCL performance ... is an order of magnitude better than the
@@ -42,7 +42,7 @@ TEST(ModelBlackScholes, LaptopPrefersSplit)
     int64_t n = bench.testingInputSize();
     tuner::Config gpuOnly = bench.seedConfig();
     gpuOnly.selector("BlackScholes.backend")
-        .setAlgorithm(0, kBackendOpenCl);
+        .setAlgorithm(0, backendAlg(compiler::Backend::OpenClGlobal));
     tuner::Config split = gpuOnly;
     split.tunable("BlackScholes.ratio").value = 6; // 75/25
     double tGpu = bench.evaluate(gpuOnly, n, kLaptop);
@@ -187,14 +187,14 @@ TEST(ModelPoisson, DesktopIteratesOnGpuServerOnCpu)
         return c;
     };
     // Desktop: split on CPU, iterate on GPU beats all-CPU.
-    EXPECT_LT(bench.evaluate(mk(kBackendCpu, kBackendOpenClLocal), n,
+    EXPECT_LT(bench.evaluate(mk(backendAlg(compiler::Backend::Cpu), backendAlg(compiler::Backend::OpenClLocal)), n,
                              kDesktop),
-              bench.evaluate(mk(kBackendCpu, kBackendCpu), n, kDesktop));
+              bench.evaluate(mk(backendAlg(compiler::Backend::Cpu), backendAlg(compiler::Backend::Cpu)), n, kDesktop));
     // Server: iterating on the CPU beats iterating on CPU-OpenCL with
     // the local-memory variant (prefetch is wasted work there).
     EXPECT_LT(
-        bench.evaluate(mk(kBackendOpenCl, kBackendCpu), n, kServer),
-        bench.evaluate(mk(kBackendOpenCl, kBackendOpenClLocal), n,
+        bench.evaluate(mk(backendAlg(compiler::Backend::OpenClGlobal), backendAlg(compiler::Backend::Cpu)), n, kServer),
+        bench.evaluate(mk(backendAlg(compiler::Backend::OpenClGlobal), backendAlg(compiler::Backend::OpenClLocal)), n,
                        kServer));
 }
 

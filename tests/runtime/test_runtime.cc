@@ -299,6 +299,34 @@ TEST(Runtime, MixedCpuGpuDependencyChain)
     EXPECT_EQ(log[2], "c2");
 }
 
+TEST(Runtime, TaskFailureSurfacesFromWait)
+{
+    Runtime rt(2);
+    TaskPtr bad = Task::cpu("bad", [] {
+        PB_FATAL("infeasible placement discovered at run time");
+    });
+    rt.spawn(bad);
+    EXPECT_THROW(rt.wait(), FatalError);
+    // The failure is reported once; the runtime remains usable.
+    std::atomic<bool> ran{false};
+    rt.run(Task::cpu("after", [&] { ran.store(true); }));
+    EXPECT_TRUE(ran.load());
+}
+
+TEST(Runtime, FailedTaskReleasesDependents)
+{
+    Runtime rt(2);
+    std::atomic<int> downstream{0};
+    TaskPtr bad = Task::cpu("bad", [] { PB_FATAL("boom"); });
+    TaskPtr dep = Task::cpu("dep", [&] { downstream.fetch_add(1); });
+    dep->dependsOn(bad);
+    rt.spawn(bad);
+    rt.spawn(dep);
+    // The graph drains instead of deadlocking; the first error wins.
+    EXPECT_THROW(rt.wait(), FatalError);
+    EXPECT_EQ(downstream.load(), 1);
+}
+
 TEST(Runtime, GpuTaskOnCpuOnlyRuntimePanics)
 {
     Runtime rt(1);
