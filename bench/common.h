@@ -38,7 +38,12 @@ figureTunerOptions(const apps::Benchmark &benchmark,
     return options;
 }
 
-/** Autotune @p benchmark for @p machine with the figure settings. */
+/**
+ * Autotune @p benchmark for @p machine with the figure settings, via
+ * the session API: every generation is priced as one parallel
+ * ModelEngine batch, and duplicate candidates are answered from the
+ * session's evaluation cache. Identical champion to the serial path.
+ */
 inline tuner::TuningResult
 tuneFor(const apps::Benchmark &benchmark,
         const sim::MachineProfile &machine)

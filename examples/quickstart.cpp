@@ -12,6 +12,7 @@
 
 #include "benchmarks/convolution.h"
 #include "engine/execution_engine.h"
+#include "tuner/session.h"
 
 using namespace petabricks;
 using namespace petabricks::apps;
@@ -50,8 +51,26 @@ main()
     }
 
     // --- Autotune for the Desktop profile ----------------------------
-    tuner::TuningResult tuned =
-        tuneOnMachine(bench, sim::MachineProfile::desktop());
+    // TuningSession is the session-oriented search API: every tuner
+    // generation is evaluated as ONE batch (ModelEngine prices it in
+    // parallel on a thread pool), duplicate candidates come from the
+    // evaluation cache, and the whole search can be checkpointed with
+    // save()/load() (see examples/resumable_tuning.cpp).
+    engine::ModelEngine desktop(sim::MachineProfile::desktop());
+    engine::EngineEvaluator evaluator(bench, desktop);
+    tuner::TunerOptions options;
+    options.minInputSize = bench.minTuningSize();
+    options.maxInputSize = bench.testingInputSize();
+    desktop.configureTuner(options);
+    tuner::TuningSession sessionTuner(evaluator, bench.seedConfig(),
+                                      options);
+    sessionTuner.onProgress([](const tuner::SessionProgress &p) {
+        if (p.completedSteps == p.totalSteps)
+            std::cout << "  search done: " << p.evaluations
+                      << " evaluations, " << p.cacheHits
+                      << " cache hits\n";
+    });
+    tuner::TuningResult tuned = sessionTuner.run();
     std::cout << "Desktop autotuned config: "
               << bench.describeConfig(tuned.best, 3520) << "\n"
               << "modeled time " << tuned.bestSeconds * 1e3

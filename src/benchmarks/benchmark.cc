@@ -1,6 +1,7 @@
 #include "benchmarks/benchmark.h"
 
 #include "engine/execution_engine.h"
+#include "tuner/session.h"
 
 namespace petabricks {
 namespace apps {
@@ -51,9 +52,9 @@ tuneWithEngine(const Benchmark &benchmark,
                             << "' cannot evaluate benchmark '"
                             << benchmark.name() << "'");
     engine::EngineEvaluator evaluator(benchmark, engine);
-    tuner::EvolutionaryTuner tuner(evaluator, benchmark.seedConfig(),
-                                   options);
-    return tuner.run();
+    tuner::TuningSession session(evaluator, benchmark.seedConfig(),
+                                 options);
+    return session.run();
 }
 
 tuner::TuningResult

@@ -148,6 +148,17 @@ class Benchmark
     virtual double realModeTolerance() const { return 1e-9; }
 
     /**
+     * True if independent engine instances may execute this
+     * benchmark's real-mode surface concurrently (engine::EnginePool's
+     * fan-out). Function-style benchmarks share one ChoiceFile between
+     * planFor() and their region-rule bodies, so a concurrent plan
+     * would re-arm the file mid-run; they return false and pooled
+     * batches degrade to serial. Model-mode evaluation (evaluate(),
+     * kernelSources()) is const and must always be thread-safe.
+     */
+    virtual bool realModeConcurrencySafe() const { return true; }
+
+    /**
      * Input size for real-mode smoke runs: large enough to exercise
      * every stage, small enough that the emulated device stays fast.
      */

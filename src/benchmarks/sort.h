@@ -55,6 +55,10 @@ class SortBenchmark : public Benchmark
     // Real-mode surface: a single region rule sorting In into Out with
     // the poly-algorithm the armed choice file selects.
     bool supportsRealMode() const override { return true; }
+
+    /** The poly-algorithm arms a shared ChoiceFile in planFor(), so
+     * concurrent engine instances would clobber each other's plan. */
+    bool realModeConcurrencySafe() const override { return false; }
     const lang::Transform &transform() const override
     {
         return *transform_;

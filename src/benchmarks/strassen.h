@@ -86,6 +86,10 @@ class StrassenBenchmark : public Benchmark
     // Real-mode surface: C = A * B via a region rule running the
     // selector-driven matmul poly-algorithm.
     bool supportsRealMode() const override { return true; }
+
+    /** The poly-algorithm arms a shared ChoiceFile in planFor(), so
+     * concurrent engine instances would clobber each other's plan. */
+    bool realModeConcurrencySafe() const override { return false; }
     const lang::Transform &transform() const override
     {
         return *transform_;

@@ -72,6 +72,10 @@ class SvdBenchmark : public Benchmark
     // approximation — the benchmark's variable-accuracy residual — so
     // the tolerance is the accuracy target itself.
     bool supportsRealMode() const override { return true; }
+
+    /** The poly-algorithm arms a shared ChoiceFile in planFor(), so
+     * concurrent engine instances would clobber each other's plan. */
+    bool realModeConcurrencySafe() const override { return false; }
     const lang::Transform &transform() const override
     {
         return *transform_;

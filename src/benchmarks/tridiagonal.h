@@ -75,6 +75,10 @@ class TridiagBenchmark : public Benchmark
     // Real-mode surface: solve the Lower/Diag/Upper/Rhs batch into X
     // with the algorithm the armed choice file selects.
     bool supportsRealMode() const override { return true; }
+
+    /** The poly-algorithm arms a shared ChoiceFile in planFor(), so
+     * concurrent engine instances would clobber each other's plan. */
+    bool realModeConcurrencySafe() const override { return false; }
     const lang::Transform &transform() const override
     {
         return *transform_;

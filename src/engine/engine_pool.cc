@@ -1,0 +1,145 @@
+#include "engine/engine_pool.h"
+
+#include <thread>
+
+namespace petabricks {
+namespace engine {
+
+EnginePool::EnginePool(const EngineFactory &factory, int engineCount)
+{
+    PB_ASSERT(engineCount >= 1, "engine pool needs at least 1 engine");
+    engines_.reserve(static_cast<size_t>(engineCount));
+    for (int i = 0; i < engineCount; ++i) {
+        std::unique_ptr<ExecutionEngine> engine = factory();
+        PB_ASSERT(engine != nullptr, "engine factory returned null");
+        engines_.push_back(std::move(engine));
+    }
+}
+
+ExecutionEngine &
+EnginePool::engineAt(int index)
+{
+    PB_ASSERT(index >= 0 && index < engineCount(),
+              "engine index " << index << " out of range");
+    return *engines_[static_cast<size_t>(index)];
+}
+
+std::string
+EnginePool::name() const
+{
+    return "pool[" + std::to_string(engines_.size()) + "]:" +
+           engines_.front()->name();
+}
+
+bool
+EnginePool::supports(const apps::Benchmark &benchmark) const
+{
+    return engines_.front()->supports(benchmark);
+}
+
+RunResult
+EnginePool::run(const apps::Benchmark &benchmark,
+                const tuner::Config &config, int64_t n)
+{
+    return engines_.front()->run(benchmark, config, n);
+}
+
+double
+EnginePool::measure(const apps::Benchmark &benchmark,
+                    const tuner::Config &config, int64_t n)
+{
+    return engines_.front()->measure(benchmark, config, n);
+}
+
+void
+EnginePool::configureTuner(tuner::TunerOptions &options) const
+{
+    engines_.front()->configureTuner(options);
+}
+
+bool
+EnginePool::concurrentInstancesSafe(const apps::Benchmark &benchmark) const
+{
+    return engines_.front()->concurrentInstancesSafe(benchmark);
+}
+
+bool
+EnginePool::canFanOut(const apps::Benchmark &benchmark,
+                      size_t batch) const
+{
+    return engines_.size() > 1 && batch > 1 &&
+           engines_.front()->concurrentInstancesSafe(benchmark);
+}
+
+namespace {
+
+/**
+ * Fan @p count items across @p lanes threads round-robin; each lane
+ * runs its share serially, honoring the serial-per-engine contract.
+ * The first exception by index rethrows, matching the serial loop.
+ */
+template <typename Result, typename PerItem>
+std::vector<Result>
+fanOut(size_t lanes, size_t count, PerItem &&perItem)
+{
+    std::vector<Result> results(count);
+    std::vector<std::exception_ptr> errors(count);
+    std::vector<std::thread> threads;
+    threads.reserve(lanes);
+    for (size_t lane = 0; lane < lanes; ++lane) {
+        threads.emplace_back([&, lane] {
+            for (size_t i = lane; i < count; i += lanes) {
+                try {
+                    results[i] = perItem(lane, i);
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    for (const std::exception_ptr &error : errors)
+        if (error)
+            std::rethrow_exception(error);
+    return results;
+}
+
+} // namespace
+
+std::vector<RunResult>
+EnginePool::runBatch(const apps::Benchmark &benchmark,
+                     std::span<const tuner::Config> configs, int64_t n)
+{
+    if (!canFanOut(benchmark, configs.size()))
+        return engines_.front()->runBatch(benchmark, configs, n);
+
+    const size_t lanes = std::min(engines_.size(), configs.size());
+    return fanOut<RunResult>(lanes, configs.size(),
+                             [&](size_t lane, size_t i) {
+                                 return engines_[lane]->run(
+                                     benchmark, configs[i], n);
+                             });
+}
+
+std::vector<double>
+EnginePool::measureBatch(const apps::Benchmark &benchmark,
+                         std::span<const tuner::Config> configs,
+                         int64_t n)
+{
+    if (!canFanOut(benchmark, configs.size()))
+        return engines_.front()->measureBatch(benchmark, configs, n);
+
+    const size_t lanes = std::min(engines_.size(), configs.size());
+    return fanOut<double>(
+        lanes, configs.size(), [&](size_t lane, size_t i) {
+            try {
+                return engines_[lane]->measure(benchmark, configs[i], n);
+            } catch (const FatalError &) {
+                return std::numeric_limits<double>::infinity();
+            }
+        });
+}
+
+} // namespace engine
+} // namespace petabricks

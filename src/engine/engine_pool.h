@@ -1,0 +1,81 @@
+/**
+ * @file
+ * EnginePool: batch fan-out across N engine instances.
+ *
+ * RuntimeEngine is serial per engine (one runtime, one device, wall
+ * times that overlap would be garbage), so real-mode batches cannot be
+ * parallelized *inside* an engine. The pool owns N independently
+ * constructed engines and fans the configurations of one batch across
+ * them, one thread per engine, each engine processing its share
+ * serially — the same shape as running N autotuner test processes on
+ * N machines.
+ *
+ * Correctness gate: the pool asks its engines whether concurrent
+ * instances are safe for the benchmark (RuntimeEngine forwards to
+ * Benchmark::realModeConcurrencySafe() — function-style benchmarks
+ * share an armed ChoiceFile and are not). Unsafe pairings degrade to a
+ * serial loop on the first engine instead of racing.
+ */
+
+#ifndef PETABRICKS_ENGINE_ENGINE_POOL_H
+#define PETABRICKS_ENGINE_ENGINE_POOL_H
+
+#include <functional>
+#include <memory>
+
+#include "engine/execution_engine.h"
+
+namespace petabricks {
+namespace engine {
+
+/** See file comment. */
+class EnginePool : public ExecutionEngine
+{
+  public:
+    using EngineFactory =
+        std::function<std::unique_ptr<ExecutionEngine>()>;
+
+    /**
+     * @param factory invoked @p engineCount times at construction;
+     *        every call must yield an independent engine (own runtime,
+     *        own device) of the same kind.
+     * @param engineCount number of instances (>= 1).
+     */
+    EnginePool(const EngineFactory &factory, int engineCount);
+
+    int engineCount() const { return static_cast<int>(engines_.size()); }
+
+    /** Member engine @p index (0-based), e.g. for stats inspection. */
+    ExecutionEngine &engineAt(int index);
+
+    // Single-config calls delegate to the first engine.
+    std::string name() const override;
+    bool supports(const apps::Benchmark &benchmark) const override;
+    RunResult run(const apps::Benchmark &benchmark,
+                  const tuner::Config &config, int64_t n) override;
+    double measure(const apps::Benchmark &benchmark,
+                   const tuner::Config &config, int64_t n) override;
+    void configureTuner(tuner::TunerOptions &options) const override;
+    bool
+    concurrentInstancesSafe(const apps::Benchmark &benchmark) const override;
+
+    std::vector<RunResult> runBatch(const apps::Benchmark &benchmark,
+                                    std::span<const tuner::Config> configs,
+                                    int64_t n) override;
+
+    std::vector<double>
+    measureBatch(const apps::Benchmark &benchmark,
+                 std::span<const tuner::Config> configs,
+                 int64_t n) override;
+
+  private:
+    /** True when a batch for @p benchmark may fan across instances. */
+    bool canFanOut(const apps::Benchmark &benchmark, size_t batch) const;
+
+    std::vector<std::unique_ptr<ExecutionEngine>> engines_;
+};
+
+} // namespace engine
+} // namespace petabricks
+
+#endif // PETABRICKS_ENGINE_ENGINE_POOL_H

@@ -1,9 +1,41 @@
 #include "engine/execution_engine.h"
 
 #include <chrono>
+#include <thread>
 
 namespace petabricks {
 namespace engine {
+
+// ---- ExecutionEngine batch defaults ------------------------------------
+
+std::vector<RunResult>
+ExecutionEngine::runBatch(const apps::Benchmark &benchmark,
+                          std::span<const tuner::Config> configs,
+                          int64_t n)
+{
+    std::vector<RunResult> results;
+    results.reserve(configs.size());
+    for (const tuner::Config &config : configs)
+        results.push_back(run(benchmark, config, n));
+    return results;
+}
+
+std::vector<double>
+ExecutionEngine::measureBatch(const apps::Benchmark &benchmark,
+                              std::span<const tuner::Config> configs,
+                              int64_t n)
+{
+    std::vector<double> seconds;
+    seconds.reserve(configs.size());
+    for (const tuner::Config &config : configs) {
+        try {
+            seconds.push_back(measure(benchmark, config, n));
+        } catch (const FatalError &) {
+            seconds.push_back(std::numeric_limits<double>::infinity());
+        }
+    }
+    return seconds;
+}
 
 // ---- ModelEngine -------------------------------------------------------
 
@@ -16,6 +48,48 @@ ModelEngine::run(const apps::Benchmark &benchmark,
     result.kernelCount =
         static_cast<int>(benchmark.kernelSources(config, n).size());
     return result;
+}
+
+ThreadPool &
+ModelEngine::pool()
+{
+    if (!pool_) {
+        int threads = parallelism_;
+        if (threads <= 0)
+            threads =
+                static_cast<int>(std::thread::hardware_concurrency());
+        if (threads < 1)
+            threads = 1;
+        pool_ = std::make_unique<ThreadPool>(threads);
+    }
+    return *pool_;
+}
+
+std::vector<RunResult>
+ModelEngine::runBatch(const apps::Benchmark &benchmark,
+                      std::span<const tuner::Config> configs, int64_t n)
+{
+    std::vector<RunResult> results(configs.size());
+    pool().parallelFor(configs.size(), [&](size_t i) {
+        results[i] = run(benchmark, configs[i], n);
+    });
+    return results;
+}
+
+std::vector<double>
+ModelEngine::measureBatch(const apps::Benchmark &benchmark,
+                          std::span<const tuner::Config> configs,
+                          int64_t n)
+{
+    std::vector<double> seconds(configs.size(), 0.0);
+    pool().parallelFor(configs.size(), [&](size_t i) {
+        try {
+            seconds[i] = measure(benchmark, configs[i], n);
+        } catch (const FatalError &) {
+            seconds[i] = std::numeric_limits<double>::infinity();
+        }
+    });
+    return seconds;
 }
 
 void
@@ -38,6 +112,21 @@ RuntimeEngine::RuntimeEngine(RuntimeEngineOptions options)
 }
 
 RuntimeEngine::~RuntimeEngine() = default;
+
+RuntimeEngine::SerialGuard::SerialGuard(RuntimeEngine &engine)
+    : engine_(engine)
+{
+    if (engine_.running_.exchange(true))
+        PB_FATAL("RuntimeEngine is serial-per-engine: a run is already "
+                 "in flight on '"
+                 << engine_.name()
+                 << "'; fan batches across instances with EnginePool");
+}
+
+RuntimeEngine::SerialGuard::~SerialGuard()
+{
+    engine_.running_.store(false);
+}
 
 std::string
 RuntimeEngine::name() const
@@ -66,6 +155,7 @@ RuntimeEngine::runOnBinding(const apps::Benchmark &benchmark,
     if (!benchmark.supportsRealMode())
         PB_FATAL("benchmark '" << benchmark.name()
                                << "' has no real-mode implementation");
+    SerialGuard guard(*this);
 
     // planFor() both builds the stage placement and arms the choice
     // file the function-style transforms dispatch on.

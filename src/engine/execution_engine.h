@@ -22,13 +22,18 @@
 #ifndef PETABRICKS_ENGINE_EXECUTION_ENGINE_H
 #define PETABRICKS_ENGINE_EXECUTION_ENGINE_H
 
+#include <atomic>
+#include <limits>
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "benchmarks/benchmark.h"
 #include "compiler/executor.h"
 #include "ocl/device.h"
 #include "runtime/runtime.h"
+#include "support/thread_pool.h"
 
 namespace petabricks {
 namespace engine {
@@ -70,6 +75,43 @@ class ExecutionEngine
                           const tuner::Config &config, int64_t n) = 0;
 
     /**
+     * Evaluate a batch of independent configurations at one input size
+     * — the unit the TuningSession submits per tuner generation.
+     * Results are index-aligned with @p configs, and implementations
+     * must be order-preserving: the returned vector is exactly what
+     * the serial loop would produce, whatever parallelism is used
+     * underneath. Default: loop over run(); the first exception (by
+     * index) propagates.
+     */
+    virtual std::vector<RunResult> runBatch(const apps::Benchmark &benchmark,
+                                            std::span<const tuner::Config> configs,
+                                            int64_t n);
+
+    /**
+     * The batched counterpart of measure(): execution seconds per
+     * configuration, index-aligned with @p configs. Unlike measure(),
+     * infeasible configurations (FatalError) yield +inf instead of
+     * throwing, so one bad mutant cannot abort a parallel generation.
+     * Default: loop over measure().
+     */
+    virtual std::vector<double>
+    measureBatch(const apps::Benchmark &benchmark,
+                 std::span<const tuner::Config> configs, int64_t n);
+
+    /**
+     * True if *independent instances* of this engine may evaluate
+     * @p benchmark concurrently (the EnginePool fan-out). Engines that
+     * really execute shared benchmark state must refuse benchmarks
+     * whose real-mode surface is not concurrency-safe.
+     */
+    virtual bool
+    concurrentInstancesSafe(const apps::Benchmark &benchmark) const
+    {
+        (void)benchmark;
+        return true;
+    }
+
+    /**
      * The tuner's inner loop: execution seconds only, with incorrect
      * results priced as infeasible — a real run whose residual exceeds
      * the benchmark's tolerance returns +inf, so wrong-but-fast
@@ -98,12 +140,26 @@ class ExecutionEngine
     }
 };
 
-/** Model mode: price configurations on a machine profile. */
+/**
+ * Model mode: price configurations on a machine profile.
+ *
+ * Batches are evaluated in parallel on an internal thread pool (the
+ * cost model is a pure function of (config, n, machine), so candidates
+ * of a tuner generation are independent). Results stay index-aligned,
+ * so a parallel batch is bit-identical to the serial loop. Like every
+ * engine, a ModelEngine is serial-per-caller: submit one batch at a
+ * time; the pool provides the parallelism.
+ */
 class ModelEngine : public ExecutionEngine
 {
   public:
-    explicit ModelEngine(sim::MachineProfile machine)
-        : machine_(std::move(machine))
+    /**
+     * @param machine profile to price configurations on.
+     * @param parallelism thread count for batch evaluation; 0 means
+     *        one per hardware thread, 1 disables parallelism.
+     */
+    explicit ModelEngine(sim::MachineProfile machine, int parallelism = 0)
+        : machine_(std::move(machine)), parallelism_(parallelism)
     {}
 
     const sim::MachineProfile &machine() const { return machine_; }
@@ -117,6 +173,15 @@ class ModelEngine : public ExecutionEngine
     RunResult run(const apps::Benchmark &benchmark,
                   const tuner::Config &config, int64_t n) override;
 
+    std::vector<RunResult> runBatch(const apps::Benchmark &benchmark,
+                                    std::span<const tuner::Config> configs,
+                                    int64_t n) override;
+
+    std::vector<double>
+    measureBatch(const apps::Benchmark &benchmark,
+                 std::span<const tuner::Config> configs,
+                 int64_t n) override;
+
     /** Model mode trusts correctness: just the cost-model seconds,
      * without assembling the kernel-source list run() reports. */
     double
@@ -129,7 +194,11 @@ class ModelEngine : public ExecutionEngine
     void configureTuner(tuner::TunerOptions &options) const override;
 
   private:
+    ThreadPool &pool();
+
     sim::MachineProfile machine_;
+    int parallelism_ = 0;
+    std::unique_ptr<ThreadPool> pool_; // created on first batch
 };
 
 /** Construction knobs for RuntimeEngine. */
@@ -152,6 +221,15 @@ struct RuntimeEngineOptions
  * Real mode: execute the benchmark's transform on the heterogeneous
  * runtime (work-stealing CPU workers + GPU management thread driving
  * the emulated OpenCL device) and verify the result.
+ *
+ * Threading contract — serial per engine, enforced: one RuntimeEngine
+ * owns one runtime (worker threads, GPU manager, device memory table),
+ * and a run measures wall time on that runtime, so overlapping runs on
+ * the same engine would corrupt both the timing and the device state.
+ * run()/runBatch() detect concurrent entry and raise FatalError.
+ * runBatch() therefore executes serially; to evaluate a batch in
+ * parallel on real execution, fan it across engine *instances* with
+ * EnginePool.
  */
 class RuntimeEngine : public ExecutionEngine
 {
@@ -165,6 +243,16 @@ class RuntimeEngine : public ExecutionEngine
     {
         return benchmark.supportsRealMode();
     }
+
+    /** Instances may run concurrently only if the benchmark's shared
+     * real-mode state allows it (function-style benchmarks arm a
+     * shared choice file and do not). */
+    bool
+    concurrentInstancesSafe(const apps::Benchmark &benchmark) const override
+    {
+        return benchmark.realModeConcurrencySafe();
+    }
+
     RunResult run(const apps::Benchmark &benchmark,
                   const tuner::Config &config, int64_t n) override;
 
@@ -182,10 +270,22 @@ class RuntimeEngine : public ExecutionEngine
     runtime::Runtime &runtime() { return *runtime_; }
 
   private:
+    /** RAII enforcement of the serial-per-engine contract. */
+    class SerialGuard
+    {
+      public:
+        explicit SerialGuard(RuntimeEngine &engine);
+        ~SerialGuard();
+
+      private:
+        RuntimeEngine &engine_;
+    };
+
     RuntimeEngineOptions options_;
     std::unique_ptr<ocl::Device> device_;
     std::unique_ptr<runtime::Runtime> runtime_;
     std::unique_ptr<compiler::TransformExecutor> executor_;
+    std::atomic<bool> running_{false};
 };
 
 /**
@@ -211,6 +311,15 @@ class EngineEvaluator : public tuner::Evaluator
             // backend, ...): never selected.
             return std::numeric_limits<double>::infinity();
         }
+    }
+
+    /** The generation-level batch: one engine call per tuner
+     * generation instead of populationSize blocking calls. */
+    std::vector<double>
+    evaluateBatch(std::span<const tuner::Config> configs,
+                  int64_t inputSize) override
+    {
+        return engine_.measureBatch(benchmark_, configs, inputSize);
     }
 
     std::vector<std::string>

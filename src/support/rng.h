@@ -72,6 +72,10 @@ class Rng
     /** Underlying engine, for std::shuffle and custom distributions. */
     std::mt19937_64 &engine() { return engine_; }
 
+    /** Const view of the engine, for checkpointing its state (the
+     * twister streams its full state via operator<<). */
+    const std::mt19937_64 &engine() const { return engine_; }
+
   private:
     std::mt19937_64 engine_;
 };

@@ -1,0 +1,109 @@
+#include "support/thread_pool.h"
+
+namespace petabricks {
+
+ThreadPool::ThreadPool(int threads)
+{
+    int workerCount = threads > 1 ? threads - 1 : 0;
+    workers_.reserve(static_cast<size_t>(workerCount));
+    for (int i = 0; i < workerCount; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::runJob(Job &job)
+{
+    while (true) {
+        size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= job.count)
+            return;
+        try {
+            (*job.body)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(job.errorMutex);
+            if (i < job.errorIndex) {
+                job.errorIndex = i;
+                job.error = std::current_exception();
+            }
+        }
+        if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            job.count) {
+            // Lock pairs with the waiter's predicate check so the
+            // notification cannot fall between check and wait.
+            std::lock_guard<std::mutex> lock(job.doneMutex);
+            job.doneCv.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seen = 0;
+    while (true) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [&] {
+                return stop_ || (job_ != nullptr && jobSeq_ != seen);
+            });
+            if (stop_)
+                return;
+            seen = jobSeq_;
+            job = job_; // shared ownership keeps the Job alive even if
+                        // parallelFor() returns before we touch it
+        }
+        runJob(*job);
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t count,
+                        const std::function<void(size_t)> &body)
+{
+    if (count == 0)
+        return;
+    if (workers_.empty() || count == 1) {
+        for (size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+
+    std::lock_guard<std::mutex> submit(submitMutex_);
+    auto job = std::make_shared<Job>();
+    job->body = &body;
+    job->count = count;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_ = job;
+        ++jobSeq_;
+    }
+    wake_.notify_all();
+
+    runJob(*job); // the calling thread works too
+    {
+        std::unique_lock<std::mutex> lock(job->doneMutex);
+        job->doneCv.wait(lock, [&] {
+            return job->done.load(std::memory_order_acquire) >= count;
+        });
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_.reset();
+    }
+    if (job->error)
+        std::rethrow_exception(job->error);
+}
+
+} // namespace petabricks

@@ -230,6 +230,41 @@ Config::loadValues(const KvFile &kv)
     }
 }
 
+uint64_t
+Config::valueFingerprint() const
+{
+    // FNV-1a over the structure in map (= sorted-name) order, with
+    // separator words so adjacent fields cannot alias. Stable across
+    // processes, which the checkpoint schema check relies on.
+    uint64_t hash = 1469598103934665603ull;
+    auto mix = [&hash](uint64_t value) {
+        for (int byte = 0; byte < 8; ++byte) {
+            hash ^= (value >> (8 * byte)) & 0xff;
+            hash *= 1099511628211ull;
+        }
+    };
+    auto mixString = [&hash](const std::string &text) {
+        for (unsigned char c : text) {
+            hash ^= c;
+            hash *= 1099511628211ull;
+        }
+    };
+    for (const auto &[name, selector] : selectors_) {
+        mixString(name);
+        mix(0xc07f0ff5u);
+        for (int64_t cutoff : selector.cutoffs())
+            mix(static_cast<uint64_t>(cutoff));
+        mix(0xa19051u);
+        for (int algorithm : selector.algorithms())
+            mix(static_cast<uint64_t>(algorithm));
+    }
+    for (const auto &[name, tunable] : tunables_) {
+        mixString(name);
+        mix(static_cast<uint64_t>(tunable.value));
+    }
+    return hash;
+}
+
 double
 Config::log10SpaceSize(int64_t maxInputSize) const
 {

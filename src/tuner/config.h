@@ -148,6 +148,18 @@ class Config
     void loadValues(const KvFile &kv);
 
     /**
+     * 64-bit hash of this configuration's *values* (selector levels
+     * and tunable settings): equal configurations hash equal across
+     * processes — the EvaluationCache key and the TuningSession
+     * checkpoint schema check. The hash is a sequential FNV-1a, so it
+     * is stable only because selectors and tunables iterate in
+     * sorted-name (std::map) order, independent of insertion order.
+     * Cheaper than hashing the serialized toKv() text, which matters
+     * on the tuner's hot path.
+     */
+    uint64_t valueFingerprint() const;
+
+    /**
      * log10 of the size of the search space this configuration spans
      * (Figure 8's "# possible configs"): every selector contributes
      * algorithmCount^levels * maxInput^(levels-1) (cutoff placements),

@@ -1,0 +1,62 @@
+#include "tuner/evaluation_cache.h"
+
+namespace petabricks {
+namespace tuner {
+
+uint64_t
+EvaluationCache::fingerprint(const Config &config)
+{
+    return config.valueFingerprint();
+}
+
+std::optional<double>
+EvaluationCache::lookup(const Config &config, int64_t inputSize)
+{
+    return lookupFingerprint(fingerprint(config), inputSize);
+}
+
+std::optional<double>
+EvaluationCache::lookupFingerprint(uint64_t fingerprint,
+                                   int64_t inputSize)
+{
+    auto it = entries_.find({inputSize, fingerprint});
+    if (it == entries_.end()) {
+        ++stats_.misses;
+        return std::nullopt;
+    }
+    ++stats_.hits;
+    return it->second;
+}
+
+void
+EvaluationCache::insert(const Config &config, int64_t inputSize,
+                        double seconds)
+{
+    insertFingerprint(fingerprint(config), inputSize, seconds);
+}
+
+void
+EvaluationCache::insertFingerprint(uint64_t fingerprint,
+                                   int64_t inputSize, double seconds)
+{
+    entries_[{inputSize, fingerprint}] = seconds;
+    ++stats_.insertions;
+}
+
+void
+EvaluationCache::invalidateBelow(int64_t inputSize)
+{
+    auto end = entries_.lower_bound({inputSize, 0});
+    stats_.invalidated +=
+        static_cast<int64_t>(std::distance(entries_.begin(), end));
+    entries_.erase(entries_.begin(), end);
+}
+
+void
+EvaluationCache::clear()
+{
+    entries_.clear();
+}
+
+} // namespace tuner
+} // namespace petabricks

@@ -1,120 +1,26 @@
 #include "tuner/evolution.h"
 
-#include <algorithm>
-#include <cmath>
-
-#include "support/error.h"
-#include "support/logging.h"
+#include "tuner/session.h"
 
 namespace petabricks {
 namespace tuner {
 
+// Deprecated shim: the search lives in TuningSession. Kept for one
+// release so existing callers migrate at their own pace.
+
 EvolutionaryTuner::EvolutionaryTuner(Evaluator &evaluator,
                                      Config seedConfig,
                                      TunerOptions options)
-    : evaluator_(evaluator), seed_(std::move(seedConfig)),
-      options_(options), rng_(options.seed),
-      compileModel_(options.kernelCompileSeconds, options.irCacheSavings)
-{
-    PB_ASSERT(options_.populationSize >= 1, "population must be >= 1");
-    PB_ASSERT(options_.minInputSize >= 1 &&
-                  options_.minInputSize <= options_.maxInputSize,
-              "bad input size range");
-    PB_ASSERT(options_.sizeGrowthFactor >= 2, "growth factor must be >= 2");
-}
+    : session_(std::make_unique<TuningSession>(
+          evaluator, std::move(seedConfig), options))
+{}
 
-double
-EvolutionaryTuner::measure(const Config &config, int64_t size)
-{
-    // Each measurement is a fresh test-process run: live programs are
-    // gone, only the IR cache survives (Section 5.4).
-    compileModel_.endRun();
-    double compile = 0.0;
-    for (const std::string &src : evaluator_.kernelSources(config, size))
-        compile += compileModel_.compile(src);
-    report_.compileSeconds += compile;
-
-    double seconds = evaluator_.evaluate(config, size);
-    ++report_.evaluations;
-    double testing = std::isfinite(seconds)
-                         ? seconds * options_.trialsPerEvaluation
-                         : 0.0;
-    report_.tuningSeconds += compile + testing;
-    return seconds;
-}
+EvolutionaryTuner::~EvolutionaryTuner() = default;
 
 TuningResult
 EvolutionaryTuner::run()
 {
-    std::vector<MutatorPtr> mutators = generateMutators(seed_);
-    PB_ASSERT(!mutators.empty(), "config has nothing to tune");
-
-    std::vector<Candidate> population;
-    population.push_back({seed_, 0.0});
-
-    // Exponentially growing testing input sizes.
-    std::vector<int64_t> sizes;
-    for (int64_t s = options_.minInputSize; s < options_.maxInputSize;
-         s *= options_.sizeGrowthFactor)
-        sizes.push_back(s);
-    sizes.push_back(options_.maxInputSize);
-
-    for (int64_t size : sizes) {
-        // Re-measure survivors at the new size (previous scores are for
-        // smaller inputs and not comparable).
-        for (Candidate &candidate : population)
-            candidate.seconds = measure(candidate.config, size);
-
-        for (int gen = 0; gen < options_.generationsPerSize; ++gen) {
-            size_t parents = population.size();
-            for (size_t p = 0; p < parents; ++p) {
-                Candidate child = population[p];
-                // Mostly single mutations; occasionally chain several so
-                // coupled choices (e.g. an algorithm switch that only
-                // pays off together with a backend switch) can be
-                // crossed in one step.
-                int chain = 1;
-                while (chain < 4 && rng_.chance(0.35))
-                    ++chain;
-                bool changed = false;
-                for (int m = 0; m < chain; ++m) {
-                    const Mutator &mutator =
-                        *mutators[static_cast<size_t>(rng_.uniformInt(
-                            0,
-                            static_cast<int64_t>(mutators.size()) - 1))];
-                    changed |= mutator.apply(child.config, rng_, size);
-                }
-                if (!changed)
-                    continue;
-                child.seconds = measure(child.config, size);
-                // Asexual selection: the child joins the population
-                // only if it outperforms its parent.
-                if (child.seconds < population[p].seconds) {
-                    ++report_.mutationsAccepted;
-                    population.push_back(std::move(child));
-                } else {
-                    ++report_.mutationsRejected;
-                }
-            }
-            // Prune by performance.
-            std::stable_sort(population.begin(), population.end(),
-                             [](const Candidate &a, const Candidate &b) {
-                                 return a.seconds < b.seconds;
-                             });
-            if (population.size() >
-                static_cast<size_t>(options_.populationSize))
-                population.resize(
-                    static_cast<size_t>(options_.populationSize));
-        }
-        PB_DEBUG("tuner size " << size << ": best "
-                               << population.front().seconds << "s");
-    }
-
-    PB_ASSERT(std::isfinite(population.front().seconds),
-              "no valid configuration found");
-    report_.best = population.front().config;
-    report_.bestSeconds = population.front().seconds;
-    return report_;
+    return session_->run();
 }
 
 } // namespace tuner

@@ -14,12 +14,18 @@
  * the IR cache. This models why autotuning took an average of 5.2 hours
  * on the paper's systems (Figure 8) even though individual tests are
  * fast, and why small-input tests are skipped.
+ *
+ * The search itself lives in TuningSession (tuner/session.h); this
+ * header keeps the evaluation surface (Evaluator, TunerOptions,
+ * TuningResult) and the deprecated EvolutionaryTuner shim.
  */
 
 #ifndef PETABRICKS_TUNER_EVOLUTION_H
 #define PETABRICKS_TUNER_EVOLUTION_H
 
 #include <functional>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "ocl/program_cache.h"
@@ -40,6 +46,25 @@ class Evaluator
      * target (variable-accuracy benchmarks).
      */
     virtual double evaluate(const Config &config, int64_t inputSize) = 0;
+
+    /**
+     * Evaluate a generation's worth of independent configurations at
+     * one input size. The TuningSession issues exactly one call per
+     * generation; overriding this is how an evaluator exploits the
+     * candidates' independence (engine::EngineEvaluator forwards to
+     * ExecutionEngine::measureBatch). Results must be index-aligned
+     * with @p configs and identical to what the serial loop would
+     * produce. Default: loop over evaluate().
+     */
+    virtual std::vector<double>
+    evaluateBatch(std::span<const Config> configs, int64_t inputSize)
+    {
+        std::vector<double> seconds;
+        seconds.reserve(configs.size());
+        for (const Config &config : configs)
+            seconds.push_back(evaluate(config, inputSize));
+        return seconds;
+    }
 
     /**
      * Source identities of the OpenCL kernels @p config JIT-compiles,
@@ -74,6 +99,15 @@ struct TunerOptions
     /** JIT compile model parameters (from the machine profile). */
     double kernelCompileSeconds = 1.6;
     double irCacheSavings = 0.55;
+
+    /**
+     * Memoize evaluation results by (config fingerprint, input size)
+     * so duplicate mutants and re-tested survivors never re-run.
+     * Off replicates the legacy one-evaluation-per-candidate
+     * accounting exactly; the champion is identical either way for
+     * deterministic evaluators.
+     */
+    bool cacheEvaluations = true;
 };
 
 /** Outcome of a tuning run. */
@@ -89,9 +123,23 @@ struct TuningResult
     int64_t evaluations = 0;
     int64_t mutationsAccepted = 0;
     int64_t mutationsRejected = 0;
+
+    /** Evaluations answered from the EvaluationCache (including
+     * in-batch duplicates) instead of being re-run. */
+    int64_t cacheHits = 0;
 };
 
-/** See file comment. */
+class TuningSession;
+
+/**
+ * See file comment.
+ *
+ * @deprecated EvolutionaryTuner is a thin compatibility shim over
+ * TuningSession (tuner/session.h), which adds batched generation
+ * evaluation, result caching, progress callbacks, and save()/load()
+ * checkpointing. New code should construct a TuningSession directly;
+ * this wrapper will be removed in the next release.
+ */
 class EvolutionaryTuner
 {
   public:
@@ -101,25 +149,13 @@ class EvolutionaryTuner
      */
     EvolutionaryTuner(Evaluator &evaluator, Config seedConfig,
                       TunerOptions options);
+    ~EvolutionaryTuner();
 
     /** Run the search and return the champion. */
     TuningResult run();
 
   private:
-    struct Candidate
-    {
-        Config config;
-        double seconds = 0.0; // at the current input size
-    };
-
-    double measure(const Config &config, int64_t size);
-
-    Evaluator &evaluator_;
-    Config seed_;
-    TunerOptions options_;
-    Rng rng_;
-    ocl::ProgramCache compileModel_;
-    TuningResult report_;
+    std::unique_ptr<TuningSession> session_;
 };
 
 } // namespace tuner

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * TuningSession: the session-oriented autotuning API.
+ *
+ * The original EvolutionaryTuner::run() was a one-shot blocking loop
+ * that evaluated one configuration at a time — the shape that made the
+ * paper's autotuner spend an average of 5.2 hours per benchmark
+ * (Figure 8). A session keeps the exact same search (paper Section
+ * 5.2: asexual mutation, accept-if-better, exponentially growing test
+ * sizes) but restructures the hot path around three ideas:
+ *
+ *  - *Batching*: candidates within a generation are independent, so
+ *    the session collects them and issues one
+ *    Evaluator::evaluateBatch() call per generation instead of
+ *    populationSize blocking calls. Engines parallelize the batch
+ *    (ModelEngine on a thread pool, EnginePool across runtime
+ *    instances); because batches are order-preserving, the champion is
+ *    identical to the serial search for any parallelism.
+ *
+ *  - *Caching*: an EvaluationCache keyed by (config fingerprint,
+ *    input size) answers duplicate mutants and re-tested survivors
+ *    without re-running them.
+ *
+ *  - *Resumability*: the session's complete search state (population,
+ *    scores, generation/size cursor, RNG state, accounting) round-
+ *    trips through save()/load() as a choice-file-style KvFile, so a
+ *    killed search resumes where it left off and reaches the same
+ *    champion as an uninterrupted run (deterministic evaluators).
+ *
+ * step() advances one generation; run() drives to completion; run(k)
+ * spends a bounded number of steps, for interleaving tuning with other
+ * work. Progress callbacks fire after every step.
+ */
+
+#ifndef PETABRICKS_TUNER_SESSION_H
+#define PETABRICKS_TUNER_SESSION_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ocl/program_cache.h"
+#include "tuner/evaluation_cache.h"
+#include "tuner/evolution.h"
+
+namespace petabricks {
+namespace tuner {
+
+/** Snapshot handed to progress callbacks after every step(). */
+struct SessionProgress
+{
+    int64_t inputSize = 0;    ///< size the finished step tested at
+    int generation = 0;       ///< generations completed at that size
+    int generationsPerSize = 0;
+    int completedSteps = 0;
+    int totalSteps = 0;
+    double bestSeconds = 0.0; ///< champion score at inputSize
+    int64_t evaluations = 0;
+    int64_t cacheHits = 0;
+};
+
+/** See file comment. */
+class TuningSession
+{
+  public:
+    using ProgressCallback = std::function<void(const SessionProgress &)>;
+
+    /**
+     * @param evaluator benchmark hook (must outlive the session).
+     * @param seedConfig structurally complete starting configuration;
+     *        also the schema save()/load() deserializes against.
+     */
+    TuningSession(Evaluator &evaluator, Config seedConfig,
+                  TunerOptions options);
+
+    /** True once every generation at every input size has run. */
+    bool done() const { return sizeIndex_ >= sizes_.size(); }
+
+    /** Total step() count of a full search. */
+    int totalSteps() const;
+
+    int completedSteps() const;
+
+    /** Input size the next step() will test at (last size if done). */
+    int64_t currentInputSize() const;
+
+    /**
+     * Advance the search by one generation: on entry to a new input
+     * size, re-measure the survivors there (previous scores are for
+     * smaller inputs and not comparable), then mutate every member,
+     * evaluate all changed children as one batch, and apply
+     * accept-if-better selection and pruning.
+     * @return false when the search is complete (no-op when already
+     *         done).
+     */
+    bool step();
+
+    /** step() until done, then return the champion. */
+    TuningResult run();
+
+    /** step() at most @p maxSteps times; returns result() — a
+     * resumable snapshot, not necessarily the final champion. */
+    TuningResult run(int maxSteps);
+
+    /**
+     * Current champion snapshot (best config, its score at the current
+     * input size, accounting so far). Before the first step the seed
+     * is reported with a score of 0.
+     */
+    TuningResult result() const;
+
+    /** Register @p callback to run after every step(). */
+    void onProgress(ProgressCallback callback);
+
+    const EvaluationCache &cache() const { return cache_; }
+
+    const TunerOptions &options() const { return options_; }
+
+    /**
+     * Checkpoint the full search state to @p path (kvfile format):
+     * population with scores, size/generation cursor, RNG state, and
+     * accounting. Call between steps — a progress callback is a
+     * natural place.
+     */
+    void save(const std::string &path) const;
+
+    /**
+     * Restore a checkpoint written by save(). The session must have
+     * been constructed with the same seed configuration and options as
+     * the saved one (validated via the seed fingerprint); the
+     * evaluation and compile caches restart cold, which affects only
+     * the modeled tuning-time accounting, never the champion.
+     */
+    void load(const std::string &path);
+
+  private:
+    struct Member
+    {
+        Config config;
+        double seconds = 0.0; // at the current input size
+    };
+
+    /**
+     * Score @p configs at @p size with caching, in-batch dedup, and
+     * the Section 5.4 per-test compile accounting; one
+     * evaluateBatch() call covers every config not answered by the
+     * cache. Returns seconds index-aligned with @p configs.
+     */
+    std::vector<double> measureBatch(const std::vector<Config> &configs,
+                                     int64_t size);
+
+    void emitProgress();
+
+    Evaluator &evaluator_;
+    Config seed_;
+    TunerOptions options_;
+    Rng rng_;
+    ocl::ProgramCache compileModel_;
+    EvaluationCache cache_;
+    TuningResult report_;
+    std::vector<MutatorPtr> mutators_;
+    std::vector<int64_t> sizes_;
+    std::vector<Member> population_;
+    size_t sizeIndex_ = 0;
+    int generation_ = 0; // completed generations at sizes_[sizeIndex_]
+    ProgressCallback progress_;
+};
+
+} // namespace tuner
+} // namespace petabricks
+
+#endif // PETABRICKS_TUNER_SESSION_H

@@ -24,6 +24,18 @@ struct GpuMemoryFixture : ::testing::Test
         return m;
     }
 
+    /** Non-blocking copy-ins capture raw host pointers (the OpenCL
+     * contract): drain the queue before a test's matrices go out of
+     * scope, or the worker races their destruction. Must be called at
+     * the end of any test body that enqueues a copy-in — TearDown()
+     * and the fixture destructor run only after the body's locals are
+     * already destroyed, which is too late. */
+    void
+    drain()
+    {
+        queue.finish();
+    }
+
     ocl::Device device;
     ocl::CommandQueue queue;
     GpuMemoryTable table;
@@ -70,6 +82,7 @@ TEST_F(GpuMemoryFixture, CopyInDeduplicated)
     auto stats = table.statsSnapshot();
     EXPECT_EQ(stats.copyInsPerformed, 1);
     EXPECT_EQ(stats.copyInsSkipped, 2);
+    drain();
 }
 
 TEST_F(GpuMemoryFixture, KernelOutputCountsAsResident)
@@ -89,6 +102,7 @@ TEST_F(GpuMemoryFixture, PartialResidencyStillCopies)
     table.copyIn(m, Region(0, 0, 4, 2)); // top half only
     EXPECT_TRUE(table.copyIn(m, m.fullRegion()));
     EXPECT_EQ(table.statsSnapshot().copyInsPerformed, 2);
+    drain();
 }
 
 TEST_F(GpuMemoryFixture, EagerCopyOutRoundTrip)
@@ -144,6 +158,7 @@ TEST_F(GpuMemoryFixture, LazyCheckOnCleanDataIsFree)
     auto stats = table.statsSnapshot();
     EXPECT_EQ(stats.lazyCopyOuts, 0);
     EXPECT_EQ(stats.lazyChecksClean, 1);
+    drain();
 }
 
 TEST_F(GpuMemoryFixture, EnsureOnHostForUntrackedMatrixIsNoop)
@@ -163,6 +178,7 @@ TEST_F(GpuMemoryFixture, InvalidateReleasesBuffer)
     // A fresh prepare allocates a new buffer.
     table.prepare(m);
     EXPECT_EQ(table.statsSnapshot().buffersAllocated, 2);
+    drain();
 }
 
 TEST_F(GpuMemoryFixture, InvalidateWithPendingResultsPanics)

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "support/thread_pool.h"
+
+namespace petabricks {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4);
+    std::vector<std::atomic<int>> counts(1000);
+    pool.parallelFor(counts.size(),
+                     [&](size_t i) { counts[i].fetch_add(1); });
+    for (const std::atomic<int> &count : counts)
+        EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ResultsAreIndexAligned)
+{
+    ThreadPool pool(8);
+    std::vector<int> out(257, -1);
+    pool.parallelFor(out.size(), [&](size_t i) {
+        out[i] = static_cast<int>(i * i);
+    });
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i * i));
+}
+
+TEST(ThreadPool, ReusableAcrossManyBatches)
+{
+    ThreadPool pool(3);
+    int64_t total = 0;
+    for (int batch = 0; batch < 50; ++batch) {
+        std::vector<int64_t> values(17, 0);
+        pool.parallelFor(values.size(),
+                         [&](size_t i) { values[i] = batch + (int64_t)i; });
+        total += std::accumulate(values.begin(), values.end(), int64_t{0});
+    }
+    // sum over batches of (17*batch + 0+..+16)
+    EXPECT_EQ(total, 17 * (49 * 50 / 2) + 50 * (16 * 17 / 2));
+}
+
+TEST(ThreadPool, SerialWhenSingleThreaded)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threadCount(), 1);
+    std::vector<int> order;
+    pool.parallelFor(5, [&](size_t i) {
+        order.push_back(static_cast<int>(i)); // safe: no workers
+    });
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, EmptyBatchIsANoop)
+{
+    ThreadPool pool(4);
+    bool touched = false;
+    pool.parallelFor(0, [&](size_t) { touched = true; });
+    EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, RethrowsTheLowestIndexException)
+{
+    ThreadPool pool(4);
+    for (int attempt = 0; attempt < 10; ++attempt) {
+        try {
+            pool.parallelFor(64, [&](size_t i) {
+                if (i == 7 || i == 50)
+                    throw std::runtime_error(std::to_string(i));
+            });
+            FAIL() << "expected an exception";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "7");
+        }
+    }
+}
+
+TEST(ThreadPool, BatchCompletesDespiteException)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> counts(100);
+    EXPECT_THROW(pool.parallelFor(counts.size(),
+                                  [&](size_t i) {
+                                      counts[i].fetch_add(1);
+                                      if (i == 3)
+                                          throw std::runtime_error("x");
+                                  }),
+                 std::runtime_error);
+    // An exception marks the batch failed but never skips indices.
+    for (const std::atomic<int> &count : counts)
+        EXPECT_EQ(count.load(), 1);
+}
+
+} // namespace
+} // namespace petabricks
