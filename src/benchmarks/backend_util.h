@@ -44,6 +44,47 @@ addBackendChoices(tuner::Config &config, const std::string &rule,
     config.addTunable({rule + ".ratio", 0, 8, 8, false});
 }
 
+/**
+ * Resolved positions of one rule's choice structure within a Config —
+ * the fast path's replacement for by-name lookups. Valid for every
+ * configuration sharing the seed's structure (mutation never adds or
+ * removes selectors/tunables), so an evaluation context resolves them
+ * once per batch.
+ */
+struct StageChoiceIds
+{
+    size_t backend = 0; // selector "<Rule>.backend"
+    size_t lws = 0;     // tunable "<Rule>.lws"
+    size_t ratio = 0;   // tunable "<Rule>.ratio"
+};
+
+/** Resolve the standard per-rule choice structure of @p rule. */
+inline StageChoiceIds
+stageChoiceIds(const tuner::Config &config, const std::string &rule)
+{
+    return {config.selectorIndex(rule + ".backend"),
+            config.tunableIndex(rule + ".lws"),
+            config.tunableIndex(rule + ".ratio")};
+}
+
+/** stageFor() via pre-resolved positions (no string construction). */
+inline compiler::StageConfig
+stageForIds(const tuner::Config &config, const StageChoiceIds &ids,
+            int64_t n, int cpuSplit)
+{
+    int alg = config.selectorAt(ids.backend).select(n);
+    PB_ASSERT(alg >= 0 && alg < kBackendCount,
+              "bad backend algorithm " << alg);
+    compiler::StageConfig stage;
+    stage.backend = static_cast<compiler::Backend>(alg);
+    stage.localWorkSize =
+        static_cast<int>(config.tunableValueAt(ids.lws));
+    stage.gpuRatioEighths =
+        static_cast<int>(config.tunableValueAt(ids.ratio));
+    stage.cpuSplit = cpuSplit;
+    return stage;
+}
+
 /** Build the stage placement the configuration selects at size @p n. */
 inline compiler::StageConfig
 stageFor(const tuner::Config &config, const std::string &rule, int64_t n,
@@ -90,6 +131,14 @@ appendKernelSources(std::vector<std::string> &sources,
         sources.push_back("pbcl:" + rule + ":global");
     else if (stage.backend == compiler::Backend::OpenClLocal)
         sources.push_back("pbcl:" + rule + ":local");
+}
+
+/** Count-only twin of appendKernelSources() (Benchmark::kernelCount):
+ * how many source ids the stage would contribute, with no synthesis. */
+inline int
+stageKernelCount(const compiler::StageConfig &stage)
+{
+    return stage.backend == compiler::Backend::Cpu ? 0 : 1;
 }
 
 } // namespace apps

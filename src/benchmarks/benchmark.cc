@@ -1,10 +1,19 @@
 #include "benchmarks/benchmark.h"
 
+#include <atomic>
+
 #include "engine/execution_engine.h"
 #include "tuner/session.h"
 
 namespace petabricks {
 namespace apps {
+
+uint64_t
+Benchmark::nextInstanceId()
+{
+    static std::atomic<uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
 
 // ---- Default real-mode surface (benchmarks must opt in) ----------------
 

@@ -76,11 +76,41 @@ class ChoiceFile
 
 using ChoiceFilePtr = std::shared_ptr<ChoiceFile>;
 
+/**
+ * Opaque config-invariant evaluation state a benchmark precomputes per
+ * (input size, machine) — the model-mode fast path's unit of sharing.
+ * Transform-style benchmarks wrap a compiler::EvaluationContext;
+ * analytic benchmarks cache selector/tunable positions. Contexts are
+ * immutable once built, so one context may serve a whole parallel
+ * batch.
+ */
+class EvalContext
+{
+  public:
+    virtual ~EvalContext() = default;
+};
+
+using EvalContextPtr = std::shared_ptr<const EvalContext>;
+
 /** See file comment. */
 class Benchmark
 {
   public:
+    Benchmark() : instanceId_(nextInstanceId()) {}
+
+    /** Copies are distinct instances (see instanceId()). */
+    Benchmark(const Benchmark &) : instanceId_(nextInstanceId()) {}
+    Benchmark &operator=(const Benchmark &) { return *this; }
+
     virtual ~Benchmark() = default;
+
+    /**
+     * Process-unique identity of this benchmark *instance*. Engines
+     * key per-(benchmark, n) evaluation-context memos on it instead of
+     * the object address, so a destroyed benchmark whose address is
+     * reused can never be served another instance's context.
+     */
+    uint64_t instanceId() const { return instanceId_; }
 
     /** Display name, as in the paper's tables. */
     virtual std::string name() const = 0;
@@ -91,9 +121,47 @@ class Benchmark
     /**
      * Modeled execution seconds of @p config at input size @p n on
      * @p machine; +inf for infeasible configurations.
+     *
+     * This overload is the *reference path*: every call rebuilds the
+     * config-invariant scaffolding from scratch. The engines evaluate
+     * through the context overload below; this one is the executable
+     * spec the golden-equality tests compare against.
      */
     virtual double evaluate(const tuner::Config &config, int64_t n,
                             const sim::MachineProfile &machine) const = 0;
+
+    /**
+     * Precompute the config-invariant evaluation state for
+     * (@p n, @p machine): slot extents, access-region geometry,
+     * transform structure, selector/tunable positions. Built once per
+     * evaluateBatch/generation by engine::ModelEngine and shared by
+     * every candidate of the batch. Default: nullptr (no fast path;
+     * the context overload of evaluate() then uses the reference
+     * path).
+     */
+    virtual EvalContextPtr
+    makeEvalContext(int64_t n, const sim::MachineProfile &machine) const
+    {
+        (void)n;
+        (void)machine;
+        return nullptr;
+    }
+
+    /**
+     * Fast-path evaluate(): identical result to the reference overload
+     * (bit-for-bit, including thrown FatalErrors), but sharing the
+     * config-invariant work in @p ctx. @p ctx must come from
+     * makeEvalContext(n, machine) of this benchmark, or be nullptr to
+     * fall back to the reference path.
+     */
+    virtual double
+    evaluate(const tuner::Config &config, int64_t n,
+             const sim::MachineProfile &machine,
+             const EvalContext *ctx) const
+    {
+        (void)ctx;
+        return evaluate(config, n, machine);
+    }
 
     /** Kernel source identities @p config JIT-compiles. */
     virtual std::vector<std::string>
@@ -102,6 +170,18 @@ class Benchmark
         (void)config;
         (void)n;
         return {};
+    }
+
+    /**
+     * Number of kernel sources @p config JIT-compiles — what
+     * engine::RunResult reports. Benchmarks whose kernelSources()
+     * synthesizes source identities should override this with a
+     * count-only path; the default falls back to sources.
+     */
+    virtual int
+    kernelCount(const tuner::Config &config, int64_t n) const
+    {
+        return static_cast<int>(kernelSources(config, n).size());
     }
 
     /** Figure 8: the "Testing Input Size" column. */
@@ -163,6 +243,11 @@ class Benchmark
      * every stage, small enough that the emulated device stays fast.
      */
     virtual int64_t realModeProbeSize() const { return minTuningSize(); }
+
+  private:
+    static uint64_t nextInstanceId();
+
+    uint64_t instanceId_;
 };
 
 using BenchmarkPtr = std::shared_ptr<Benchmark>;

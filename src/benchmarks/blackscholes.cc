@@ -59,6 +59,22 @@ sizesFor(int64_t n)
             {"Price", shape}};
 }
 
+/** Config-invariant state shared by a batch (see Benchmark docs). */
+struct BsEvalContext : apps::EvalContext
+{
+    compiler::EvaluationContext sim;
+    StageChoiceIds rule;
+    size_t splitTun;
+
+    BsEvalContext(const std::shared_ptr<lang::Transform> &transform,
+                  int64_t n, const sim::MachineProfile &machine,
+                  const tuner::Config &schema)
+        : sim(transform, sizesFor(n), {500, 2000}, machine),
+          rule(stageChoiceIds(schema, "BlackScholes")),
+          splitTun(schema.tunableIndex("BlackScholes.split"))
+    {}
+};
+
 } // namespace
 
 double
@@ -124,6 +140,30 @@ BlackScholesBenchmark::evaluate(const tuner::Config &config, int64_t n,
     return outcome.seconds;
 }
 
+apps::EvalContextPtr
+BlackScholesBenchmark::makeEvalContext(
+    int64_t n, const sim::MachineProfile &machine) const
+{
+    return std::make_shared<BsEvalContext>(transform_, n, machine,
+                                           seedConfig());
+}
+
+double
+BlackScholesBenchmark::evaluate(const tuner::Config &config, int64_t n,
+                                const sim::MachineProfile &machine,
+                                const EvalContext *ctx) const
+{
+    if (ctx == nullptr)
+        return evaluate(config, n, machine);
+    const auto &bs = static_cast<const BsEvalContext &>(*ctx);
+    int split = static_cast<int>(config.tunableValueAt(bs.splitTun));
+    thread_local compiler::TransformConfig plan;
+    plan.choiceIndex = 0;
+    plan.stages.clear();
+    plan.stages.push_back(stageForIds(config, bs.rule, n, split));
+    return compiler::simulateTransform(bs.sim, plan).seconds;
+}
+
 std::vector<std::string>
 BlackScholesBenchmark::kernelSources(const tuner::Config &config,
                                      int64_t n) const
@@ -132,6 +172,13 @@ BlackScholesBenchmark::kernelSources(const tuner::Config &config,
     appendKernelSources(sources, planFor(config, n).stages[0],
                         "BlackScholes");
     return sources;
+}
+
+int
+BlackScholesBenchmark::kernelCount(const tuner::Config &config,
+                                   int64_t n) const
+{
+    return stageKernelCount(planFor(config, n).stages[0]);
 }
 
 std::string

@@ -97,6 +97,51 @@ convSizes(int64_t n, int64_t kw)
 constexpr const char *kRules[] = {"Convolve2D", "ConvolveRows",
                                   "ConvolveColumns"};
 
+/** Config-invariant state shared by a batch (see Benchmark docs). */
+struct ConvEvalContext : apps::EvalContext
+{
+    compiler::EvaluationContext sim;
+    size_t choiceSel;
+    StageChoiceIds rules[3]; // aligned with kRules
+    size_t splitTun;
+
+    ConvEvalContext(const std::shared_ptr<lang::Transform> &transform,
+                    int64_t n, int64_t kwidth,
+                    const sim::MachineProfile &machine,
+                    const tuner::Config &schema)
+        : sim(transform, convSizes(n, kwidth), {kwidth}, machine),
+          choiceSel(
+              schema.selectorIndex("SeparableConvolution.choice")),
+          rules{stageChoiceIds(schema, kRules[0]),
+                stageChoiceIds(schema, kRules[1]),
+                stageChoiceIds(schema, kRules[2])},
+          splitTun(schema.tunableIndex("SeparableConvolution.split"))
+    {}
+};
+
+/** planFor() via the context's pre-resolved config positions, into a
+ * reused per-thread plan (no allocation in the batch loop). */
+const compiler::TransformConfig &
+planForFast(const tuner::Config &config, int64_t n,
+            const ConvEvalContext &ctx)
+{
+    thread_local compiler::TransformConfig plan;
+    int split = static_cast<int>(config.tunableValueAt(ctx.splitTun));
+    plan.stages.clear();
+    if (config.selectorAt(ctx.choiceSel).select(n) == 0) {
+        plan.choiceIndex = 0;
+        plan.stages.push_back(
+            stageForIds(config, ctx.rules[0], n, split));
+    } else {
+        plan.choiceIndex = 1;
+        plan.stages.push_back(
+            stageForIds(config, ctx.rules[1], n, split));
+        plan.stages.push_back(
+            stageForIds(config, ctx.rules[2], n, split));
+    }
+    return plan;
+}
+
 } // namespace
 
 std::shared_ptr<lang::Transform>
@@ -163,6 +208,31 @@ ConvolutionBenchmark::evaluate(const tuner::Config &config, int64_t n,
     return outcome.seconds;
 }
 
+apps::EvalContextPtr
+ConvolutionBenchmark::makeEvalContext(
+    int64_t n, const sim::MachineProfile &machine) const
+{
+    if (n <= kwidth_)
+        return nullptr; // degenerate size: evaluate() is +inf anyway
+    return std::make_shared<ConvEvalContext>(transform_, n, kwidth_,
+                                             machine, seedConfig());
+}
+
+double
+ConvolutionBenchmark::evaluate(const tuner::Config &config, int64_t n,
+                               const sim::MachineProfile &machine,
+                               const EvalContext *ctx) const
+{
+    if (n <= kwidth_)
+        return std::numeric_limits<double>::infinity();
+    if (ctx == nullptr)
+        return evaluate(config, n, machine);
+    const auto &conv = static_cast<const ConvEvalContext &>(*ctx);
+    return compiler::simulateTransform(conv.sim,
+                                       planForFast(config, n, conv))
+        .seconds;
+}
+
 std::vector<std::string>
 ConvolutionBenchmark::kernelSources(const tuner::Config &config,
                                     int64_t n) const
@@ -174,6 +244,17 @@ ConvolutionBenchmark::kernelSources(const tuner::Config &config,
         appendKernelSources(sources, plan.stages[i],
                             choice.rules[i]->name());
     return sources;
+}
+
+int
+ConvolutionBenchmark::kernelCount(const tuner::Config &config,
+                                  int64_t n) const
+{
+    compiler::TransformConfig plan = planFor(config, n);
+    int count = 0;
+    for (const compiler::StageConfig &stage : plan.stages)
+        count += stageKernelCount(stage);
+    return count;
 }
 
 int

@@ -91,6 +91,26 @@ poissonSizes(int64_t n, int iterations)
     return sizes;
 }
 
+/** Config-invariant state shared by a batch (see Benchmark docs). */
+struct PoissonEvalContext : apps::EvalContext
+{
+    compiler::EvaluationContext sim;
+    StageChoiceIds split;
+    StageChoiceIds iterate;
+    size_t chunksTun;
+
+    PoissonEvalContext(
+        const std::shared_ptr<lang::Transform> &transform, int64_t n,
+        int iterations, const sim::MachineProfile &machine,
+        const tuner::Config &schema)
+        : sim(transform, poissonSizes(n, iterations), {n, n, 15000},
+              machine),
+          split(stageChoiceIds(schema, "Poisson.split")),
+          iterate(stageChoiceIds(schema, "Poisson.iterate")),
+          chunksTun(schema.tunableIndex("Poisson.split.chunks"))
+    {}
+};
+
 } // namespace
 
 std::shared_ptr<lang::Transform>
@@ -169,6 +189,46 @@ PoissonBenchmark::evaluate(const tuner::Config &config, int64_t n,
     return outcome.seconds;
 }
 
+apps::EvalContextPtr
+PoissonBenchmark::makeEvalContext(int64_t n,
+                                  const sim::MachineProfile &machine) const
+{
+    if (n < 8 || n % 2 != 0)
+        return nullptr; // degenerate size: evaluate() is +inf anyway
+    return std::make_shared<PoissonEvalContext>(transform_, n,
+                                                iterations_, machine,
+                                                seedConfig());
+}
+
+double
+PoissonBenchmark::evaluate(const tuner::Config &config, int64_t n,
+                           const sim::MachineProfile &machine,
+                           const EvalContext *ctx) const
+{
+    if (n < 8 || n % 2 != 0)
+        return std::numeric_limits<double>::infinity();
+    if (ctx == nullptr)
+        return evaluate(config, n, machine);
+    const auto &poisson =
+        static_cast<const PoissonEvalContext &>(*ctx);
+    int chunks =
+        static_cast<int>(config.tunableValueAt(poisson.chunksTun));
+    compiler::StageConfig split =
+        stageForIds(config, poisson.split, n, chunks);
+    compiler::StageConfig iterate =
+        stageForIds(config, poisson.iterate, n, chunks);
+    thread_local compiler::TransformConfig plan;
+    plan.choiceIndex = 0;
+    plan.stages.clear();
+    plan.stages.push_back(split);
+    plan.stages.push_back(split);
+    for (int k = 0; k < iterations_; ++k) {
+        plan.stages.push_back(iterate);
+        plan.stages.push_back(iterate);
+    }
+    return compiler::simulateTransform(poisson.sim, plan).seconds;
+}
+
 std::vector<std::string>
 PoissonBenchmark::kernelSources(const tuner::Config &config,
                                 int64_t n) const
@@ -182,6 +242,19 @@ PoissonBenchmark::kernelSources(const tuner::Config &config,
         appendKernelSources(sources, plan.stages[3], "UpdateBlack");
     }
     return sources;
+}
+
+int
+PoissonBenchmark::kernelCount(const tuner::Config &config,
+                              int64_t n) const
+{
+    compiler::TransformConfig plan = planFor(config, n);
+    int count = stageKernelCount(plan.stages[0]) +
+                stageKernelCount(plan.stages[1]);
+    if (iterations_ >= 1)
+        count += stageKernelCount(plan.stages[2]) +
+                 stageKernelCount(plan.stages[3]);
+    return count;
 }
 
 int

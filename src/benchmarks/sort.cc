@@ -38,6 +38,11 @@ struct ModelCtx
     int workers;
     int64_t taskCutoff;
     int64_t pmCutoff;
+
+    /** Pre-resolved "Sort.algorithm" selector (the fast path); when
+     * null, modelSort() looks it up by name per recursion level — the
+     * reference path's pre-context behavior. */
+    const tuner::Selector *algorithm = nullptr;
 };
 
 double
@@ -70,7 +75,9 @@ modelSort(const ModelCtx &ctx, int64_t n)
 {
     if (n <= 1)
         return {0.0, 0.0};
-    int alg = ctx.config.selector("Sort.algorithm").select(n);
+    int alg = ctx.algorithm
+                  ? ctx.algorithm->select(n)
+                  : ctx.config.selector("Sort.algorithm").select(n);
     double dn = static_cast<double>(n);
     bool spawn = n >= ctx.taskCutoff;
     auto seconds = [&](double ops) { return ops / ctx.rate; };
@@ -409,6 +416,51 @@ SortBenchmark::evaluate(const tuner::Config &config, int64_t n,
     return std::max(ws.work / ctx.workers, ws.span);
 }
 
+namespace {
+
+/** Pre-resolved config positions (see Benchmark docs). */
+struct SortEvalContext : apps::EvalContext
+{
+    size_t algorithmSel;
+    size_t taskCutoffTun;
+    size_t pmCutoffTun;
+
+    explicit SortEvalContext(const tuner::Config &schema)
+        : algorithmSel(schema.selectorIndex("Sort.algorithm")),
+          taskCutoffTun(schema.tunableIndex("Sort.taskCutoff")),
+          pmCutoffTun(schema.tunableIndex("Sort.pmCutoff"))
+    {}
+};
+
+} // namespace
+
+apps::EvalContextPtr
+SortBenchmark::makeEvalContext(int64_t n,
+                               const sim::MachineProfile &machine) const
+{
+    (void)n;
+    (void)machine;
+    return std::make_shared<SortEvalContext>(seedConfig());
+}
+
+double
+SortBenchmark::evaluate(const tuner::Config &config, int64_t n,
+                        const sim::MachineProfile &machine,
+                        const EvalContext *ctx) const
+{
+    if (ctx == nullptr)
+        return evaluate(config, n, machine);
+    const auto &sort = static_cast<const SortEvalContext &>(*ctx);
+    ModelCtx mctx{config, machine,
+                  machine.cpu.gflopsPerCore * 1e9,
+                  std::min(machine.workerThreads, machine.cpu.cores),
+                  config.tunableValueAt(sort.taskCutoffTun),
+                  config.tunableValueAt(sort.pmCutoffTun),
+                  &config.selectorAt(sort.algorithmSel)};
+    WorkSpan ws = modelSort(mctx, n);
+    return std::max(ws.work / mctx.workers, ws.span);
+}
+
 std::vector<std::string>
 SortBenchmark::kernelSources(const tuner::Config &config, int64_t n) const
 {
@@ -418,6 +470,17 @@ SortBenchmark::kernelSources(const tuner::Config &config, int64_t n) const
             kSortBitonicGpu)
             return {"pbcl:bitonic:step"};
     return {};
+}
+
+int
+SortBenchmark::kernelCount(const tuner::Config &config, int64_t n) const
+{
+    const tuner::Selector &algorithm =
+        config.selector("Sort.algorithm");
+    for (int64_t s = n; s >= 1; s /= 2)
+        if (algorithm.select(s) == kSortBitonicGpu)
+            return 1;
+    return 0;
 }
 
 std::string

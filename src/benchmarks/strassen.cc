@@ -76,16 +76,24 @@ struct WorkSpan
     double span = 0.0;
 };
 
+// The matmul model is written once, parameterized over how the config
+// is consulted: the reference path passes lambdas that look selectors
+// and tunables up by name per recursive level (the pre-context
+// behavior the throughput bench measures against), the fast path
+// passes O(1) reads of pre-resolved positions. Both produce
+// bit-identical numbers.
+
+/** @param lwsOf nullary: the "<prefix>.mm.lws" tunable value. */
+template <typename LwsOf>
 double
-opencilMatmulSeconds(const tuner::Config &config,
-                     const std::string &prefix, int64_t n,
-                     const sim::MachineProfile &machine,
-                     double localityPenalty)
+opencilMatmulSecondsT(const LwsOf &lwsOf, int64_t n,
+                      const sim::MachineProfile &machine,
+                      double localityPenalty)
 {
     if (!machine.hasOpenCL)
         return std::numeric_limits<double>::infinity();
     const lang::RuleDef &rule = *sharedMatmulRule();
-    int lws = static_cast<int>(config.tunableValue(prefix + ".mm.lws"));
+    int lws = lwsOf();
     ocl::NDRange range(n, n, lws, 1);
     compiler::SlotExtents extents;
     extents.inputs = {{n, n}, {n, n}};
@@ -105,19 +113,18 @@ opencilMatmulSeconds(const tuner::Config &config,
     return machine.transfer.seconds(bytes) + kernel;
 }
 
+/** @param algOf size -> "<prefix>.mm.algorithm" selection. */
+template <typename AlgOf, typename LwsOf>
 WorkSpan
-modelMM(const tuner::Config &config, const std::string &prefix,
-        int64_t n, const sim::MachineProfile &machine,
-        double localityPenalty)
+modelMMT(const AlgOf &algOf, const LwsOf &lwsOf, int64_t n,
+         const sim::MachineProfile &machine, double localityPenalty)
 {
     double dn = static_cast<double>(n);
     int workers = std::min(machine.workerThreads, machine.cpu.cores);
     double rate = machine.cpu.gflopsPerCore * 1e9;
     double memRate = machine.cpu.memBandwidthGBs * 1e9 / localityPenalty;
 
-    int alg = n <= kLeafSize
-                  ? kMmNaive
-                  : config.selector(prefix + ".mm.algorithm").select(n);
+    int alg = n <= kLeafSize ? kMmNaive : algOf(n);
     switch (alg) {
       case kMmLapack: {
         // The machine's library build decides both vector efficiency
@@ -142,7 +149,7 @@ modelMM(const tuner::Config &config, const std::string &prefix,
       }
       case kMmRecursive8: {
         WorkSpan child =
-            modelMM(config, prefix, n / 2, machine, localityPenalty);
+            modelMMT(algOf, lwsOf, n / 2, machine, localityPenalty);
         double combine = 2.0 * dn * dn / rate;
         double shuffle = kDecompBytesPerN2 * dn * dn / memRate;
         return {8 * child.work + combine + shuffle,
@@ -150,20 +157,38 @@ modelMM(const tuner::Config &config, const std::string &prefix,
       }
       case kMmStrassen: {
         WorkSpan child =
-            modelMM(config, prefix, n / 2, machine, localityPenalty);
+            modelMMT(algOf, lwsOf, n / 2, machine, localityPenalty);
         double adds = 9.0 * dn * dn / rate; // 18 (n/2)^2 add matrices
         double shuffle = 1.5 * kDecompBytesPerN2 * dn * dn / memRate;
         return {7 * child.work + adds + shuffle,
                 child.span + adds / workers + shuffle};
       }
       case kMmOpenCl: {
-        double t = opencilMatmulSeconds(config, prefix, n, machine,
-                                        localityPenalty);
+        double t = opencilMatmulSecondsT(lwsOf, n, machine,
+                                         localityPenalty);
         return {t, t};
       }
       default:
         PB_PANIC("bad matmul algorithm " << alg);
     }
+}
+
+/** Reference lookup policy: by-name lookups per recursive level. */
+WorkSpan
+modelMM(const tuner::Config &config, const std::string &prefix,
+        int64_t n, const sim::MachineProfile &machine,
+        double localityPenalty)
+{
+    return modelMMT(
+        [&](int64_t size) {
+            return config.selector(prefix + ".mm.algorithm")
+                .select(size);
+        },
+        [&] {
+            return static_cast<int>(
+                config.tunableValue(prefix + ".mm.lws"));
+        },
+        n, machine, localityPenalty);
 }
 
 // ---- Real-mode execution ----------------------------------------------
@@ -339,6 +364,118 @@ modelMatmulSeconds(const tuner::Config &config, const std::string &prefix,
     return std::max(ws.work / workers, ws.span);
 }
 
+MatmulChoiceIds
+matmulChoiceIds(const tuner::Config &config, const std::string &prefix)
+{
+    return {config.selectorIndex(prefix + ".mm.algorithm"),
+            config.tunableIndex(prefix + ".mm.lws")};
+}
+
+MatmulLevelModel::MatmulLevelModel(int64_t n,
+                                   const sim::MachineProfile &machine,
+                                   double localityPenalty)
+    : machine_(machine), localityPenalty_(localityPenalty)
+{
+    workers_ = std::min(machine.workerThreads, machine.cpu.cores);
+    double rate = machine.cpu.gflopsPerCore * 1e9;
+    double memRate = machine.cpu.memBandwidthGBs * 1e9 / localityPenalty;
+    double libRate = machine.blasSpeedup * rate *
+                     std::min(machine.blasThreads, machine.cpu.cores);
+
+    // Every constant below is the exact expression modelMMT evaluates
+    // at that level, so composing them reproduces it bit-for-bit.
+    for (int64_t s = n;; s /= 2) {
+        Level level;
+        level.size = s;
+        double dn = static_cast<double>(s);
+        {
+            double flops = 2.0 * dn * dn * dn;
+            double bytes = 3.0 * 8.0 * dn * dn;
+            double t = std::max(flops / libRate, bytes / memRate);
+            level.lapackWork = t * machine.blasThreads;
+            level.lapackSpan = t;
+        }
+        {
+            double flops = 2.0 * dn * dn * dn;
+            double t = std::max(flops / rate,
+                                3.0 * 8.0 * dn * dn / memRate);
+            level.naiveWork = t;
+            level.naiveSpan = t / workers_;
+        }
+        {
+            double flops = 2.0 * dn * dn * dn / 1.5;
+            double t = std::max(flops / rate,
+                                3.0 * 8.0 * dn * dn / memRate);
+            level.blockedWork = t;
+            level.blockedSpan = t / workers_;
+        }
+        level.r8Combine = 2.0 * dn * dn / rate;
+        level.r8CombineOverWorkers = level.r8Combine / workers_;
+        level.r8Shuffle = kDecompBytesPerN2 * dn * dn / memRate;
+        level.stAdds = 9.0 * dn * dn / rate;
+        level.stAddsOverWorkers = level.stAdds / workers_;
+        level.stShuffle = 1.5 * kDecompBytesPerN2 * dn * dn / memRate;
+        levels_.push_back(level);
+        if (s <= kLeafSize)
+            break;
+    }
+}
+
+double
+MatmulLevelModel::seconds(const tuner::Selector &algorithm,
+                          int lws) const
+{
+    // The recursion of modelMMT over precomputed level constants.
+    struct Eval
+    {
+        const MatmulLevelModel &model;
+        const tuner::Selector &algorithm;
+        int lws;
+
+        WorkSpan
+        at(size_t i) const
+        {
+            const Level &level = model.levels_[i];
+            int alg = level.size <= kLeafSize
+                          ? kMmNaive
+                          : algorithm.select(level.size);
+            switch (alg) {
+              case kMmLapack:
+                return {level.lapackWork, level.lapackSpan};
+              case kMmNaive:
+                return {level.naiveWork, level.naiveSpan};
+              case kMmBlocked:
+                return {level.blockedWork, level.blockedSpan};
+              case kMmRecursive8: {
+                WorkSpan child = at(i + 1);
+                return {8 * child.work + level.r8Combine +
+                            level.r8Shuffle,
+                        child.span + level.r8CombineOverWorkers +
+                            level.r8Shuffle};
+              }
+              case kMmStrassen: {
+                WorkSpan child = at(i + 1);
+                return {7 * child.work + level.stAdds +
+                            level.stShuffle,
+                        child.span + level.stAddsOverWorkers +
+                            level.stShuffle};
+              }
+              case kMmOpenCl: {
+                double t = opencilMatmulSecondsT(
+                    [this] { return lws; }, level.size, model.machine_,
+                    model.localityPenalty_);
+                return {t, t};
+              }
+              default:
+                PB_PANIC("bad matmul algorithm " << alg);
+            }
+        }
+    };
+
+    WorkSpan ws = Eval{*this, algorithm, lws}.at(0);
+    return std::max(ws.work / workers_, ws.span);
+}
+
 std::vector<std::string>
 matmulKernelSources(const tuner::Config &config, const std::string &prefix,
                     int64_t n)
@@ -348,6 +485,18 @@ matmulKernelSources(const tuner::Config &config, const std::string &prefix,
             kMmOpenCl)
             return {"pbcl:MatMul:global"};
     return {};
+}
+
+int
+matmulKernelCount(const tuner::Config &config, const std::string &prefix,
+                  int64_t n)
+{
+    const tuner::Selector &algorithm =
+        config.selector(prefix + ".mm.algorithm");
+    for (int64_t s = n; s > kLeafSize; s /= 2)
+        if (algorithm.select(s) == kMmOpenCl)
+            return 1;
+    return 0;
 }
 
 void
@@ -470,11 +619,56 @@ StrassenBenchmark::evaluate(const tuner::Config &config, int64_t n,
     return modelMatmulSeconds(config, "Strassen", n, machine);
 }
 
+namespace {
+
+/** Pre-resolved config positions + level constants (Benchmark docs). */
+struct StrassenEvalContext : apps::EvalContext
+{
+    MatmulChoiceIds mm;
+    MatmulLevelModel model;
+
+    StrassenEvalContext(const tuner::Config &schema, int64_t n,
+                        const sim::MachineProfile &machine)
+        : mm(matmulChoiceIds(schema, "Strassen")), model(n, machine)
+    {}
+};
+
+} // namespace
+
+apps::EvalContextPtr
+StrassenBenchmark::makeEvalContext(
+    int64_t n, const sim::MachineProfile &machine) const
+{
+    return std::make_shared<StrassenEvalContext>(seedConfig(), n,
+                                                 machine);
+}
+
+double
+StrassenBenchmark::evaluate(const tuner::Config &config, int64_t n,
+                            const sim::MachineProfile &machine,
+                            const EvalContext *ctx) const
+{
+    if (ctx == nullptr)
+        return evaluate(config, n, machine);
+    const auto &strassen =
+        static_cast<const StrassenEvalContext &>(*ctx);
+    return strassen.model.seconds(
+        config.selectorAt(strassen.mm.algorithm),
+        static_cast<int>(config.tunableValueAt(strassen.mm.lws)));
+}
+
 std::vector<std::string>
 StrassenBenchmark::kernelSources(const tuner::Config &config,
                                  int64_t n) const
 {
     return matmulKernelSources(config, "Strassen", n);
+}
+
+int
+StrassenBenchmark::kernelCount(const tuner::Config &config,
+                               int64_t n) const
+{
+    return matmulKernelCount(config, "Strassen", n);
 }
 
 std::string

@@ -52,10 +52,70 @@ double modelMatmulSeconds(const tuner::Config &config,
                           const sim::MachineProfile &machine,
                           double localityPenalty = 1.0);
 
+/**
+ * Pre-resolved positions of the "<prefix>.mm" choice structure within
+ * a Config — valid for every configuration sharing the schema's
+ * structure. Evaluation contexts resolve these once per batch so the
+ * recursive model consults selectors without building key strings.
+ */
+struct MatmulChoiceIds
+{
+    size_t algorithm = 0; // selector "<prefix>.mm.algorithm"
+    size_t lws = 0;       // tunable "<prefix>.mm.lws"
+};
+
+MatmulChoiceIds matmulChoiceIds(const tuner::Config &config,
+                                const std::string &prefix);
+
+/**
+ * Per-recursion-level precomputation of the matmul model for one
+ * (n, machine, localityPenalty): every leaf and decomposition constant
+ * of the recursive model at sizes n, n/2, ..., leaf is priced once at
+ * evaluation-context build time, so pricing a configuration reduces to
+ * selector walks plus a few adds and multiplies. Results are
+ * bit-identical to modelMatmulSeconds() — each stored constant is the
+ * same expression the recursive model evaluates, composed in the same
+ * order (the golden-equality suite checks this).
+ */
+class MatmulLevelModel
+{
+  public:
+    MatmulLevelModel(int64_t n, const sim::MachineProfile &machine,
+                     double localityPenalty = 1.0);
+
+    /**
+     * Modeled seconds under @p algorithm (the "<prefix>.mm.algorithm"
+     * selector) with local work size @p lws (consulted only when a
+     * level selects the OpenCL kernel).
+     */
+    double seconds(const tuner::Selector &algorithm, int lws) const;
+
+  private:
+    struct Level
+    {
+        int64_t size = 0;
+        double lapackWork = 0.0, lapackSpan = 0.0;
+        double naiveWork = 0.0, naiveSpan = 0.0;
+        double blockedWork = 0.0, blockedSpan = 0.0;
+        double r8Combine = 0.0, r8CombineOverWorkers = 0.0,
+               r8Shuffle = 0.0;
+        double stAdds = 0.0, stAddsOverWorkers = 0.0, stShuffle = 0.0;
+    };
+
+    std::vector<Level> levels_; // sizes n, n/2, ...; last is <= leaf
+    sim::MachineProfile machine_;
+    double localityPenalty_ = 1.0;
+    int workers_ = 1;
+};
+
 /** Kernel sources the matmul selector may JIT for size @p n. */
 std::vector<std::string> matmulKernelSources(const tuner::Config &config,
                                              const std::string &prefix,
                                              int64_t n);
+
+/** Count-only twin of matmulKernelSources() (no string synthesis). */
+int matmulKernelCount(const tuner::Config &config,
+                      const std::string &prefix, int64_t n);
 
 /** Execute C = A * B honoring the selector (real mode). */
 void runMatmul(const tuner::Config &config, const std::string &prefix,
@@ -75,8 +135,16 @@ class StrassenBenchmark : public Benchmark
     tuner::Config seedConfig() const override;
     double evaluate(const tuner::Config &config, int64_t n,
                     const sim::MachineProfile &machine) const override;
+    EvalContextPtr
+    makeEvalContext(int64_t n,
+                    const sim::MachineProfile &machine) const override;
+    double evaluate(const tuner::Config &config, int64_t n,
+                    const sim::MachineProfile &machine,
+                    const EvalContext *ctx) const override;
     std::vector<std::string>
     kernelSources(const tuner::Config &config, int64_t n) const override;
+    int kernelCount(const tuner::Config &config,
+                    int64_t n) const override;
     int64_t testingInputSize() const override { return 1024; }
     int64_t minTuningSize() const override { return 64; }
     int openclKernelCount() const override { return 1; }

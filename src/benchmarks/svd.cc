@@ -267,6 +267,103 @@ SvdBenchmark::evaluate(const tuner::Config &config, int64_t n,
     return phase1 + jacobi + project;
 }
 
+namespace {
+
+/**
+ * Pre-resolved config positions plus everything in the SVD model that
+ * does not depend on the configuration: the Jacobi phase, the
+ * task-parallel GPU half, the matmul level constants, and the rank
+ * projection factor per k8 setting. Each stored value is the exact
+ * expression the reference evaluate() computes (bit-identical).
+ */
+struct SvdEvalContext : apps::EvalContext
+{
+    MatmulChoiceIds mm;
+    size_t phase1Sel;
+    size_t k8Tun;
+    MatmulLevelModel model;
+    double jacobiSeconds;
+    double gpuHalfSeconds;
+    double projFactor[9] = {};
+    bool k8Feasible[9] = {};
+
+    SvdEvalContext(const tuner::Config &schema, int64_t n,
+                   const sim::MachineProfile &machine,
+                   double accuracyTarget)
+        : mm(matmulChoiceIds(schema, "SVD")),
+          phase1Sel(schema.selectorIndex("SVD.phase1")),
+          k8Tun(schema.tunableIndex("SVD.k8")),
+          model(n, machine, SvdBenchmark::kLocalityPenalty)
+    {
+        double dn = static_cast<double>(n);
+
+        int workers = std::min(machine.workerThreads, machine.cpu.cores);
+        double rate = machine.cpu.gflopsPerCore * 1e9;
+        jacobiSeconds = kJacobiSweeps * kJacobiFlopsPerN3 * dn * dn *
+                        dn / (rate * std::min(workers, 8));
+
+        double bytes = 8.0 * dn * dn;
+        sim::CostReport gpuHalf;
+        gpuHalf.flops = 2.2 * dn * dn * dn;
+        gpuHalf.globalBytesRead =
+            0.1 * dn * dn * dn * 8.0 * SvdBenchmark::kLocalityPenalty;
+        gpuHalf.globalBytesWritten = 4.0 * dn * dn;
+        gpuHalfSeconds =
+            machine.transfer.seconds(2.0 * bytes) +
+            sim::CostModel::kernelSeconds(machine.ocl, gpuHalf, 64);
+
+        for (int k8 = 1; k8 <= 8; ++k8) {
+            double k = dn * k8 / 8.0;
+            projFactor[k8] = 2.0 * k / dn;
+            k8Feasible[k8] =
+                SvdBenchmark::modeledError(k8) <= accuracyTarget;
+        }
+    }
+};
+
+} // namespace
+
+apps::EvalContextPtr
+SvdBenchmark::makeEvalContext(int64_t n,
+                              const sim::MachineProfile &machine) const
+{
+    return std::make_shared<SvdEvalContext>(seedConfig(), n, machine,
+                                            accuracyTarget_);
+}
+
+double
+SvdBenchmark::evaluate(const tuner::Config &config, int64_t n,
+                       const sim::MachineProfile &machine,
+                       const EvalContext *ctx) const
+{
+    if (ctx == nullptr)
+        return evaluate(config, n, machine);
+    const auto &svd = static_cast<const SvdEvalContext &>(*ctx);
+
+    // Same arithmetic as the reference overload over the context's
+    // precomputed constants, with the (identical) matmul model priced
+    // once instead of twice.
+    int k8 = static_cast<int>(config.tunableValueAt(svd.k8Tun));
+    if (!svd.k8Feasible[k8])
+        return std::numeric_limits<double>::infinity();
+
+    double mm = svd.model.seconds(
+        config.selectorAt(svd.mm.algorithm),
+        static_cast<int>(config.tunableValueAt(svd.mm.lws)));
+    double halfMm = mm / 2.0;
+    double phase1;
+    if (config.selectorAt(svd.phase1Sel).select(n) ==
+        kSvdPhase1TaskParallel) {
+        if (!machine.hasOpenCL)
+            return std::numeric_limits<double>::infinity();
+        phase1 = std::max(halfMm, svd.gpuHalfSeconds);
+    } else {
+        phase1 = 2.0 * halfMm;
+    }
+
+    return phase1 + svd.jacobiSeconds + mm * svd.projFactor[k8];
+}
+
 std::vector<std::string>
 SvdBenchmark::kernelSources(const tuner::Config &config, int64_t n) const
 {
@@ -275,6 +372,15 @@ SvdBenchmark::kernelSources(const tuner::Config &config, int64_t n) const
     if (config.selector("SVD.phase1").select(n) == kSvdPhase1TaskParallel)
         sources.push_back("pbcl:MatMul:global");
     return sources;
+}
+
+int
+SvdBenchmark::kernelCount(const tuner::Config &config, int64_t n) const
+{
+    int count = matmulKernelCount(config, "SVD", n);
+    if (config.selector("SVD.phase1").select(n) == kSvdPhase1TaskParallel)
+        ++count;
+    return count;
 }
 
 std::string

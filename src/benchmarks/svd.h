@@ -49,8 +49,16 @@ class SvdBenchmark : public Benchmark
     tuner::Config seedConfig() const override;
     double evaluate(const tuner::Config &config, int64_t n,
                     const sim::MachineProfile &machine) const override;
+    EvalContextPtr
+    makeEvalContext(int64_t n,
+                    const sim::MachineProfile &machine) const override;
+    double evaluate(const tuner::Config &config, int64_t n,
+                    const sim::MachineProfile &machine,
+                    const EvalContext *ctx) const override;
     std::vector<std::string>
     kernelSources(const tuner::Config &config, int64_t n) const override;
+    int kernelCount(const tuner::Config &config,
+                    int64_t n) const override;
     int64_t testingInputSize() const override { return 256; }
     int64_t minTuningSize() const override { return 32; }
     int openclKernelCount() const override { return 2; }

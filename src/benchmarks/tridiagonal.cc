@@ -244,47 +244,120 @@ TridiagBenchmark::seedConfig() const
     return config;
 }
 
+namespace {
+
+// The per-algorithm pricing is shared between the reference and fast
+// evaluate() overloads; only how (alg, lws) are looked up differs.
+
 double
-TridiagBenchmark::evaluate(const tuner::Config &config, int64_t n,
-                           const sim::MachineProfile &machine) const
+modelThomasSeconds(int64_t n, const sim::MachineProfile &machine)
 {
     double dn = static_cast<double>(n);
     double unknowns = dn * dn; // n systems of n
     int workers = std::min(machine.workerThreads, machine.cpu.cores);
     double rate = machine.cpu.gflopsPerCore * 1e9;
     double memRate = machine.cpu.memBandwidthGBs * 1e9;
+    double work = unknowns * kThomasOps / (rate * kChainRate);
+    double span = dn * kThomasOps / (rate * kChainRate);
+    double mem = unknowns * kThomasBytes / memRate;
+    return std::max({work / workers, span, mem});
+}
 
+double
+modelCyclicCpuSeconds(int64_t n, const sim::MachineProfile &machine)
+{
+    double dn = static_cast<double>(n);
+    double unknowns = dn * dn;
+    int workers = std::min(machine.workerThreads, machine.cpu.cores);
+    double rate = machine.cpu.gflopsPerCore * 1e9;
+    double memRate = machine.cpu.memBandwidthGBs * 1e9;
+    // Twice the items (forward + back), heavier per-item ops.
+    double work = 2.0 * unknowns * kCrOpsCpu / (rate * kChainRate);
+    double mem = 2.0 * unknowns * kCrBytesGpu / memRate;
+    return std::max(work / workers, mem);
+}
+
+double
+modelCyclicGpuSeconds(int64_t n, int lws,
+                      const sim::MachineProfile &machine)
+{
+    double dn = static_cast<double>(n);
+    double unknowns = dn * dn;
+    double transfers = machine.transfer.seconds(4.0 * 8.0 * unknowns) +
+                       machine.transfer.seconds(8.0 * unknowns);
+    double items = 2.0 * unknowns;
+    sim::CostReport level;
+    // 2 log2(n) kernel launches sweep ~n^2 total items each way.
+    double launches = 2.0 * std::log2(dn);
+    level.flops = kCrFlopsGpu * items;
+    level.globalBytesRead = kCrBytesGpu * items;
+    level.invocations = launches;
+    double kernels =
+        sim::CostModel::kernelSeconds(machine.ocl, level, lws);
+    return transfers + kernels;
+}
+
+/** Pre-resolved config positions (see Benchmark docs). */
+struct TridiagEvalContext : apps::EvalContext
+{
+    size_t algorithmSel;
+    size_t lwsTun;
+
+    explicit TridiagEvalContext(const tuner::Config &schema)
+        : algorithmSel(schema.selectorIndex("Tridiag.algorithm")),
+          lwsTun(schema.tunableIndex("Tridiag.lws"))
+    {}
+};
+
+} // namespace
+
+double
+TridiagBenchmark::evaluate(const tuner::Config &config, int64_t n,
+                           const sim::MachineProfile &machine) const
+{
     switch (config.selector("Tridiag.algorithm").select(n)) {
-      case kTriThomas: {
-        double work = unknowns * kThomasOps / (rate * kChainRate);
-        double span = dn * kThomasOps / (rate * kChainRate);
-        double mem = unknowns * kThomasBytes / memRate;
-        return std::max({work / workers, span, mem});
-      }
-      case kTriCyclicCpu: {
-        // Twice the items (forward + back), heavier per-item ops.
-        double work =
-            2.0 * unknowns * kCrOpsCpu / (rate * kChainRate);
-        double mem = 2.0 * unknowns * kCrBytesGpu / memRate;
-        return std::max(work / workers, mem);
-      }
+      case kTriThomas:
+        return modelThomasSeconds(n, machine);
+      case kTriCyclicCpu:
+        return modelCyclicCpuSeconds(n, machine);
       case kTriCyclicGpu: {
         if (!machine.hasOpenCL)
             return std::numeric_limits<double>::infinity();
         int lws = static_cast<int>(config.tunableValue("Tridiag.lws"));
-        double transfers =
-            machine.transfer.seconds(4.0 * 8.0 * unknowns) +
-            machine.transfer.seconds(8.0 * unknowns);
-        double items = 2.0 * unknowns;
-        sim::CostReport level;
-        // 2 log2(n) kernel launches sweep ~n^2 total items each way.
-        double launches = 2.0 * std::log2(dn);
-        level.flops = kCrFlopsGpu * items;
-        level.globalBytesRead = kCrBytesGpu * items;
-        level.invocations = launches;
-        double kernels =
-            sim::CostModel::kernelSeconds(machine.ocl, level, lws);
-        return transfers + kernels;
+        return modelCyclicGpuSeconds(n, lws, machine);
+      }
+      default:
+        PB_PANIC("bad tridiag algorithm");
+    }
+}
+
+apps::EvalContextPtr
+TridiagBenchmark::makeEvalContext(int64_t n,
+                                  const sim::MachineProfile &machine) const
+{
+    (void)n;
+    (void)machine;
+    return std::make_shared<TridiagEvalContext>(seedConfig());
+}
+
+double
+TridiagBenchmark::evaluate(const tuner::Config &config, int64_t n,
+                           const sim::MachineProfile &machine,
+                           const EvalContext *ctx) const
+{
+    if (ctx == nullptr)
+        return evaluate(config, n, machine);
+    const auto &tri = static_cast<const TridiagEvalContext &>(*ctx);
+    switch (config.selectorAt(tri.algorithmSel).select(n)) {
+      case kTriThomas:
+        return modelThomasSeconds(n, machine);
+      case kTriCyclicCpu:
+        return modelCyclicCpuSeconds(n, machine);
+      case kTriCyclicGpu: {
+        if (!machine.hasOpenCL)
+            return std::numeric_limits<double>::infinity();
+        int lws = static_cast<int>(config.tunableValueAt(tri.lwsTun));
+        return modelCyclicGpuSeconds(n, lws, machine);
       }
       default:
         PB_PANIC("bad tridiag algorithm");
@@ -298,6 +371,16 @@ TridiagBenchmark::kernelSources(const tuner::Config &config,
     if (config.selector("Tridiag.algorithm").select(n) == kTriCyclicGpu)
         return {"pbcl:tridiag:cr"};
     return {};
+}
+
+int
+TridiagBenchmark::kernelCount(const tuner::Config &config,
+                              int64_t n) const
+{
+    return config.selector("Tridiag.algorithm").select(n) ==
+                   kTriCyclicGpu
+               ? 1
+               : 0;
 }
 
 std::string

@@ -52,8 +52,16 @@ class TridiagBenchmark : public Benchmark
     tuner::Config seedConfig() const override;
     double evaluate(const tuner::Config &config, int64_t n,
                     const sim::MachineProfile &machine) const override;
+    EvalContextPtr
+    makeEvalContext(int64_t n,
+                    const sim::MachineProfile &machine) const override;
+    double evaluate(const tuner::Config &config, int64_t n,
+                    const sim::MachineProfile &machine,
+                    const EvalContext *ctx) const override;
     std::vector<std::string>
     kernelSources(const tuner::Config &config, int64_t n) const override;
+    int kernelCount(const tuner::Config &config,
+                    int64_t n) const override;
     int64_t testingInputSize() const override { return 1024; }
     int openclKernelCount() const override { return 2; }
     std::string describeConfig(const tuner::Config &config,

@@ -1,0 +1,104 @@
+#include "compiler/eval_context.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "sim/cost_model.h"
+#include "support/error.h"
+
+namespace petabricks {
+namespace compiler {
+
+namespace {
+
+uint64_t
+nextContextId()
+{
+    static std::atomic<uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace
+
+EvaluationContext::EvaluationContext(
+    std::shared_ptr<const lang::Transform> transform,
+    const SlotSizes &sizes, lang::ParamEnv params,
+    const sim::MachineProfile &machine)
+    : transform_(std::move(transform)), params_(std::move(params)),
+      machine_(machine), contextId_(nextContextId())
+{
+    PB_ASSERT(transform_ != nullptr, "null transform");
+
+    for (const lang::MatrixSlot &slot : transform_->slots()) {
+        int id = slots_.intern(slot.name);
+        auto it = sizes.find(slot.name);
+        PB_ASSERT(it != sizes.end(),
+                  "no extent for slot '" << slot.name << "'");
+        extents_.push_back(it->second);
+        if (slot.role == lang::SlotRole::Output)
+            outputSlots_.push_back(id);
+    }
+
+    cpuShared_ = machine_.cpu;
+    cpuShared_.memBandwidthGBs /= std::max(
+        1, std::min(machine_.workerThreads, machine_.cpu.cores));
+
+    for (size_t c = 0; c < transform_->choices().size(); ++c) {
+        lang::ChoiceDependencyGraph graph(*transform_, c);
+        const lang::Choice &choice = transform_->choiceAt(c);
+
+        ChoiceEvalInfo info;
+        info.order = graph.executionOrder();
+        info.rules.reserve(info.order.size());
+        for (size_t ruleIndex : info.order) {
+            const lang::RulePtr &rule = choice.rules[ruleIndex];
+            RuleEvalInfo ri;
+            ri.ruleIndex = ruleIndex;
+            ri.rule = rule;
+            ri.outputSlotId = slots_.idOf(rule->outputSlot());
+            auto [outW, outH] =
+                extents_[static_cast<size_t>(ri.outputSlotId)];
+            ri.outW = outW;
+            ri.outH = outH;
+            ri.isPointRule = rule->isPointRule();
+            for (const std::string &input : rule->inputSlots())
+                ri.inputSlotIds.push_back(slots_.idOf(input));
+            if (ri.isPointRule) {
+                ri.flopsPerPoint = rule->flopsPerPoint(params_);
+                ri.extents.outputW = outW;
+                ri.extents.outputH = outH;
+                for (const lang::AccessPattern &access :
+                     rule->accesses())
+                    ri.extents.inputs.push_back(extents_[static_cast<
+                        size_t>(slots_.idOf(access.inputSlot))]);
+            } else {
+                sim::CostReport cost = rule->regionCost(
+                    Region(0, 0, outW, outH), params_);
+                ri.regionSequential = cost.sequentialFraction >= 0.99;
+                ri.regionSeconds = sim::CostModel::cpuSeconds(
+                    machine_.cpu, cost,
+                    ri.regionSequential ? 1 : machine_.workerThreads);
+            }
+            ri.admissibility = analyzeRule(graph, ruleIndex);
+            ri.writesTransformOutput =
+                transform_->slotRole(rule->outputSlot()) ==
+                lang::SlotRole::Output;
+            info.rules.push_back(std::move(ri));
+        }
+
+        for (size_t p = 0; p < info.rules.size(); ++p) {
+            for (size_t q = p + 1; q < info.rules.size(); ++q) {
+                const auto &inputs = info.rules[q].inputSlotIds;
+                if (std::find(inputs.begin(), inputs.end(),
+                              info.rules[p].outputSlotId) !=
+                    inputs.end())
+                    info.rules[p].readersAfter.push_back(q);
+            }
+        }
+
+        choices_.push_back(std::move(info));
+    }
+}
+
+} // namespace compiler
+} // namespace petabricks

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Config-invariant precomputation for model-mode evaluation.
+ *
+ * The autotuner prices thousands of configurations per generation, and
+ * every one of them used to rebuild the same scaffolding from scratch:
+ * the choice dependency graph and its execution order, per-rule
+ * admissibility, the string-keyed slot-extent map, per-rule input
+ * extents, and the shared-bandwidth CPU spec. All of that depends only
+ * on (transform, slot sizes, params, machine) — never on the candidate
+ * configuration — so an EvaluationContext computes it once per
+ * evaluateBatch/generation and the per-config inner loop
+ * (simulateTransform(ctx, config)) touches nothing but dense arrays.
+ *
+ * Thread safety: a built context is immutable, so one context may be
+ * shared by all threads of a parallel batch (engine::ModelEngine's
+ * pool); per-evaluation scratch lives in thread-local workspaces inside
+ * the simulator.
+ */
+
+#ifndef PETABRICKS_COMPILER_EVAL_CONTEXT_H
+#define PETABRICKS_COMPILER_EVAL_CONTEXT_H
+
+#include <memory>
+#include <vector>
+
+#include "compiler/admissibility.h"
+#include "compiler/data_movement.h"
+#include "compiler/rule_cost.h"
+#include "sim/machine.h"
+#include "support/slot_table.h"
+
+namespace petabricks {
+namespace compiler {
+
+/** Config-invariant data of one rule, in execution-order position. */
+struct RuleEvalInfo
+{
+    /** Index into the choice's rule list (StagePlan::ruleIndex). */
+    size_t ruleIndex = 0;
+
+    lang::RulePtr rule;
+
+    int outputSlotId = -1;
+    std::vector<int> inputSlotIds; // aligned with rule->inputSlots()
+
+    /** Output slot extents (every rule). */
+    int64_t outW = 0;
+    int64_t outH = 0;
+
+    bool isPointRule = false;
+
+    /** Input extents + flops per point, cached for point rules. */
+    SlotExtents extents;
+    double flopsPerPoint = 0.0;
+
+    /** Phase 1-2 conversion analysis (planStages' per-config work). */
+    Admissibility admissibility;
+
+    /** Region rules: native cost of the whole output, priced once
+     * (regionCost + CostModel::cpuSeconds are config-invariant). */
+    bool regionSequential = false;
+    double regionSeconds = 0.0;
+
+    /** True if the output slot is a transform output (may-copy-out). */
+    bool writesTransformOutput = false;
+
+    /** Execution-order positions of later rules reading this rule's
+     * output — the copy-out classification's reader scan, which is
+     * structural and therefore config-invariant. */
+    std::vector<size_t> readersAfter;
+};
+
+/** Precomputed structure of one algorithmic choice. */
+struct ChoiceEvalInfo
+{
+    /** Rule indices in a valid execution order. */
+    std::vector<size_t> order;
+
+    /** Per-rule info, aligned with @ref order. */
+    std::vector<RuleEvalInfo> rules;
+};
+
+/** See file comment. */
+class EvaluationContext
+{
+  public:
+    /**
+     * Precompute everything @p transform evaluations share.
+     *
+     * @param transform kept alive by the context.
+     * @param sizes extents of every slot at the evaluated input size.
+     * @param params bound transform parameters.
+     * @param machine profile configurations are priced on (copied).
+     */
+    EvaluationContext(std::shared_ptr<const lang::Transform> transform,
+                      const SlotSizes &sizes, lang::ParamEnv params,
+                      const sim::MachineProfile &machine);
+
+    const lang::Transform &transform() const { return *transform_; }
+    const sim::MachineProfile &machine() const { return machine_; }
+    const lang::ParamEnv &params() const { return params_; }
+    const SlotTable &slots() const { return slots_; }
+
+    const ChoiceEvalInfo &
+    choice(size_t index) const
+    {
+        PB_ASSERT(index < choices_.size(),
+                  "choice " << index << " out of range");
+        return choices_[index];
+    }
+
+    /** Slot ids of the transform's outputs (final lazy copy-out). */
+    const std::vector<int> &outputSlotIds() const { return outputSlots_; }
+
+    /** machine().cpu with bandwidth split across concurrent workers
+     * (the per-chunk pricing spec the simulator derives per call). */
+    const sim::DeviceSpec &cpuSharedSpec() const { return cpuShared_; }
+
+    /**
+     * Process-unique id of this context instance. Thread-local
+     * evaluation workspaces key their memo tables on it, so a stale
+     * workspace can never serve results from a different context (a
+     * freed context's address may be reused; its id never is).
+     */
+    uint64_t contextId() const { return contextId_; }
+
+  private:
+    std::shared_ptr<const lang::Transform> transform_;
+    lang::ParamEnv params_;
+    sim::MachineProfile machine_;
+    SlotTable slots_;
+    std::vector<std::pair<int64_t, int64_t>> extents_; // by slot id
+    std::vector<int> outputSlots_;
+    std::vector<ChoiceEvalInfo> choices_;
+    sim::DeviceSpec cpuShared_;
+    uint64_t contextId_ = 0;
+};
+
+using EvaluationContextPtr = std::shared_ptr<const EvaluationContext>;
+
+} // namespace compiler
+} // namespace petabricks
+
+#endif // PETABRICKS_COMPILER_EVAL_CONTEXT_H

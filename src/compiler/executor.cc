@@ -69,14 +69,13 @@ runPointRuleOnHost(const lang::RuleDef &rule, Binding &binding,
     }
 }
 
-const SynthesizedKernel &
+SynthesizedKernel
 TransformExecutor::kernelsFor(const RulePtr &rule)
 {
-    auto it = kernelCache_.find(rule->name());
-    if (it == kernelCache_.end())
-        it = kernelCache_.emplace(rule->name(), synthesizeKernels(rule))
-                 .first;
-    return it->second;
+    // Process-wide memo: every executor (engine::EnginePool fans
+    // batches across instances) and every configuration shares one
+    // synthesis per rule.
+    return synthesizeKernelsCached(rule);
 }
 
 void

@@ -52,10 +52,9 @@ class TransformExecutor
                      lang::Binding &binding);
 
   private:
-    const SynthesizedKernel &kernelsFor(const lang::RulePtr &rule);
+    SynthesizedKernel kernelsFor(const lang::RulePtr &rule);
 
     runtime::Runtime &rt_;
-    std::map<std::string, SynthesizedKernel> kernelCache_;
 };
 
 /** Run a point rule's body over @p region against host matrices. */

@@ -1,5 +1,9 @@
 #include "compiler/kernel_synth.h"
 
+#include <map>
+#include <mutex>
+#include <utility>
+
 #include "compiler/rule_cost.h"
 #include "support/error.h"
 
@@ -228,6 +232,32 @@ synthesizeKernels(const lang::RulePtr &rule)
         rule->name() + "_ocl_local", "pbcl:" + rule->name() + ":local",
         localBody, localCost, localMem);
     return out;
+}
+
+SynthesizedKernel
+synthesizeKernelsCached(const lang::RulePtr &rule)
+{
+    // Keyed by rule identity: RuleDefs are immutable shared_ptrs built
+    // once per benchmark, so pointer equality is definition equality,
+    // and the synthesized kernels' bodies capture the RulePtr — an
+    // entry pins its rule alive, so a cached address can never be
+    // reused by a different definition. Hosts that construct
+    // benchmarks dynamically mint fresh rules per construction; the
+    // size cap keeps that from growing the cache without bound
+    // (results are returned by value, so eviction never invalidates a
+    // caller).
+    constexpr size_t kMaxEntries = 128;
+    static std::mutex mutex;
+    static std::map<const lang::RuleDef *, SynthesizedKernel> cache;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = cache.find(rule.get());
+    if (it != cache.end())
+        return it->second;
+    if (cache.size() >= kMaxEntries)
+        cache.clear();
+    SynthesizedKernel kernels = synthesizeKernels(rule);
+    cache.emplace(rule.get(), kernels);
+    return kernels;
 }
 
 } // namespace compiler

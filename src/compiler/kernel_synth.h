@@ -44,6 +44,17 @@ struct SynthesizedKernel
  */
 SynthesizedKernel synthesizeKernels(const lang::RulePtr &rule);
 
+/**
+ * synthesizeKernels() through a process-wide memo keyed by rule
+ * identity: rule definitions are built once per benchmark and shared
+ * by every configuration, so the synthesis cost is paid once per rule
+ * per process instead of once per executor (engine::EnginePool fans
+ * batches across executor instances). Thread-safe and size-bounded;
+ * returns by value (the two kernel shared_ptrs), so eviction never
+ * invalidates a caller.
+ */
+SynthesizedKernel synthesizeKernelsCached(const lang::RulePtr &rule);
+
 /** Build the launch arguments for a synthesized kernel. */
 ocl::KernelArgs makeKernelArgs(
     const lang::RuleDef &rule, ocl::BufferPtr out,

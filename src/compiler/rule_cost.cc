@@ -78,12 +78,22 @@ pointRuleGlobalCost(const lang::RuleDef &rule, const Region &outRegion,
                     const SlotExtents &extents,
                     const lang::ParamEnv &params, const ocl::NDRange &range)
 {
+    return pointRuleGlobalCostCached(rule, outRegion, extents,
+                                     rule.flopsPerPoint(params), range);
+}
+
+sim::CostReport
+pointRuleGlobalCostCached(const lang::RuleDef &rule,
+                          const Region &outRegion,
+                          const SlotExtents &extents, double flopsPerPoint,
+                          const ocl::NDRange &range)
+{
     PB_ASSERT(rule.isPointRule(), "cost of non-point rule");
     PB_ASSERT(extents.inputs.size() == rule.accesses().size(),
               "extents/access arity mismatch");
     sim::CostReport cost;
     double area = static_cast<double>(outRegion.area());
-    cost.flops = area * rule.flopsPerPoint(params);
+    cost.flops = area * flopsPerPoint;
     cost.globalBytesRead = cachedReadBytes(rule, outRegion, extents,
                                            rule.gpuCacheHitRate());
     cost.globalBytesWritten = area * kElemBytes;
@@ -97,10 +107,19 @@ pointRuleLocalCost(const lang::RuleDef &rule, const Region &outRegion,
                    const SlotExtents &extents,
                    const lang::ParamEnv &params, const ocl::NDRange &range)
 {
+    return pointRuleLocalCostCached(rule, outRegion, extents,
+                                    rule.flopsPerPoint(params), range);
+}
+
+sim::CostReport
+pointRuleLocalCostCached(const lang::RuleDef &rule, const Region &outRegion,
+                         const SlotExtents &extents, double flopsPerPoint,
+                         const ocl::NDRange &range)
+{
     PB_ASSERT(rule.isPointRule(), "cost of non-point rule");
     sim::CostReport cost;
     double area = static_cast<double>(outRegion.area());
-    cost.flops = area * rule.flopsPerPoint(params);
+    cost.flops = area * flopsPerPoint;
     cost.globalBytesWritten = area * kElemBytes;
     cost.workItems = static_cast<double>(range.items());
     cost.invocations = 1;
@@ -150,10 +169,18 @@ sim::CostReport
 pointRuleCpuCost(const lang::RuleDef &rule, const Region &outRegion,
                  const SlotExtents &extents, const lang::ParamEnv &params)
 {
+    return pointRuleCpuCostCached(rule, outRegion, extents,
+                                  rule.flopsPerPoint(params));
+}
+
+sim::CostReport
+pointRuleCpuCostCached(const lang::RuleDef &rule, const Region &outRegion,
+                       const SlotExtents &extents, double flopsPerPoint)
+{
     PB_ASSERT(rule.isPointRule(), "cost of non-point rule");
     sim::CostReport cost;
     double area = static_cast<double>(outRegion.area());
-    cost.flops = area * rule.flopsPerPoint(params);
+    cost.flops = area * flopsPerPoint;
     cost.globalBytesRead =
         cachedReadBytes(rule, outRegion, extents, kCpuCacheHitRate);
     cost.globalBytesWritten = area * kElemBytes;

@@ -74,6 +74,29 @@ sim::CostReport pointRuleCpuCost(const lang::RuleDef &rule,
                                  const SlotExtents &extents,
                                  const lang::ParamEnv &params);
 
+/**
+ * @{ The same estimates with rule->flopsPerPoint(params) precomputed
+ * (an EvaluationContext caches it once per batch; the ParamEnv
+ * overloads above forward here). Values are bit-identical.
+ */
+sim::CostReport pointRuleGlobalCostCached(const lang::RuleDef &rule,
+                                          const Region &outRegion,
+                                          const SlotExtents &extents,
+                                          double flopsPerPoint,
+                                          const ocl::NDRange &range);
+
+sim::CostReport pointRuleLocalCostCached(const lang::RuleDef &rule,
+                                         const Region &outRegion,
+                                         const SlotExtents &extents,
+                                         double flopsPerPoint,
+                                         const ocl::NDRange &range);
+
+sim::CostReport pointRuleCpuCostCached(const lang::RuleDef &rule,
+                                       const Region &outRegion,
+                                       const SlotExtents &extents,
+                                       double flopsPerPoint);
+/** @} */
+
 /** Local-memory elements per work-group for the local variant. */
 int64_t localMemElemsFor(const lang::RuleDef &rule,
                          const ocl::NDRange &range);

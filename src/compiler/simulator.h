@@ -19,6 +19,7 @@
 #define PETABRICKS_COMPILER_SIMULATOR_H
 
 #include "compiler/data_movement.h"
+#include "compiler/eval_context.h"
 #include "sim/machine.h"
 #include "sim/sched_sim.h"
 
@@ -40,6 +41,13 @@ struct SimOutcome
  * Simulate one invocation of @p transform under placement @p config on
  * @p machine.
  *
+ * This is the *reference path*: it rebuilds every piece of
+ * config-invariant scaffolding (stage planning, admissibility,
+ * string-keyed residency) from scratch per call. It is kept verbatim as
+ * the executable specification of the model — the golden-equality tests
+ * assert the fast path below reproduces it bit-for-bit — and for
+ * one-off calls where building an EvaluationContext isn't worth it.
+ *
  * @param sizes extents of every slot.
  * @param params bound transform parameters.
  */
@@ -48,6 +56,21 @@ SimOutcome simulateTransform(const lang::Transform &transform,
                              const SlotSizes &sizes,
                              const lang::ParamEnv &params,
                              const sim::MachineProfile &machine);
+
+/**
+ * Fast path: simulate @p config against a prebuilt EvaluationContext.
+ *
+ * All config-invariant work (execution order, admissibility, slot
+ * extents, access geometry, flops-per-point) comes precomputed from
+ * @p ctx; per-call scratch (interned-slot residency sets, dependency
+ * buffers) lives in a thread-local workspace, so the per-config inner
+ * loop performs no steady-state allocation. Returns bit-identical
+ * results to the reference overload for the same
+ * (transform, sizes, params, machine), including throwing the same
+ * FatalErrors for infeasible placements.
+ */
+SimOutcome simulateTransform(const EvaluationContext &ctx,
+                             const TransformConfig &config);
 
 } // namespace compiler
 } // namespace petabricks

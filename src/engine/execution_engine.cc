@@ -39,14 +39,27 @@ ExecutionEngine::measureBatch(const apps::Benchmark &benchmark,
 
 // ---- ModelEngine -------------------------------------------------------
 
+const apps::EvalContext *
+ModelEngine::contextFor(const apps::Benchmark &benchmark, int64_t n)
+{
+    if (ctxBenchmarkId_ != benchmark.instanceId() || ctxN_ != n) {
+        ctx_ = benchmark.makeEvalContext(n, machine_);
+        ctxBenchmarkId_ = benchmark.instanceId();
+        ctxN_ = n;
+    }
+    return ctx_.get();
+}
+
 RunResult
 ModelEngine::run(const apps::Benchmark &benchmark,
                  const tuner::Config &config, int64_t n)
 {
     RunResult result;
-    result.seconds = benchmark.evaluate(config, n, machine_);
-    result.kernelCount =
-        static_cast<int>(benchmark.kernelSources(config, n).size());
+    result.seconds =
+        benchmark.evaluate(config, n, machine_, contextFor(benchmark, n));
+    // Count-only: a full kernelSources() synthesis per evaluation just
+    // to take .size() was the single largest model-mode overhead.
+    result.kernelCount = benchmark.kernelCount(config, n);
     return result;
 }
 
@@ -69,9 +82,16 @@ std::vector<RunResult>
 ModelEngine::runBatch(const apps::Benchmark &benchmark,
                       std::span<const tuner::Config> configs, int64_t n)
 {
+    // Resolve the shared context on the caller's thread: the memo is
+    // not touched inside the parallel region.
+    const apps::EvalContext *ctx = contextFor(benchmark, n);
     std::vector<RunResult> results(configs.size());
     pool().parallelFor(configs.size(), [&](size_t i) {
-        results[i] = run(benchmark, configs[i], n);
+        RunResult result;
+        result.seconds =
+            benchmark.evaluate(configs[i], n, machine_, ctx);
+        result.kernelCount = benchmark.kernelCount(configs[i], n);
+        results[i] = result;
     });
     return results;
 }
@@ -81,10 +101,12 @@ ModelEngine::measureBatch(const apps::Benchmark &benchmark,
                           std::span<const tuner::Config> configs,
                           int64_t n)
 {
+    const apps::EvalContext *ctx = contextFor(benchmark, n);
     std::vector<double> seconds(configs.size(), 0.0);
     pool().parallelFor(configs.size(), [&](size_t i) {
         try {
-            seconds[i] = measure(benchmark, configs[i], n);
+            seconds[i] =
+                benchmark.evaluate(configs[i], n, machine_, ctx);
         } catch (const FatalError &) {
             seconds[i] = std::numeric_limits<double>::infinity();
         }
@@ -170,8 +192,7 @@ RuntimeEngine::runOnBinding(const apps::Benchmark &benchmark,
     result.seconds =
         std::chrono::duration<double>(stop - start).count();
     result.maxError = benchmark.checkOutput(binding);
-    result.kernelCount =
-        static_cast<int>(benchmark.kernelSources(config, n).size());
+    result.kernelCount = benchmark.kernelCount(config, n);
     return result;
 }
 

@@ -183,12 +183,13 @@ class ModelEngine : public ExecutionEngine
                  int64_t n) override;
 
     /** Model mode trusts correctness: just the cost-model seconds,
-     * without assembling the kernel-source list run() reports. */
+     * without assembling the kernel count run() reports. */
     double
     measure(const apps::Benchmark &benchmark, const tuner::Config &config,
             int64_t n) override
     {
-        return benchmark.evaluate(config, n, machine_);
+        return benchmark.evaluate(config, n, machine_,
+                                  contextFor(benchmark, n));
     }
 
     void configureTuner(tuner::TunerOptions &options) const override;
@@ -196,9 +197,26 @@ class ModelEngine : public ExecutionEngine
   private:
     ThreadPool &pool();
 
+    /**
+     * The engine's EvaluationContext memo: the benchmark's
+     * config-invariant state for (benchmark, n), built on first use
+     * and reused until the key changes — so a TuningSession generation
+     * (one runBatch per (benchmark, n)) builds it exactly once, and
+     * consecutive single run()/measure() calls share it too. Mutated
+     * only on the caller's thread (engines are serial-per-caller); the
+     * batch loops resolve it once before fanning out, and the built
+     * context itself is immutable and thread-safe to share.
+     */
+    const apps::EvalContext *contextFor(const apps::Benchmark &benchmark,
+                                        int64_t n);
+
     sim::MachineProfile machine_;
     int parallelism_ = 0;
     std::unique_ptr<ThreadPool> pool_; // created on first batch
+
+    uint64_t ctxBenchmarkId_ = 0; // Benchmark::instanceId(), never reused
+    int64_t ctxN_ = -1;
+    apps::EvalContextPtr ctx_;
 };
 
 /** Construction knobs for RuntimeEngine. */

@@ -1,8 +1,6 @@
 #include "sim/sched_sim.h"
 
-#include <deque>
-#include <queue>
-#include <tuple>
+#include <algorithm>
 
 #include "support/error.h"
 
@@ -20,103 +18,162 @@ ScheduleSimulator::ScheduleSimulator(const MachineProfile &machine)
 {
 }
 
+void
+ScheduleSimulator::reset()
+{
+    PB_ASSERT(cpuWorkers_ > 0, "need at least one CPU worker");
+    resource_.clear();
+    seconds_.clear();
+    remainingDeps_.clear();
+    finish_.clear();
+    labels_.clear();
+    edges_.clear();
+    cpuBusy_ = 0.0;
+    gpuBusy_ = 0.0;
+    ran_ = false;
+}
+
+SimTaskId
+ScheduleSimulator::addTask(SimResource resource, double seconds,
+                           const std::vector<SimTaskId> &deps)
+{
+    PB_ASSERT(!ran_, "cannot add tasks after run()");
+    PB_ASSERT(seconds >= 0.0, "negative task duration");
+    SimTaskId id = static_cast<SimTaskId>(resource_.size());
+    resource_.push_back(resource);
+    seconds_.push_back(seconds);
+    finish_.push_back(-1.0);
+    int remaining = 0;
+    for (SimTaskId dep : deps) {
+        PB_ASSERT(dep >= 0 && dep < id, "dependency " << dep
+                                                      << " out of range");
+        edges_.emplace_back(dep, id);
+        ++remaining;
+    }
+    remainingDeps_.push_back(remaining);
+    return id;
+}
+
 SimTaskId
 ScheduleSimulator::addTask(SimResource resource, double seconds,
                            const std::vector<SimTaskId> &deps,
                            std::string label)
 {
-    PB_ASSERT(!ran_, "cannot add tasks after run()");
-    PB_ASSERT(seconds >= 0.0, "negative task duration");
-    SimTaskId id = static_cast<SimTaskId>(tasks_.size());
-    TaskRecord rec;
-    rec.resource = resource;
-    rec.seconds = seconds;
-    rec.remainingDeps = 0;
-    rec.label = std::move(label);
-    for (SimTaskId dep : deps) {
-        PB_ASSERT(dep >= 0 && dep < id, "dependency " << dep
-                                                      << " out of range");
-        tasks_[dep].dependents.push_back(id);
-        ++rec.remainingDeps;
-    }
-    tasks_.push_back(std::move(rec));
+    SimTaskId id = addTask(resource, seconds, deps);
+    if (!label.empty())
+        labels_.emplace_back(id, std::move(label));
     return id;
 }
 
 double
 ScheduleSimulator::run()
 {
-    PB_ASSERT(!ran_, "simulator is single-shot");
+    PB_ASSERT(!ran_, "simulator is single-shot; reset() to reuse");
     ran_ = true;
 
-    // FIFO ready queues per physical resource. On machines whose OpenCL
-    // device is the host CPU, GPU-queue tasks are routed to the CPU queue
-    // as full-pool tasks (the vectorized kernel occupies every core).
-    std::deque<SimTaskId> cpuReady;
-    std::deque<SimTaskId> gpuReady;
-    std::deque<SimTaskId> xferReady;
+    size_t taskCount = resource_.size();
+
+    // Dependents in CSR form, per-parent in edge insertion order — the
+    // iteration order the completion loop below relies on.
+    depStart_.assign(taskCount + 1, 0);
+    for (const auto &[parent, child] : edges_) {
+        (void)child;
+        ++depStart_[static_cast<size_t>(parent) + 1];
+    }
+    for (size_t i = 1; i <= taskCount; ++i)
+        depStart_[i] += depStart_[i - 1];
+    depList_.resize(edges_.size());
+    {
+        // Reuse the prefix array as fill cursors, restoring afterwards.
+        std::vector<int32_t> &cursor = depStart_;
+        for (const auto &[parent, child] : edges_)
+            depList_[static_cast<size_t>(
+                cursor[static_cast<size_t>(parent)]++)] = child;
+        for (size_t i = taskCount; i > 0; --i)
+            cursor[i] = cursor[i - 1];
+        cursor[0] = 0;
+    }
+
+    // FIFO ready queues per physical resource (vector + head cursor; the
+    // vectors only grow within a run and are reused across runs). On
+    // machines whose OpenCL device is the host CPU, GPU-queue tasks are
+    // routed to the CPU queue as full-pool tasks (the vectorized kernel
+    // occupies every core).
+    cpuReady_.clear();
+    gpuReady_.clear();
+    xferReady_.clear();
+    size_t cpuHead = 0, gpuHead = 0, xferHead = 0;
 
     int cpuInUse = 0;
     bool gpuBusy = false;
     bool xferBusy = false;
 
-    // (finishTime, sequence, task) min-heap of running tasks.
-    using Running = std::tuple<double, int64_t, SimTaskId>;
-    std::priority_queue<Running, std::vector<Running>, std::greater<>> heap;
-    int64_t seq = 0;
+    // (finishTime, sequence, task) min-heap of running tasks. The key is
+    // a total order (sequence is unique), so pop order — and therefore
+    // every result — is independent of heap layout.
+    heap_.clear();
+    auto heapGreater = [](const Running &a, const Running &b) {
+        return a > b;
+    };
+    uint64_t seq = 0;
     double now = 0.0;
     double makespan = 0.0;
     size_t completed = 0;
 
     // True when @p id must hold the entire CPU pool while running.
     auto needsFullPool = [&](SimTaskId id) {
-        SimResource r = tasks_[id].resource;
+        SimResource r = resource_[static_cast<size_t>(id)];
         return r == SimResource::CpuPool ||
                (oclSharesCpu_ && r == SimResource::GpuQueue);
     };
 
     auto release = [&](SimTaskId id) {
-        switch (tasks_[id].resource) {
+        switch (resource_[static_cast<size_t>(id)]) {
           case SimResource::CpuWorker:
           case SimResource::CpuPool:
-            cpuReady.push_back(id);
+            cpuReady_.push_back(id);
             break;
           case SimResource::GpuQueue:
             if (oclSharesCpu_)
-                cpuReady.push_back(id);
+                cpuReady_.push_back(id);
             else
-                gpuReady.push_back(id);
+                gpuReady_.push_back(id);
             break;
           case SimResource::Transfer:
-            xferReady.push_back(id);
+            xferReady_.push_back(id);
             break;
           case SimResource::None:
             // Completes instantly; handled by the caller via the heap
             // with zero duration so ordering stays uniform.
-            heap.emplace(now, seq++, id);
+            heap_.push_back(
+                {now, (seq++ << 32) | static_cast<uint32_t>(id)});
+            std::push_heap(heap_.begin(), heap_.end(), heapGreater);
             break;
         }
     };
 
     auto start = [&](SimTaskId id) {
-        TaskRecord &rec = tasks_[id];
-        double dur = rec.seconds;
-        heap.emplace(now + dur, seq++, id);
-        if (rec.resource == SimResource::GpuQueue)
+        double dur = seconds_[static_cast<size_t>(id)];
+        heap_.push_back(
+            {now + dur, (seq++ << 32) | static_cast<uint32_t>(id)});
+        std::push_heap(heap_.begin(), heap_.end(), heapGreater);
+        if (resource_[static_cast<size_t>(id)] == SimResource::GpuQueue)
             gpuBusy_ += dur;
         if (needsFullPool(id))
             cpuBusy_ += dur * cpuWorkers_;
-        else if (rec.resource == SimResource::CpuWorker)
+        else if (resource_[static_cast<size_t>(id)] ==
+                 SimResource::CpuWorker)
             cpuBusy_ += dur;
     };
 
     auto dispatch = [&]() {
         // CPU queue: strict FIFO so full-pool tasks cannot be starved by
         // a stream of single-worker tasks behind them.
-        while (!cpuReady.empty()) {
-            SimTaskId head = cpuReady.front();
+        while (cpuHead < cpuReady_.size()) {
+            SimTaskId head = cpuReady_[cpuHead];
             if (needsFullPool(head)) {
-                bool gpuSide = tasks_[head].resource == SimResource::GpuQueue;
+                bool gpuSide = resource_[static_cast<size_t>(head)] ==
+                               SimResource::GpuQueue;
                 if (cpuInUse != 0 || (gpuSide && gpuBusy))
                     break;
                 cpuInUse = cpuWorkers_;
@@ -127,40 +184,39 @@ ScheduleSimulator::run()
                     break;
                 ++cpuInUse;
             }
-            cpuReady.pop_front();
+            ++cpuHead;
             start(head);
         }
-        if (!gpuBusy && !gpuReady.empty()) {
-            SimTaskId head = gpuReady.front();
-            gpuReady.pop_front();
+        if (!gpuBusy && gpuHead < gpuReady_.size()) {
+            SimTaskId head = gpuReady_[gpuHead++];
             gpuBusy = true;
             start(head);
         }
-        if (!xferBusy && !xferReady.empty()) {
-            SimTaskId head = xferReady.front();
-            xferReady.pop_front();
+        if (!xferBusy && xferHead < xferReady_.size()) {
+            SimTaskId head = xferReady_[xferHead++];
             xferBusy = true;
             start(head);
         }
     };
 
     // Release all tasks with no dependencies, in id order.
-    for (SimTaskId id = 0; id < static_cast<SimTaskId>(tasks_.size()); ++id)
-        if (tasks_[id].remainingDeps == 0)
+    for (SimTaskId id = 0; id < static_cast<SimTaskId>(taskCount); ++id)
+        if (remainingDeps_[static_cast<size_t>(id)] == 0)
             release(id);
     dispatch();
 
-    while (!heap.empty()) {
-        auto [finish, order, id] = heap.top();
-        heap.pop();
-        (void)order;
+    while (!heap_.empty()) {
+        double finish = heap_.front().finish;
+        SimTaskId id =
+            static_cast<SimTaskId>(heap_.front().seqId & 0xffffffffu);
+        std::pop_heap(heap_.begin(), heap_.end(), heapGreater);
+        heap_.pop_back();
         now = finish;
         makespan = std::max(makespan, now);
-        TaskRecord &rec = tasks_[id];
-        rec.finish = now;
+        finish_[static_cast<size_t>(id)] = now;
         ++completed;
 
-        switch (rec.resource) {
+        switch (resource_[static_cast<size_t>(id)]) {
           case SimResource::CpuWorker:
             --cpuInUse;
             break;
@@ -179,26 +235,40 @@ ScheduleSimulator::run()
             break;
         }
 
-        for (SimTaskId dep : rec.dependents) {
-            if (--tasks_[dep].remainingDeps == 0)
+        int32_t depBegin = depStart_[static_cast<size_t>(id)];
+        int32_t depEnd = depStart_[static_cast<size_t>(id) + 1];
+        for (int32_t e = depBegin; e < depEnd; ++e) {
+            SimTaskId dep = depList_[static_cast<size_t>(e)];
+            if (--remainingDeps_[static_cast<size_t>(dep)] == 0)
                 release(dep);
         }
         dispatch();
     }
 
-    if (completed != tasks_.size())
+    if (completed != taskCount)
         PB_PANIC("schedule deadlocked: " << completed << "/"
-                 << tasks_.size() << " tasks completed (cycle in DAG?)");
+                 << taskCount << " tasks completed (cycle in DAG?)");
     return makespan;
+}
+
+const std::string &
+ScheduleSimulator::taskLabel(SimTaskId task) const
+{
+    static const std::string kEmpty;
+    for (const auto &[id, label] : labels_)
+        if (id == task)
+            return label;
+    return kEmpty;
 }
 
 double
 ScheduleSimulator::finishTime(SimTaskId task) const
 {
     PB_ASSERT(ran_, "run() must be called first");
-    PB_ASSERT(task >= 0 && task < static_cast<SimTaskId>(tasks_.size()),
+    PB_ASSERT(task >= 0 &&
+                  task < static_cast<SimTaskId>(resource_.size()),
               "task id out of range");
-    return tasks_[task].finish;
+    return finish_[static_cast<size_t>(task)];
 }
 
 } // namespace sim

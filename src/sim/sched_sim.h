@@ -11,6 +11,14 @@
  * transfer engine that overlaps copies with kernel execution (the paper's
  * non-blocking copy design). On machines whose OpenCL device shares the
  * host CPU (Server), OpenCL tasks occupy the CPU pool instead.
+ *
+ * The simulator sits on the autotuner's innermost hot path (one run per
+ * priced configuration), so the task store is struct-of-arrays with a
+ * flat dependency edge list, and all run() scratch is reused: a
+ * simulator instance reset() between runs performs no steady-state
+ * allocation. Scheduling order is deterministic — the running-task heap
+ * is keyed by (finish, sequence), a total order — so results are
+ * independent of internal representation.
  */
 
 #ifndef PETABRICKS_SIM_SCHED_SIM_H
@@ -18,6 +26,8 @@
 
 #include <cstdint>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "sim/machine.h"
@@ -63,17 +73,41 @@ class ScheduleSimulator
     explicit ScheduleSimulator(const MachineProfile &machine);
 
     /**
+     * Make the instance ready for a fresh run with the same resource
+     * configuration: drops all tasks but keeps every buffer's capacity,
+     * so a reused simulator allocates nothing in steady state (the
+     * model-mode fast path keeps one per thread).
+     */
+    void reset();
+
+    /** reset() and re-configure the resources from @p machine. */
+    void
+    reset(const MachineProfile &machine)
+    {
+        cpuWorkers_ = machine.workerThreads;
+        oclSharesCpu_ = machine.oclSharesCpu;
+        reset();
+    }
+
+    /**
      * Add a task.
      *
      * @param resource where the task runs.
      * @param seconds execution time on that resource.
      * @param deps tasks that must complete first.
-     * @param label optional name for tracing.
      * @return id usable as a dependency of later tasks.
      */
     SimTaskId addTask(SimResource resource, double seconds,
-                      const std::vector<SimTaskId> &deps = {},
-                      std::string label = "");
+                      const std::vector<SimTaskId> &deps = {});
+
+    /**
+     * addTask() with a tracing/debugging label. Labels never affect
+     * scheduling and are stored sparsely, so the unlabeled overload —
+     * the model-mode fast path — stays allocation-free.
+     */
+    SimTaskId addTask(SimResource resource, double seconds,
+                      const std::vector<SimTaskId> &deps,
+                      std::string label);
 
     /**
      * Run to completion.
@@ -84,28 +118,60 @@ class ScheduleSimulator
     /** Completion time of @p task; only valid after run(). */
     double finishTime(SimTaskId task) const;
 
+    /** Tracing label of @p task ("" if it was added unlabeled). */
+    const std::string &taskLabel(SimTaskId task) const;
+
     /** Busy time accumulated on the CPU pool, for utilization checks. */
     double cpuBusySeconds() const { return cpuBusy_; }
 
     /** Busy time accumulated on the GPU queue. */
     double gpuBusySeconds() const { return gpuBusy_; }
 
-    size_t taskCount() const { return tasks_.size(); }
+    size_t taskCount() const { return resource_.size(); }
 
   private:
-    struct TaskRecord
-    {
-        SimResource resource;
-        double seconds;
-        std::vector<SimTaskId> dependents;
-        int remainingDeps;
-        double finish = -1.0;
-        std::string label;
-    };
-
     int cpuWorkers_;
     bool oclSharesCpu_;
-    std::vector<TaskRecord> tasks_;
+
+    // Task store, struct-of-arrays (indexed by SimTaskId).
+    std::vector<SimResource> resource_;
+    std::vector<double> seconds_;
+    std::vector<int> remainingDeps_;
+    std::vector<double> finish_;
+
+    /** Sparse labels: only labeled tasks pay for storage. */
+    std::vector<std::pair<SimTaskId, std::string>> labels_;
+
+    /** (parent, child) dependency edges in insertion order. */
+    std::vector<std::pair<SimTaskId, SimTaskId>> edges_;
+
+    /**
+     * Running-task heap entry: (finish, (sequence << 32) | id). The
+     * packed word orders exactly like the (sequence, id) pair — the
+     * sequence is unique and occupies the high bits — so the heap's
+     * total order matches the original tuple formulation.
+     */
+    struct Running
+    {
+        double finish;
+        uint64_t seqId;
+
+        bool
+        operator>(const Running &other) const
+        {
+            return finish != other.finish ? finish > other.finish
+                                          : seqId > other.seqId;
+        }
+    };
+
+    // run() scratch, reused across reset() cycles.
+    std::vector<int32_t> depStart_;   // CSR offsets into depList_
+    std::vector<SimTaskId> depList_;  // dependents, per-parent in order
+    std::vector<SimTaskId> cpuReady_; // FIFO queues: vector + head index
+    std::vector<SimTaskId> gpuReady_;
+    std::vector<SimTaskId> xferReady_;
+    std::vector<Running> heap_;
+
     double cpuBusy_ = 0.0;
     double gpuBusy_ = 0.0;
     bool ran_ = false;

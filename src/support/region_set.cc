@@ -1,0 +1,116 @@
+#include "support/region_set.h"
+
+#include <algorithm>
+
+namespace petabricks {
+
+namespace {
+
+/** Area of the union of @p a and @p b if that union is exactly their
+ * bounding rectangle; used to detect lossless merges. */
+bool
+mergesExactly(const Region &a, const Region &b, Region &merged)
+{
+    Region bound = a.unionBound(b);
+    int64_t covered = a.area() + b.area() - a.intersect(b).area();
+    if (bound.area() != covered)
+        return false;
+    merged = bound;
+    return true;
+}
+
+} // namespace
+
+int64_t
+RegionSet::uncoveredArea(const Region &target)
+{
+    if (target.empty())
+        return 0;
+    scratchA_.clear();
+    scratchA_.push_back(target);
+    for (const Region &piece : pieces_) {
+        scratchB_.clear();
+        for (const Region &hole : scratchA_)
+            for (const Region &part : subtractRegion(hole, piece))
+                scratchB_.push_back(part);
+        scratchA_.swap(scratchB_);
+        if (scratchA_.empty())
+            return 0;
+    }
+    int64_t area = 0;
+    for (const Region &hole : scratchA_)
+        area += hole.area();
+    return area;
+}
+
+void
+RegionSet::insert(const Region &region)
+{
+    if (region.empty())
+        return;
+    Region incoming = region;
+    // Swallow pieces the incoming rectangle covers, and attempt exact
+    // rectangular merges until none applies (a merge can enable
+    // another, e.g. row bands accreting into one rectangle).
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t i = 0; i < pieces_.size();) {
+            const Region &piece = pieces_[i];
+            if (piece.contains(incoming))
+                return; // already fully represented
+            if (incoming.contains(piece)) {
+                pieces_[i] = pieces_.back();
+                pieces_.pop_back();
+                continue;
+            }
+            Region merged;
+            if (mergesExactly(piece, incoming, merged)) {
+                incoming = merged;
+                pieces_[i] = pieces_.back();
+                pieces_.pop_back();
+                changed = true;
+                continue;
+            }
+            ++i;
+        }
+    }
+    pieces_.push_back(incoming);
+}
+
+void
+RegionSet::subtract(const Region &region)
+{
+    if (region.empty() || pieces_.empty())
+        return;
+    scratchA_.clear();
+    for (const Region &piece : pieces_)
+        for (const Region &part : subtractRegion(piece, region))
+            scratchA_.push_back(part);
+    pieces_.swap(scratchA_);
+}
+
+int64_t
+RegionSet::totalArea()
+{
+    // Sum each piece minus the union of the pieces before it: exact
+    // even when pieces overlap.
+    int64_t area = 0;
+    for (size_t i = 0; i < pieces_.size(); ++i) {
+        scratchA_.clear();
+        scratchA_.push_back(pieces_[i]);
+        for (size_t j = 0; j < i && !scratchA_.empty(); ++j) {
+            scratchB_.clear();
+            for (const Region &hole : scratchA_)
+                for (const Region &part :
+                     subtractRegion(hole, pieces_[j]))
+                    scratchB_.push_back(part);
+            scratchA_.swap(scratchB_);
+        }
+        for (const Region &part : scratchA_)
+            area += part.area();
+    }
+    return area;
+}
+
+} // namespace petabricks

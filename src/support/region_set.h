@@ -1,0 +1,78 @@
+/**
+ * @file
+ * A coalescing set of rectangular regions with exact union semantics.
+ *
+ * The model-mode residency tracker needs three operations per rule
+ * application: "how much of this region is not yet covered?", "add this
+ * region", and "remove this region". The naive representation (append
+ * every region to a vector and subtract hole-by-hole) grows its
+ * subtract lists quadratically over a transform's stages. RegionSet
+ * keeps the piece list small by dropping covered inserts, erasing
+ * swallowed pieces, and merging pieces whose union is exactly a
+ * rectangle — all transformations that preserve the represented point
+ * set, so areas computed against a RegionSet are bit-identical to the
+ * naive list (the fast-path golden tests rely on this).
+ *
+ * Scratch buffers are members and reused across calls, so a RegionSet
+ * owned by a per-thread workspace performs no steady-state allocation.
+ */
+
+#ifndef PETABRICKS_SUPPORT_REGION_SET_H
+#define PETABRICKS_SUPPORT_REGION_SET_H
+
+#include <vector>
+
+#include "support/region.h"
+
+namespace petabricks {
+
+/** See file comment. */
+class RegionSet
+{
+  public:
+    /** Remove all pieces (keeps buffer capacity). */
+    void
+    clear()
+    {
+        pieces_.clear();
+    }
+
+    bool empty() const { return pieces_.empty(); }
+
+    /** Current rectangles; their union is the represented set. Pieces
+     * may overlap when no exact rectangular merge exists. */
+    const std::vector<Region> &pieces() const { return pieces_; }
+
+    /** Area of @p target not covered by the set. Non-const: queries
+     * reuse the scratch buffers, so a RegionSet — even one only being
+     * read — must not be shared across threads. */
+    int64_t uncoveredArea(const Region &target);
+
+    /** True if the set covers every cell of @p target. */
+    bool
+    covers(const Region &target)
+    {
+        return uncoveredArea(target) == 0;
+    }
+
+    /** Union @p region into the set, coalescing where exact. */
+    void insert(const Region &region);
+
+    /** Remove every cell of @p region from the set. */
+    void subtract(const Region &region);
+
+    /** Exact area of the union of all pieces (non-const: see
+     * uncoveredArea). */
+    int64_t totalArea();
+
+  private:
+    std::vector<Region> pieces_;
+
+    // Reused hole lists for the subtract sweeps.
+    std::vector<Region> scratchA_;
+    std::vector<Region> scratchB_;
+};
+
+} // namespace petabricks
+
+#endif // PETABRICKS_SUPPORT_REGION_SET_H

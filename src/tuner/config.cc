@@ -1,9 +1,25 @@
 #include "tuner/config.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
 #include "support/error.h"
+
+namespace {
+
+/** lower_bound over a name-sorted entry vector. */
+template <typename Entries>
+auto
+findEntry(Entries &entries, const std::string &name)
+{
+    return std::lower_bound(entries.begin(), entries.end(), name,
+                            [](const auto &entry, const std::string &key) {
+                                return entry.first < key;
+                            });
+}
+
+} // namespace
 
 namespace petabricks {
 namespace tuner {
@@ -125,9 +141,10 @@ void
 Config::addSelector(Selector selector)
 {
     std::string name = selector.name();
-    auto [it, inserted] = selectors_.emplace(name, std::move(selector));
-    (void)it;
-    PB_ASSERT(inserted, "duplicate selector '" << name << "'");
+    auto it = findEntry(selectors_, name);
+    PB_ASSERT(it == selectors_.end() || it->first != name,
+              "duplicate selector '" << name << "'");
+    selectors_.emplace(it, std::move(name), std::move(selector));
 }
 
 void
@@ -137,53 +154,78 @@ Config::addTunable(Tunable tunable)
                   tunable.value <= tunable.maxValue,
               "tunable '" << tunable.name << "' value out of bounds");
     std::string name = tunable.name;
-    auto [it, inserted] = tunables_.emplace(name, std::move(tunable));
-    (void)it;
-    PB_ASSERT(inserted, "duplicate tunable '" << name << "'");
+    auto it = findEntry(tunables_, name);
+    PB_ASSERT(it == tunables_.end() || it->first != name,
+              "duplicate tunable '" << name << "'");
+    tunables_.emplace(it, std::move(name), std::move(tunable));
 }
 
 bool
 Config::hasSelector(const std::string &name) const
 {
-    return selectors_.count(name) != 0;
+    auto it = findEntry(selectors_, name);
+    return it != selectors_.end() && it->first == name;
 }
 
 Selector &
 Config::selector(const std::string &name)
 {
-    auto it = selectors_.find(name);
-    PB_ASSERT(it != selectors_.end(), "no selector '" << name << "'");
+    auto it = findEntry(selectors_, name);
+    PB_ASSERT(it != selectors_.end() && it->first == name,
+              "no selector '" << name << "'");
     return it->second;
 }
 
 const Selector &
 Config::selector(const std::string &name) const
 {
-    auto it = selectors_.find(name);
-    PB_ASSERT(it != selectors_.end(), "no selector '" << name << "'");
+    auto it = findEntry(selectors_, name);
+    PB_ASSERT(it != selectors_.end() && it->first == name,
+              "no selector '" << name << "'");
     return it->second;
 }
 
 bool
 Config::hasTunable(const std::string &name) const
 {
-    return tunables_.count(name) != 0;
+    auto it = findEntry(tunables_, name);
+    return it != tunables_.end() && it->first == name;
 }
 
 Tunable &
 Config::tunable(const std::string &name)
 {
-    auto it = tunables_.find(name);
-    PB_ASSERT(it != tunables_.end(), "no tunable '" << name << "'");
+    auto it = findEntry(tunables_, name);
+    PB_ASSERT(it != tunables_.end() && it->first == name,
+              "no tunable '" << name << "'");
     return it->second;
 }
 
 const Tunable &
 Config::tunable(const std::string &name) const
 {
-    auto it = tunables_.find(name);
-    PB_ASSERT(it != tunables_.end(), "no tunable '" << name << "'");
+    auto it = findEntry(tunables_, name);
+    PB_ASSERT(it != tunables_.end() && it->first == name,
+              "no tunable '" << name << "'");
     return it->second;
+}
+
+size_t
+Config::selectorIndex(const std::string &name) const
+{
+    auto it = findEntry(selectors_, name);
+    PB_ASSERT(it != selectors_.end() && it->first == name,
+              "no selector '" << name << "'");
+    return static_cast<size_t>(it - selectors_.begin());
+}
+
+size_t
+Config::tunableIndex(const std::string &name) const
+{
+    auto it = findEntry(tunables_, name);
+    PB_ASSERT(it != tunables_.end() && it->first == name,
+              "no tunable '" << name << "'");
+    return static_cast<size_t>(it - tunables_.begin());
 }
 
 std::vector<std::string>

@@ -23,10 +23,11 @@
 #define PETABRICKS_TUNER_CONFIG_H
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "support/error.h"
 #include "support/kvfile.h"
 
 namespace petabricks {
@@ -135,6 +136,49 @@ class Config
         return tunable(name).value;
     }
 
+    // ---- Index-based access (the model-mode fast path) ----------------
+    //
+    // Selectors and tunables are stored sorted by name, so a position
+    // resolved once against one configuration stays valid for every
+    // structurally identical configuration (all candidates of a tuning
+    // run share the seed's structure; mutators only change values).
+    // Evaluation contexts resolve names to indices once per batch and
+    // the per-config hot loop uses O(1) lookups with no string
+    // construction.
+
+    size_t selectorCount() const { return selectors_.size(); }
+    size_t tunableCount() const { return tunables_.size(); }
+
+    /** Position of selector @p name in sorted-name order; fatal if
+     * missing. */
+    size_t selectorIndex(const std::string &name) const;
+
+    /** Position of tunable @p name in sorted-name order; fatal if
+     * missing. */
+    size_t tunableIndex(const std::string &name) const;
+
+    const Selector &
+    selectorAt(size_t index) const
+    {
+        PB_ASSERT(index < selectors_.size(),
+                  "selector index " << index << " out of range");
+        return selectors_[index].second;
+    }
+
+    const Tunable &
+    tunableAt(size_t index) const
+    {
+        PB_ASSERT(index < tunables_.size(),
+                  "tunable index " << index << " out of range");
+        return tunables_[index].second;
+    }
+
+    /** Convenience: current value of the tunable at @p index. */
+    int64_t tunableValueAt(size_t index) const
+    {
+        return tunableAt(index).value;
+    }
+
     std::vector<std::string> selectorNames() const;
     std::vector<std::string> tunableNames() const;
 
@@ -170,8 +214,12 @@ class Config
     bool operator==(const Config &other) const = default;
 
   private:
-    std::map<std::string, Selector> selectors_;
-    std::map<std::string, Tunable> tunables_;
+    // Sorted by name (the old std::map iteration order, on which the
+    // serialization format and valueFingerprint() depend), but with the
+    // O(1) positional access the evaluation fast path needs and cheaper
+    // copies for the mutation-heavy tuner loop.
+    std::vector<std::pair<std::string, Selector>> selectors_;
+    std::vector<std::pair<std::string, Tunable>> tunables_;
 };
 
 } // namespace tuner

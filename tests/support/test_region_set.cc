@@ -1,0 +1,227 @@
+// Unit tests for the coalescing RegionSet and the SlotTable interner —
+// the fast evaluation path's residency primitives. The key invariant:
+// every RegionSet transformation preserves the represented point set
+// exactly, so areas match a naive append-only region list bit-for-bit.
+
+#include <gtest/gtest.h>
+
+#include "support/region_set.h"
+#include "support/rng.h"
+#include "support/slot_table.h"
+
+namespace petabricks {
+namespace {
+
+// ---- SlotTable ---------------------------------------------------------
+
+TEST(SlotTable, InternAssignsDenseIdsInOrder)
+{
+    SlotTable table;
+    EXPECT_TRUE(table.empty());
+    EXPECT_EQ(table.intern("In"), 0);
+    EXPECT_EQ(table.intern("Out"), 1);
+    EXPECT_EQ(table.intern("buffer"), 2);
+    EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(SlotTable, InternIsIdempotent)
+{
+    SlotTable table;
+    int id = table.intern("A");
+    EXPECT_EQ(table.intern("A"), id);
+    EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(SlotTable, IdRoundTripsToName)
+{
+    SlotTable table;
+    table.intern("Red0");
+    table.intern("Black0");
+    for (int id = 0; id < static_cast<int>(table.size()); ++id)
+        EXPECT_EQ(table.idOf(table.nameOf(id)), id);
+}
+
+TEST(SlotTable, ContainsAndUnknownLookups)
+{
+    SlotTable table;
+    table.intern("A");
+    EXPECT_TRUE(table.contains("A"));
+    EXPECT_FALSE(table.contains("B"));
+    EXPECT_THROW(table.idOf("B"), PanicError);
+    EXPECT_THROW(table.nameOf(7), PanicError);
+}
+
+// ---- RegionSet ---------------------------------------------------------
+
+TEST(RegionSet, EmptySetCoversNothing)
+{
+    RegionSet set;
+    EXPECT_TRUE(set.empty());
+    EXPECT_EQ(set.totalArea(), 0);
+    EXPECT_EQ(set.uncoveredArea(Region(0, 0, 4, 4)), 16);
+    EXPECT_FALSE(set.covers(Region(0, 0, 1, 1)));
+    EXPECT_TRUE(set.covers(Region())); // empty target
+}
+
+TEST(RegionSet, InsertThenQuery)
+{
+    RegionSet set;
+    set.insert(Region(0, 0, 10, 10));
+    EXPECT_EQ(set.totalArea(), 100);
+    EXPECT_TRUE(set.covers(Region(2, 2, 4, 4)));
+    EXPECT_EQ(set.uncoveredArea(Region(5, 5, 10, 10)), 75);
+}
+
+TEST(RegionSet, CoveredInsertIsDropped)
+{
+    RegionSet set;
+    set.insert(Region(0, 0, 10, 10));
+    set.insert(Region(2, 2, 3, 3));
+    EXPECT_EQ(set.pieces().size(), 1u);
+    EXPECT_EQ(set.totalArea(), 100);
+}
+
+TEST(RegionSet, SwallowedPiecesAreErased)
+{
+    RegionSet set;
+    set.insert(Region(0, 0, 2, 2));
+    set.insert(Region(5, 5, 2, 2));
+    set.insert(Region(0, 0, 10, 10));
+    EXPECT_EQ(set.pieces().size(), 1u);
+    EXPECT_EQ(set.totalArea(), 100);
+}
+
+TEST(RegionSet, AdjacentRowBandsCoalesceToOneRectangle)
+{
+    // The executor's row-chunk writes: n bands accrete into one piece
+    // instead of an n-entry subtract list.
+    RegionSet set;
+    for (int64_t y = 0; y < 16; ++y)
+        set.insert(Region(0, y, 64, 1));
+    EXPECT_EQ(set.pieces().size(), 1u);
+    EXPECT_EQ(set.pieces()[0], Region(0, 0, 64, 16));
+}
+
+TEST(RegionSet, NonMergeablePiecesStaySeparateButExact)
+{
+    RegionSet set;
+    set.insert(Region(0, 0, 4, 4));
+    set.insert(Region(8, 8, 4, 4));
+    EXPECT_EQ(set.pieces().size(), 2u);
+    EXPECT_EQ(set.totalArea(), 32);
+    // Overlapping but not exactly mergeable: union stays exact.
+    set.insert(Region(2, 2, 4, 4));
+    EXPECT_EQ(set.totalArea(), 16 + 16 + 16 - 4);
+}
+
+TEST(RegionSet, SubtractRemovesCoverage)
+{
+    RegionSet set;
+    set.insert(Region(0, 0, 10, 10));
+    set.subtract(Region(2, 2, 4, 4));
+    EXPECT_EQ(set.totalArea(), 100 - 16);
+    EXPECT_EQ(set.uncoveredArea(Region(2, 2, 4, 4)), 16);
+    EXPECT_TRUE(set.covers(Region(0, 0, 10, 2)));
+    set.subtract(Region(0, 0, 10, 10));
+    EXPECT_EQ(set.totalArea(), 0);
+}
+
+TEST(RegionSet, StaleBytesStyleInvariant)
+{
+    // markWritten/markCopiedOut as the residency model uses them:
+    // written minus copied-out must equal the remaining stale area.
+    RegionSet stale;
+    stale.insert(Region(0, 0, 100, 80)); // GPU wrote 100x80
+    stale.subtract(Region(0, 0, 100, 30)); // eager copy-out of a band
+    EXPECT_EQ(stale.totalArea(), 100 * 50);
+    stale.subtract(Region(0, 30, 100, 50));
+    EXPECT_TRUE(stale.empty() || stale.totalArea() == 0);
+}
+
+/** Naive append-only model (the reference ResidencyModel's lists). */
+struct NaiveRegionSet
+{
+    std::vector<Region> pieces;
+
+    int64_t
+    uncoveredArea(const Region &target) const
+    {
+        std::vector<Region> holes{target};
+        for (const Region &piece : pieces) {
+            std::vector<Region> next;
+            for (const Region &hole : holes)
+                for (const Region &part : subtractRegion(hole, piece))
+                    next.push_back(part);
+            holes.swap(next);
+        }
+        int64_t area = 0;
+        for (const Region &hole : holes)
+            area += hole.area();
+        return area;
+    }
+
+    void insert(const Region &region) { pieces.push_back(region); }
+
+    void
+    subtract(const Region &region)
+    {
+        std::vector<Region> next;
+        for (const Region &piece : pieces)
+            for (const Region &part : subtractRegion(piece, region))
+                next.push_back(part);
+        pieces.swap(next);
+    }
+
+    int64_t
+    totalArea() const
+    {
+        // Union area via subtraction of earlier pieces.
+        int64_t area = 0;
+        for (size_t i = 0; i < pieces.size(); ++i) {
+            std::vector<Region> holes{pieces[i]};
+            for (size_t j = 0; j < i; ++j) {
+                std::vector<Region> next;
+                for (const Region &hole : holes)
+                    for (const Region &part :
+                         subtractRegion(hole, pieces[j]))
+                        next.push_back(part);
+                holes.swap(next);
+            }
+            for (const Region &hole : holes)
+                area += hole.area();
+        }
+        return area;
+    }
+};
+
+TEST(RegionSet, FuzzMatchesNaiveModel)
+{
+    Rng rng(0xC0A1E5CE);
+    for (int round = 0; round < 50; ++round) {
+        RegionSet fast;
+        NaiveRegionSet naive;
+        for (int op = 0; op < 40; ++op) {
+            Region r(rng.uniformInt(0, 24), rng.uniformInt(0, 24),
+                     rng.uniformInt(1, 12), rng.uniformInt(1, 12));
+            switch (rng.uniformInt(0, 2)) {
+              case 0:
+                fast.insert(r);
+                naive.insert(r);
+                break;
+              case 1:
+                fast.subtract(r);
+                naive.subtract(r);
+                break;
+              default: {
+                ASSERT_EQ(fast.uncoveredArea(r),
+                          naive.uncoveredArea(r));
+                break;
+              }
+            }
+            ASSERT_EQ(fast.totalArea(), naive.totalArea());
+        }
+    }
+}
+
+} // namespace
+} // namespace petabricks
