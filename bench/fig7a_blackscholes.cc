@@ -16,7 +16,7 @@ using namespace petabricks::apps;
 int
 main()
 {
-    std::cout << "=== Figure 7(a): Black-Sholes (n=500000) ===\n";
+    std::cout << "=== Figure 7(a): Black-Scholes (n=500000) ===\n";
     BlackScholesBenchmark bench;
     auto configs = bench::tuneAllMachines(bench);
     configs.push_back(

@@ -1,0 +1,162 @@
+/**
+ * Remote autotuning through the tunerd daemon.
+ *
+ * The client-side counterpart of tools/tunerd.cc: drives a hosted
+ * tuning session over the HTTP command API via service::Client, and
+ * can run the identical search in-process for champion comparison —
+ * which is exactly what the daemon smoke test does around a SIGKILL.
+ *
+ * Modes (the default runs a full remote search and prints the champion):
+ *   remote_tuning --port P run      --benchmark Sort [--seed N]
+ *   remote_tuning --port P create   --benchmark Sort   # prints session id
+ *   remote_tuning --port P step     --session s1 --steps 4 [--nowait]
+ *   remote_tuning --port P finish   --session s1       # step to done + champion
+ *   remote_tuning --port P resume   --session s1       # rehydrate after restart
+ *   remote_tuning --port P status   --session s1
+ *   remote_tuning --port P stats
+ *   remote_tuning local             --benchmark Sort [--seed N]
+ *
+ * Champion output (run/finish/local) is the choice-configuration
+ * KvFile text, so two modes' outputs can be compared byte-for-byte.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "service/client.h"
+#include "service/hosted_session.h"
+
+using namespace petabricks;
+
+namespace {
+
+int
+usage()
+{
+    std::cerr << "usage: remote_tuning [--host H] [--port P] "
+                 "MODE [--benchmark B] [--session ID] [--steps N] "
+                 "[--seed N] [--nowait]\n"
+                 "modes: run create step finish resume status stats "
+                 "stop local\n";
+    return 2;
+}
+
+/** Champion KvFile minus the transport-only keys, for byte compares. */
+std::string
+championText(const KvFile &kv)
+{
+    KvFile out;
+    for (const std::string &key : kv.keys())
+        if (key != "session" && key != "champion.description")
+            out.set(key, kv.get(key));
+    return out.toString();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string host = "127.0.0.1";
+    uint16_t port = 8617;
+    std::string mode;
+    std::string benchmark = "Sort";
+    std::string session;
+    int steps = 4;
+    bool nowait = false;
+    KvFile createOptions;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "remote_tuning: " << arg << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--host")
+            host = value();
+        else if (arg == "--port")
+            port = static_cast<uint16_t>(std::atoi(value().c_str()));
+        else if (arg == "--benchmark")
+            benchmark = value();
+        else if (arg == "--session")
+            session = value();
+        else if (arg == "--steps")
+            steps = std::atoi(value().c_str());
+        else if (arg == "--seed")
+            createOptions.set("seed", value());
+        else if (arg == "--population")
+            createOptions.set("populationSize", value());
+        else if (arg == "--generations")
+            createOptions.set("generationsPerSize", value());
+        else if (arg == "--max-input")
+            createOptions.set("maxInputSize", value());
+        else if (arg == "--nowait")
+            nowait = true;
+        else if (arg == "--help" || arg == "-h")
+            return usage();
+        else if (mode.empty() && arg[0] != '-')
+            mode = arg;
+        else
+            return usage();
+    }
+    if (mode.empty())
+        mode = "run";
+    createOptions.set("benchmark", benchmark);
+
+    try {
+        if (mode == "local") {
+            // The reference: the identical search, no daemon involved.
+            service::SessionSpec spec =
+                service::SessionSpec::fromCreateRequest(createOptions);
+            service::HostedSession hosted(spec);
+            hosted.stepMany(hosted.introspect().totalSteps);
+            std::cout << championText(hosted.championKv());
+            return 0;
+        }
+
+        service::Client client(host, port);
+        if (mode == "run") {
+            std::string id = client.create(createOptions);
+            std::cerr << "session " << id << " created\n";
+            std::cout << championText(client.runToCompletion(id, steps));
+        } else if (mode == "create") {
+            std::cout << client.create(createOptions) << "\n";
+        } else if (mode == "step") {
+            if (session.empty())
+                return usage();
+            int advanced = client.step(session, steps, !nowait);
+            std::cerr << (nowait ? "enqueued " : "advanced ")
+                      << (nowait ? steps : advanced) << " steps\n";
+        } else if (mode == "finish") {
+            if (session.empty())
+                return usage();
+            std::cout << championText(
+                client.runToCompletion(session, steps));
+        } else if (mode == "resume") {
+            if (session.empty())
+                return usage();
+            client.resume(session);
+            std::cerr << "session " << session << " resumed\n";
+        } else if (mode == "status") {
+            if (session.empty())
+                return usage();
+            std::cout << client.status(session).toString();
+        } else if (mode == "stop") {
+            if (session.empty())
+                return usage();
+            client.stopSession(session);
+        } else if (mode == "stats") {
+            std::cout << client.stats().toString();
+        } else {
+            return usage();
+        }
+    } catch (const std::exception &error) {
+        std::cerr << "remote_tuning: " << error.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

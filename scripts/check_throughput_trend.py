@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Compare a fresh model-throughput report against the committed baseline.
+
+Perf-trend starter: CI runs `model_throughput --short`, then this script
+diffs the fresh BENCH_model_throughput.json against
+bench/baseline_model_throughput.json per benchmark and per path
+(reference and fast), warning when configs/sec regressed by more than
+the threshold (default 15%).
+
+Deliberately NON-GATING: shared CI runners are far too noisy to fail a
+build on wall-clock numbers, and the committed baseline was measured on
+a different machine anyway. The value is the printed trend table in the
+job log (and the warning lines grep-ably prefixed with `WARNING:`), not
+a verdict. Exit code is 0 unless a file is missing/unreadable — pass
+--gate to turn regressions into a non-zero exit once baselines are
+runner-matched.
+
+Usage:
+    scripts/check_throughput_trend.py \
+        [--baseline bench/baseline_model_throughput.json] \
+        [--fresh BENCH_model_throughput.json] \
+        [--threshold 0.15] [--gate]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"check_throughput_trend: cannot read {path}: {err}",
+              file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff model-throughput reports, warn on regressions.")
+    parser.add_argument("--baseline",
+                        default="bench/baseline_model_throughput.json")
+    parser.add_argument("--fresh", default="BENCH_model_throughput.json")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="relative configs/sec drop that counts as a "
+                             "regression (default 0.15)")
+    parser.add_argument("--gate", action="store_true",
+                        help="exit 1 when any regression is found")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+    if baseline.get("preset") != fresh.get("preset"):
+        print(f"note: preset mismatch (baseline "
+              f"{baseline.get('preset')!r} vs fresh "
+              f"{fresh.get('preset')!r}); configs/sec are still "
+              f"comparable, measurement windows differ")
+
+    base_rows = {row["name"]: row for row in baseline["benchmarks"]}
+    regressions = []
+    print(f"{'benchmark':<20} {'path':<10} {'baseline':>12} "
+          f"{'fresh':>12} {'delta':>8}")
+    for row in fresh["benchmarks"]:
+        name = row["name"]
+        base = base_rows.pop(name, None)
+        if base is None:
+            print(f"{name:<20} (not in baseline)")
+            continue
+        for path in ("reference", "fast"):
+            key = f"{path}_configs_per_sec"
+            before, after = base[key], row[key]
+            delta = (after - before) / before if before else 0.0
+            print(f"{name:<20} {path:<10} {before:>12.3g} "
+                  f"{after:>12.3g} {delta:>+7.1%}")
+            if delta < -args.threshold:
+                regressions.append((name, path, delta))
+    for name in base_rows:
+        print(f"{name:<20} (missing from fresh report)")
+        regressions.append((name, "missing", -1.0))
+
+    if regressions:
+        for name, path, delta in regressions:
+            print(f"WARNING: {name} [{path}] configs/sec regressed "
+                  f"{delta:.1%} vs baseline "
+                  f"(threshold -{args.threshold:.0%})")
+        if args.gate:
+            sys.exit(1)
+    else:
+        print(f"no configs/sec regression beyond "
+              f"{args.threshold:.0%} in any benchmark")
+
+
+if __name__ == "__main__":
+    main()

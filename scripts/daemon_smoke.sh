@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Daemon crash-durability smoke: start tunerd, drive a search through
+# service::Client (via the remote_tuning example), SIGKILL the daemon
+# mid-search, restart it on the same spool, resume, and assert the
+# finished champion is byte-identical to the same search run
+# uninterrupted in-process.
+#
+# Usage: scripts/daemon_smoke.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+TUNERD="$BUILD_DIR/tunerd"
+CLIENT="$BUILD_DIR/remote_tuning"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/tunerd-smoke.XXXXXX")"
+SPOOL="$WORK/spool"
+PORT_FILE="$WORK/port"
+DAEMON_PID=""
+
+# Small enough to finish in seconds, large enough that the kill lands
+# mid-search (12 total generations across input sizes 64..1024).
+SEARCH_ARGS=(--benchmark Sort --seed 7 --population 4 --generations 4
+             --max-input 1024)
+
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "daemon_smoke: FAIL: $*" >&2; exit 1; }
+
+start_daemon() {
+    rm -f "$PORT_FILE"
+    "$TUNERD" --port 0 --port-file "$PORT_FILE" --spool "$SPOOL" \
+        --cap 4 --workers 2 >"$WORK/tunerd.log" 2>&1 &
+    DAEMON_PID=$!
+    for _ in $(seq 1 100); do
+        [ -s "$PORT_FILE" ] && break
+        kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died on start"
+        sleep 0.1
+    done
+    [ -s "$PORT_FILE" ] || fail "daemon never wrote its port file"
+    PORT=$(cat "$PORT_FILE")
+}
+
+# ---- Reference: the identical search, no daemon involved -------------------
+"$CLIENT" local "${SEARCH_ARGS[@]}" > "$WORK/expected.txt" \
+    || fail "local reference run failed"
+
+# ---- Start, create, advance a little, then SIGKILL mid-search --------------
+start_daemon
+echo "daemon_smoke: daemon up on port $PORT (pid $DAEMON_PID)"
+
+SESSION=$("$CLIENT" --port "$PORT" create "${SEARCH_ARGS[@]}")
+[ -n "$SESSION" ] || fail "create returned no session id"
+"$CLIENT" --port "$PORT" step --session "$SESSION" --steps 3 \
+    || fail "initial steps failed"
+# Enqueue detached stepping so work is in flight when the kill lands.
+"$CLIENT" --port "$PORT" step --session "$SESSION" --steps 999 --nowait \
+    || fail "detached step failed"
+sleep 0.2
+
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+echo "daemon_smoke: daemon SIGKILLed mid-search"
+[ -f "$SPOOL/$SESSION.ckpt" ] || fail "no checkpoint survived the kill"
+
+# ---- Restart on the same spool, resume, finish -----------------------------
+start_daemon
+echo "daemon_smoke: daemon restarted on port $PORT"
+"$CLIENT" --port "$PORT" resume --session "$SESSION" \
+    || fail "resume after restart failed"
+"$CLIENT" --port "$PORT" finish --session "$SESSION" \
+    > "$WORK/resumed.txt" || fail "finishing the resumed search failed"
+"$CLIENT" --port "$PORT" stop --session "$SESSION"
+
+# ---- The resumed champion must equal the uninterrupted one -----------------
+if ! diff -u "$WORK/expected.txt" "$WORK/resumed.txt"; then
+    fail "resumed champion differs from the uninterrupted run"
+fi
+echo "daemon_smoke: PASS (resumed champion identical to uninterrupted run)"

@@ -33,7 +33,7 @@ class BlackScholesBenchmark : public Benchmark
   public:
     BlackScholesBenchmark();
 
-    std::string name() const override { return "Black-Sholes"; }
+    std::string name() const override { return "Black-Scholes"; }
     tuner::Config seedConfig() const override;
     double evaluate(const tuner::Config &config, int64_t n,
                     const sim::MachineProfile &machine) const override;

@@ -1,5 +1,7 @@
 #include "benchmarks/registry.h"
 
+#include <cctype>
+
 #include "benchmarks/blackscholes.h"
 #include "benchmarks/convolution.h"
 #include "benchmarks/poisson.h"
@@ -23,6 +25,27 @@ allBenchmarks()
         std::make_shared<SvdBenchmark>(),
         std::make_shared<TridiagBenchmark>(),
     };
+}
+
+BenchmarkPtr
+findBenchmark(const std::string &name)
+{
+    auto lowered = [](const std::string &s) {
+        std::string out = s;
+        for (char &c : out)
+            c = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        return out;
+    };
+    const std::string want = lowered(name);
+    std::string known;
+    for (BenchmarkPtr &benchmark : allBenchmarks()) {
+        if (lowered(benchmark->name()) == want)
+            return benchmark;
+        known += (known.empty() ? "" : ", ") + benchmark->name();
+    }
+    PB_FATAL("unknown benchmark '" << name << "' (known: " << known
+                                   << ")");
 }
 
 } // namespace apps

@@ -16,6 +16,14 @@ namespace apps {
 /** All seven benchmarks, in the paper's table order. */
 std::vector<BenchmarkPtr> allBenchmarks();
 
+/**
+ * Fresh instance of the benchmark whose display name is @p name
+ * (case-insensitive; "Black-Scholes", "Sort", ...). Fatal error with
+ * the list of known names when no benchmark matches — this is the
+ * service's `create` lookup, so the message is user-facing.
+ */
+BenchmarkPtr findBenchmark(const std::string &name);
+
 } // namespace apps
 } // namespace petabricks
 

@@ -1,0 +1,167 @@
+#include "service/client.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace petabricks {
+namespace service {
+
+Client::Client(const std::string &host, uint16_t port)
+    : host_(host), stream_(net::TcpStream::connect(host, port))
+{}
+
+KvFile
+Client::command(const std::string &method, const std::string &target,
+                const std::string &body)
+{
+    std::ostringstream request;
+    request << method << ' ' << target << " HTTP/1.1\r\n"
+            << "Host: " << host_ << "\r\n"
+            << "Content-Length: " << body.size() << "\r\n"
+            << "Connection: keep-alive\r\n\r\n"
+            << body;
+    stream_.writeAll(request.str());
+
+    // ---- Read one response (headers, then Content-Length body) --------
+    auto readMore = [&] {
+        char buffer[16384];
+        ptrdiff_t n = stream_.read(buffer, sizeof(buffer));
+        if (n <= 0)
+            PB_FATAL("connection closed by tuning daemon");
+        inbox_.append(buffer, static_cast<size_t>(n));
+    };
+    size_t headerEnd;
+    while ((headerEnd = inbox_.find("\r\n\r\n")) == std::string::npos)
+        readMore();
+
+    std::string statusLine = inbox_.substr(0, inbox_.find("\r\n"));
+    std::istringstream status(statusLine);
+    std::string version;
+    int code = 0;
+    if (!(status >> version >> code) || version.rfind("HTTP/1.", 0) != 0)
+        PB_FATAL("malformed response from daemon: '" << statusLine
+                                                     << "'");
+
+    size_t bodySize = 0;
+    {
+        // Case-insensitivity dodged: the daemon always sends
+        // "Content-Length".
+        size_t pos = inbox_.find("Content-Length:");
+        if (pos == std::string::npos || pos > headerEnd)
+            PB_FATAL("daemon response lacks Content-Length");
+        bodySize = static_cast<size_t>(
+            std::strtoull(inbox_.c_str() + pos + 15, nullptr, 10));
+    }
+    while (inbox_.size() < headerEnd + 4 + bodySize)
+        readMore();
+    std::string responseBody = inbox_.substr(headerEnd + 4, bodySize);
+    inbox_.erase(0, headerEnd + 4 + bodySize);
+
+    KvFile kv = KvFile::fromString(responseBody);
+    if (code >= 400)
+        PB_FATAL("daemon error " << code << ": "
+                                 << (kv.has("error") ? kv.get("error")
+                                                     : responseBody));
+    return kv;
+}
+
+void
+Client::ping()
+{
+    command("GET", "/ping");
+}
+
+std::string
+Client::create(const KvFile &options)
+{
+    return command("POST", "/create", options.toString()).get("session");
+}
+
+int
+Client::step(const std::string &sessionId, int steps, bool wait)
+{
+    std::string target = "/step?session=" + sessionId +
+                         "&steps=" + std::to_string(steps);
+    if (!wait)
+        target += "&wait=0";
+    KvFile kv = command("POST", target);
+    return wait ? static_cast<int>(kv.getInt("step.advanced")) : 0;
+}
+
+KvFile
+Client::status(const std::string &sessionId)
+{
+    return command("GET", "/status?session=" + sessionId);
+}
+
+tuner::SessionIntrospection
+Client::introspect(const std::string &sessionId)
+{
+    KvFile kv = status(sessionId);
+    tuner::SessionIntrospection view;
+    view.done = kv.getInt("status.done") != 0;
+    view.completedSteps =
+        static_cast<int>(kv.getInt("status.completedSteps"));
+    view.totalSteps = static_cast<int>(kv.getInt("status.totalSteps"));
+    view.generation = static_cast<int>(kv.getInt("status.generation"));
+    view.generationsPerSize =
+        static_cast<int>(kv.getInt("status.generationsPerSize"));
+    view.currentInputSize = kv.getInt("status.currentInputSize");
+    view.populationSize =
+        static_cast<size_t>(kv.getInt("status.populationSize"));
+    view.bestSeconds = kv.getDouble("status.bestSeconds");
+    view.evaluations = kv.getInt("status.evaluations");
+    view.mutationsAccepted = kv.getInt("status.mutationsAccepted");
+    view.mutationsRejected = kv.getInt("status.mutationsRejected");
+    view.cacheHits = kv.getInt("status.cacheHits");
+    view.tuningSeconds = kv.getDouble("status.tuningSeconds");
+    view.compileSeconds = kv.getDouble("status.compileSeconds");
+    view.cacheStats.hits = kv.getInt("cache.hits");
+    view.cacheStats.misses = kv.getInt("cache.misses");
+    view.cacheStats.insertions = kv.getInt("cache.insertions");
+    view.cacheStats.invalidated = kv.getInt("cache.invalidated");
+    return view;
+}
+
+KvFile
+Client::runToCompletion(const std::string &sessionId, int stepsPerCall)
+{
+    while (!introspect(sessionId).done)
+        step(sessionId, stepsPerCall);
+    return champion(sessionId);
+}
+
+KvFile
+Client::champion(const std::string &sessionId)
+{
+    return command("GET", "/champion?session=" + sessionId);
+}
+
+void
+Client::stopSession(const std::string &sessionId)
+{
+    command("POST", "/stop?session=" + sessionId);
+}
+
+void
+Client::resume(const std::string &sessionId)
+{
+    command("POST", "/resume?session=" + sessionId);
+}
+
+KvFile
+Client::stats()
+{
+    return command("GET", "/stats");
+}
+
+void
+Client::shutdownServer()
+{
+    command("POST", "/shutdown");
+}
+
+} // namespace service
+} // namespace petabricks

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Blocking client for the tuning service's HTTP command API.
+ *
+ * One Client owns one keep-alive connection and issues one request at
+ * a time — the remote analogue of holding a TuningSession object. The
+ * remote_tuning example, the daemon smoke test, and the end-to-end
+ * tests all drive the daemon through this class, so the wire protocol
+ * has exactly one client-side implementation.
+ *
+ * Server-reported errors (4xx/5xx) surface as FatalError carrying the
+ * server's message; transport failures (daemon died mid-request)
+ * surface as FatalError from the socket layer.
+ */
+
+#ifndef PETABRICKS_SERVICE_CLIENT_H
+#define PETABRICKS_SERVICE_CLIENT_H
+
+#include <cstdint>
+#include <string>
+
+#include "support/kvfile.h"
+#include "support/socket.h"
+#include "tuner/session.h"
+
+namespace petabricks {
+namespace service {
+
+/** See file comment. */
+class Client
+{
+  public:
+    /** Connect to a running daemon; fatal error when unreachable. */
+    Client(const std::string &host, uint16_t port);
+
+    /** Round-trip liveness probe. */
+    void ping();
+
+    /**
+     * Create a session from @p options (same keys as
+     * SessionSpec::fromCreateRequest; `benchmark` is required).
+     * @return the new session id.
+     */
+    std::string create(const KvFile &options);
+
+    /**
+     * Advance @p sessionId by @p steps generations. Blocks until the
+     * steps complete when @p wait (the default); otherwise returns
+     * immediately after the daemon accepts the work — poll status()
+     * to watch it land.
+     * @return generations actually run (0 for no-wait calls).
+     */
+    int step(const std::string &sessionId, int steps, bool wait = true);
+
+    /** Raw status body (status.* / cache.* keys). */
+    KvFile status(const std::string &sessionId);
+
+    /** status() decoded into the introspection struct. */
+    tuner::SessionIntrospection introspect(const std::string &sessionId);
+
+    /** step() until the search completes (polling when detached work
+     * is in flight), then return the champion body. */
+    KvFile runToCompletion(const std::string &sessionId,
+                           int stepsPerCall = 8);
+
+    /** Champion body: config keys + champion.* metadata. */
+    KvFile champion(const std::string &sessionId);
+
+    /** Delete the session (live state and spool files). */
+    void stopSession(const std::string &sessionId);
+
+    /** Rehydrate a spooled session (e.g. after a daemon restart). */
+    void resume(const std::string &sessionId);
+
+    /** Server + table counters. */
+    KvFile stats();
+
+    /** Ask the daemon to exit its serve loop. */
+    void shutdownServer();
+
+    /**
+     * One raw command round-trip: @p target is the request target
+     * ("/step?session=s1"), @p body the request payload. Returns the
+     * response body parsed as a KvFile; throws FatalError on non-2xx.
+     */
+    KvFile command(const std::string &method, const std::string &target,
+                   const std::string &body = std::string());
+
+  private:
+    std::string host_;
+    net::TcpStream stream_;
+    std::string inbox_; ///< bytes read past the previous response
+};
+
+} // namespace service
+} // namespace petabricks
+
+#endif // PETABRICKS_SERVICE_CLIENT_H

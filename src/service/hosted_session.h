@@ -1,0 +1,137 @@
+/**
+ * @file
+ * One tuning search hosted inside the service daemon.
+ *
+ * A SessionSpec is the *fully resolved* recipe for a search — canonical
+ * benchmark name, machine profile, concrete TunerOptions — in KvFile
+ * form. Resolving happens exactly once, when a `create` request's
+ * partial options meet the benchmark's defaults; after that the spec
+ * is immutable and travels with the session to the spool directory.
+ * That is what makes checkpoint-backed eviction transparent: a
+ * rehydrated session is rebuilt from the identical spec and restores
+ * the identical search state, so an evicted-and-resumed search reaches
+ * a champion bit-identical to one that never left memory.
+ *
+ * HostedSession bundles the spec with the live objects it implies
+ * (benchmark instance, ModelEngine, EngineEvaluator, TuningSession)
+ * and keeps a lock-protected introspection snapshot that the `status`
+ * endpoint reads while a worker thread is stepping — status never
+ * waits for a generation to finish.
+ */
+
+#ifndef PETABRICKS_SERVICE_HOSTED_SESSION_H
+#define PETABRICKS_SERVICE_HOSTED_SESSION_H
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "benchmarks/registry.h"
+#include "engine/execution_engine.h"
+#include "support/kvfile.h"
+#include "tuner/session.h"
+
+namespace petabricks {
+namespace service {
+
+/** See file comment. */
+struct SessionSpec
+{
+    std::string benchmark; ///< canonical display name ("Sort", ...)
+    std::string machine = "Desktop";
+
+    /** ModelEngine batch parallelism *within* this session. Defaults
+     * to 1: a daemon hosting many sessions gets its parallelism from
+     * stepping sessions concurrently, not from nested pools. */
+    int engineParallelism = 1;
+
+    /** Concrete search knobs (no unresolved defaults). */
+    tuner::TunerOptions tuner;
+
+    /**
+     * Resolve a `create` request body into a concrete spec. Required
+     * key: `benchmark`. Optional keys: `machine`, `seed`,
+     * `populationSize`, `generationsPerSize`, `minInputSize`,
+     * `maxInputSize`, `sizeGrowthFactor`, `trialsPerEvaluation`,
+     * `cacheEvaluations`, `engineParallelism`. Unset search knobs take
+     * the benchmark's tuning defaults and the machine's compile-model
+     * parameters. Fatal error on unknown benchmark/machine names or
+     * out-of-range values.
+     */
+    static SessionSpec fromCreateRequest(const KvFile &kv);
+
+    /** Spool round-trip (exact: resolves to the same search). */
+    KvFile toKv() const;
+    static SessionSpec fromKv(const KvFile &kv);
+};
+
+/** See file comment. */
+class HostedSession
+{
+  public:
+    /** Build the live search a spec describes (at generation 0). */
+    explicit HostedSession(SessionSpec spec);
+
+    const SessionSpec &spec() const { return spec_; }
+
+    bool done() const { return session_.done(); }
+
+    /**
+     * Advance up to @p steps generations (stops early when the search
+     * completes), refreshing the status snapshot after every
+     * generation and invoking @p afterStep (checkpoint hook) if set.
+     * @return generations actually run. Must not be called
+     * concurrently with itself, save(), load(), or champion() — the
+     * SessionTable's per-session busy flag enforces that.
+     */
+    int stepMany(int steps,
+                 const std::function<void()> &afterStep = nullptr);
+
+    /**
+     * Status snapshot. Safe to call from any thread at any time,
+     * including while another thread is inside stepMany().
+     */
+    tuner::SessionIntrospection introspect() const;
+
+    /**
+     * Champion in choice-configuration-file form: the config's own
+     * keys plus `champion.seconds`, `champion.description`, and
+     * `champion.done`.
+     */
+    KvFile championKv() const;
+
+    /** Champion snapshot as a TuningResult (see TuningSession). */
+    tuner::TuningResult result() const { return session_.result(); }
+
+    /** Checkpoint atomically (write-to-temp + rename, so a daemon
+     * killed mid-save never leaves a torn file behind). */
+    void save(const std::string &path) const;
+
+    /** Restore a checkpoint written by save() for the same spec. */
+    void load(const std::string &path);
+
+  private:
+    void refreshSnapshot();
+
+    SessionSpec spec_;
+    apps::BenchmarkPtr benchmark_;
+    engine::ModelEngine engine_;
+    engine::EngineEvaluator evaluator_;
+    tuner::TuningSession session_;
+
+    mutable std::mutex snapshotMutex_;
+    tuner::SessionIntrospection snapshot_;
+};
+
+/**
+ * Run the search @p spec describes start-to-finish in-process — the
+ * reference the service tests and the remote-tuning CLI compare a
+ * hosted search's champion against.
+ */
+tuner::TuningResult runSpecLocally(const SessionSpec &spec);
+
+} // namespace service
+} // namespace petabricks
+
+#endif // PETABRICKS_SERVICE_HOSTED_SESSION_H

@@ -1,0 +1,467 @@
+#include "service/server.h"
+
+#include <chrono>
+#include <poll.h>
+#include <vector>
+
+#include "support/error.h"
+#include "support/logging.h"
+
+namespace petabricks {
+namespace service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+microsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::micro>(Clock::now() - start)
+        .count();
+}
+
+/** Render a status snapshot as the `status` endpoint's body. */
+KvFile
+introspectionToKv(const tuner::SessionIntrospection &view)
+{
+    KvFile kv;
+    kv.setInt("status.done", view.done ? 1 : 0);
+    kv.setInt("status.completedSteps", view.completedSteps);
+    kv.setInt("status.totalSteps", view.totalSteps);
+    kv.setInt("status.generation", view.generation);
+    kv.setInt("status.generationsPerSize", view.generationsPerSize);
+    kv.setInt("status.currentInputSize", view.currentInputSize);
+    kv.setInt("status.populationSize",
+              static_cast<int64_t>(view.populationSize));
+    kv.setDouble("status.bestSeconds", view.bestSeconds);
+    kv.setInt("status.evaluations", view.evaluations);
+    kv.setInt("status.mutationsAccepted", view.mutationsAccepted);
+    kv.setInt("status.mutationsRejected", view.mutationsRejected);
+    kv.setInt("status.cacheHits", view.cacheHits);
+    kv.setDouble("status.tuningSeconds", view.tuningSeconds);
+    kv.setDouble("status.compileSeconds", view.compileSeconds);
+    kv.setInt("cache.hits", view.cacheStats.hits);
+    kv.setInt("cache.misses", view.cacheStats.misses);
+    kv.setInt("cache.insertions", view.cacheStats.insertions);
+    kv.setInt("cache.invalidated", view.cacheStats.invalidated);
+    return kv;
+}
+
+const std::string &
+requiredParam(const HttpRequest &request, const std::string &key)
+{
+    auto it = request.query.find(key);
+    if (it == request.query.end() || it->second.empty())
+        PB_FATAL("missing required parameter '" << key << "'");
+    return it->second;
+}
+
+} // namespace
+
+TuningServer::TuningServer(ServerOptions options)
+    : options_(std::move(options)), table_(options_.table)
+{
+    PB_ASSERT(options_.workers >= 1, "need at least one worker");
+}
+
+TuningServer::~TuningServer()
+{
+    stop();
+}
+
+void
+TuningServer::start()
+{
+    PB_ASSERT(!running_.load(), "server already started");
+    listener_ = std::make_unique<net::TcpListener>(options_.host,
+                                                   options_.port);
+    port_ = listener_->port();
+    stopping_.store(false);
+    running_.store(true);
+
+    ioThread_ = std::thread([this] { ioLoop(); });
+
+    // The worker pool: park one parallelFor() on a pump thread, with
+    // every index running the drain loop until shutdown — ThreadPool's
+    // fork-join surface reused as a resident worker pool.
+    pool_ = std::make_unique<ThreadPool>(options_.workers);
+    const size_t width = static_cast<size_t>(pool_->threadCount());
+    pumpThread_ = std::thread([this, width] {
+        pool_->parallelFor(width, [this](size_t) { workerLoop(); });
+    });
+    PB_INFORM("tunerd listening on " << options_.host << ":" << port_);
+}
+
+void
+TuningServer::stop()
+{
+    if (!running_.exchange(false))
+        return;
+    stopping_.store(true);
+    wakeup_.notify();
+    if (ioThread_.joinable())
+        ioThread_.join();
+    {
+        std::lock_guard<std::mutex> lock(workMutex_);
+        workCv_.notify_all();
+    }
+    if (pumpThread_.joinable())
+        pumpThread_.join();
+    pool_.reset();
+    connections_.clear();
+    listener_.reset();
+}
+
+void
+TuningServer::workerLoop()
+{
+    for (;;) {
+        WorkItem item;
+        {
+            std::unique_lock<std::mutex> lock(workMutex_);
+            workCv_.wait(lock, [this] {
+                return stopping_.load() || !workQueue_.empty();
+            });
+            if (stopping_.load())
+                return; // queued work is abandoned; sessions are
+                        // checkpointed at their last completed step
+            item = std::move(workQueue_.front());
+            workQueue_.pop_front();
+        }
+        HttpResponse response = timedDispatch(item.request);
+        if (item.connId != 0) {
+            std::lock_guard<std::mutex> lock(doneMutex_);
+            doneQueue_.push_back({item.connId, response.serialize()});
+        }
+        wakeup_.notify();
+    }
+}
+
+void
+TuningServer::pumpRequests(uint64_t connId, Connection &connection)
+{
+    while (!connection.awaitingWorker) {
+        std::optional<HttpRequest> request = connection.parser.next();
+        if (!request)
+            break;
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++requestsServed_;
+        }
+        if (request->path == "/step") {
+            if (request->param("wait", "1") != "0") {
+                // Blocking step: the connection waits for the worker's
+                // response; the I/O loop moves on.
+                connection.awaitingWorker = true;
+                std::lock_guard<std::mutex> lock(workMutex_);
+                workQueue_.push_back({connId, std::move(*request)});
+                workCv_.notify_one();
+            } else {
+                // Detached step: acknowledge now, step in the
+                // background, let `status` polling observe progress.
+                HttpResponse accepted;
+                accepted.status = 202;
+                accepted.body = "accepted = 1\nsession = " +
+                                request->param("session") + "\n";
+                connection.outbox += accepted.serialize();
+                std::lock_guard<std::mutex> lock(workMutex_);
+                workQueue_.push_back({0, std::move(*request)});
+                workCv_.notify_one();
+            }
+            continue;
+        }
+        connection.outbox += timedDispatch(*request).serialize();
+    }
+    if (connection.parser.failed()) {
+        connection.outbox +=
+            HttpResponse::error(400, connection.parser.failReason())
+                .serialize();
+        connection.closeAfterWrite = true;
+    }
+}
+
+HttpResponse
+TuningServer::timedDispatch(const HttpRequest &request)
+{
+    Clock::time_point start = Clock::now();
+    HttpResponse response;
+    try {
+        response = dispatch(request);
+    } catch (const FatalError &error) {
+        // User-level errors: unknown ids are 404, everything else
+        // (bad options, malformed bodies, missing params) is 400.
+        const std::string what = error.what();
+        int status = (what.find("unknown session") != std::string::npos ||
+                      what.find("no spooled session") != std::string::npos)
+                         ? 404
+                         : 400;
+        response = HttpResponse::error(status, what);
+    } catch (const std::exception &error) {
+        response = HttpResponse::error(500, error.what());
+    }
+    std::string command =
+        request.path.empty() ? std::string("?") : request.path.substr(1);
+    recordCommand(command, response.status, microsSince(start));
+    return response;
+}
+
+void
+TuningServer::recordCommand(const std::string &command, int status,
+                            double micros)
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    CommandStats &stats = commandStats_[command];
+    ++stats.count;
+    if (status >= 400)
+        ++stats.errors;
+    stats.totalMicros += micros;
+    stats.maxMicros = std::max(stats.maxMicros, micros);
+}
+
+HttpResponse
+TuningServer::dispatch(const HttpRequest &request)
+{
+    const std::string &path = request.path;
+
+    if (path == "/ping")
+        return HttpResponse::ok("pong = 1\n");
+
+    if (path == "/create") {
+        SessionSpec spec =
+            SessionSpec::fromCreateRequest(KvFile::fromString(request.body));
+        const std::string id = table_.create(spec);
+        KvFile kv = spec.toKv();
+        kv.set("session", id);
+        return HttpResponse::ok(kv.toString());
+    }
+
+    if (path == "/step") {
+        // Reached on a worker thread (the I/O loop routes /step here
+        // via the work queue); blocking on the session entry is fine.
+        const std::string &id = requiredParam(request, "session");
+        int steps =
+            static_cast<int>(request.intParam("steps", 1));
+        if (steps < 1)
+            PB_FATAL("'steps' must be >= 1");
+        int advanced = table_.step(id, steps);
+        KvFile kv = introspectionToKv(table_.status(id));
+        kv.set("session", id);
+        kv.setInt("step.requested", steps);
+        kv.setInt("step.advanced", advanced);
+        return HttpResponse::ok(kv.toString());
+    }
+
+    if (path == "/status") {
+        const std::string &id = requiredParam(request, "session");
+        KvFile kv = introspectionToKv(table_.status(id));
+        kv.set("session", id);
+        return HttpResponse::ok(kv.toString());
+    }
+
+    if (path == "/champion") {
+        const std::string &id = requiredParam(request, "session");
+        KvFile kv = table_.champion(id);
+        kv.set("session", id);
+        return HttpResponse::ok(kv.toString());
+    }
+
+    if (path == "/stop") {
+        const std::string &id = requiredParam(request, "session");
+        table_.stop(id);
+        return HttpResponse::ok("stopped = 1\nsession = " + id + "\n");
+    }
+
+    if (path == "/resume") {
+        const std::string &id = requiredParam(request, "session");
+        table_.resume(id);
+        KvFile kv = introspectionToKv(table_.status(id));
+        kv.set("session", id);
+        return HttpResponse::ok(kv.toString());
+    }
+
+    if (path == "/list") {
+        KvFile kv;
+        std::vector<std::string> ids = table_.list();
+        kv.setInt("sessions", static_cast<int64_t>(ids.size()));
+        for (size_t i = 0; i < ids.size(); ++i)
+            kv.set("session." + std::to_string(i), ids[i]);
+        return HttpResponse::ok(kv.toString());
+    }
+
+    if (path == "/stats")
+        return HttpResponse::ok(statsKv().toString());
+
+    if (path == "/shutdown") {
+        shutdownRequested_.store(true);
+        wakeup_.notify();
+        return HttpResponse::ok("shutdown = 1\n");
+    }
+
+    return HttpResponse::error(404, "no such command: " + path);
+}
+
+KvFile
+TuningServer::statsKv() const
+{
+    KvFile kv;
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        kv.setInt("server.connectionsAccepted", connectionsAccepted_);
+        kv.setInt("server.requests", requestsServed_);
+        for (const auto &[name, stats] : commandStats_) {
+            const std::string prefix = "command." + name + ".";
+            kv.setInt(prefix + "count", stats.count);
+            kv.setInt(prefix + "errors", stats.errors);
+            kv.setDouble(prefix + "meanMicros",
+                         stats.count ? stats.totalMicros / stats.count
+                                     : 0.0);
+            kv.setDouble(prefix + "maxMicros", stats.maxMicros);
+        }
+    }
+    SessionTableStats table = table_.stats();
+    kv.setInt("table.created", table.created);
+    kv.setInt("table.resumed", table.resumed);
+    kv.setInt("table.evictions", table.evictions);
+    kv.setInt("table.rehydrations", table.rehydrations);
+    kv.setInt("table.expired", table.expired);
+    kv.setInt("table.stopped", table.stopped);
+    kv.setInt("table.resident", static_cast<int64_t>(table.resident));
+    kv.setInt("table.total", static_cast<int64_t>(table.total));
+    kv.setInt("table.peakResident",
+              static_cast<int64_t>(table.peakResident));
+    kv.setInt("table.residentCap",
+              static_cast<int64_t>(options_.table.residentCap));
+    kv.setInt("server.workers", options_.workers);
+    return kv;
+}
+
+void
+TuningServer::ioLoop()
+{
+    Clock::time_point nextSweep =
+        Clock::now() + std::chrono::seconds(options_.sweepIntervalSeconds);
+
+    while (!stopping_.load()) {
+        // ---- Build the poll set ---------------------------------------
+        std::vector<pollfd> fds;
+        std::vector<uint64_t> fdConn; // index-aligned; 0 = not a conn
+        fds.push_back({listener_->fd(), POLLIN, 0});
+        fdConn.push_back(0);
+        fds.push_back({wakeup_.readFd(), POLLIN, 0});
+        fdConn.push_back(0);
+        for (auto &[id, connection] : connections_) {
+            short events = POLLIN;
+            if (!connection.outbox.empty())
+                events |= POLLOUT;
+            fds.push_back({connection.stream.fd(), events, 0});
+            fdConn.push_back(id);
+        }
+
+        ::poll(fds.data(), fds.size(), 200);
+        if (stopping_.load())
+            break;
+
+        // ---- Worker completions (the sel_thread bridge) ---------------
+        wakeup_.drain();
+        {
+            std::deque<WorkDone> finished;
+            {
+                std::lock_guard<std::mutex> lock(doneMutex_);
+                finished.swap(doneQueue_);
+            }
+            for (WorkDone &done : finished) {
+                auto it = connections_.find(done.connId);
+                if (it == connections_.end())
+                    continue; // client vanished mid-step: drop it
+                it->second.outbox += done.wire;
+                it->second.awaitingWorker = false;
+                // Pipelined requests buffered while the step ran.
+                pumpRequests(done.connId, it->second);
+            }
+        }
+
+        // ---- Socket events --------------------------------------------
+        std::vector<uint64_t> dead;
+        for (size_t i = 0; i < fds.size(); ++i) {
+            if (fds[i].revents == 0)
+                continue;
+            if (fds[i].fd == listener_->fd()) {
+                for (;;) {
+                    net::TcpStream stream = listener_->accept();
+                    if (!stream.valid())
+                        break;
+                    uint64_t id = ++nextConnId_;
+                    Connection &connection = connections_[id];
+                    connection.stream = std::move(stream);
+                    connection.parser =
+                        HttpParser(options_.maxRequestBytes);
+                    std::lock_guard<std::mutex> lock(statsMutex_);
+                    ++connectionsAccepted_;
+                }
+                continue;
+            }
+            if (fds[i].fd == wakeup_.readFd())
+                continue; // drained above
+            uint64_t connId = fdConn[i];
+            auto it = connections_.find(connId);
+            if (it == connections_.end())
+                continue;
+            Connection &connection = it->second;
+
+            if (fds[i].revents & (POLLERR | POLLNVAL)) {
+                dead.push_back(connId);
+                continue;
+            }
+            try {
+                if (fds[i].revents & (POLLIN | POLLHUP)) {
+                    char buffer[16384];
+                    for (;;) {
+                        ptrdiff_t n = connection.stream.read(
+                            buffer, sizeof(buffer));
+                        if (n > 0) {
+                            connection.parser.feed(
+                                buffer, static_cast<size_t>(n));
+                            continue;
+                        }
+                        if (n == 0)
+                            connection.peerClosed = true;
+                        break;
+                    }
+                    pumpRequests(connId, connection);
+                }
+                if (!connection.outbox.empty()) {
+                    ptrdiff_t n = connection.stream.write(
+                        connection.outbox.data(),
+                        connection.outbox.size());
+                    if (n > 0)
+                        connection.outbox.erase(
+                            0, static_cast<size_t>(n));
+                }
+            } catch (const FatalError &) {
+                // Hard socket error on one connection: drop it, never
+                // the daemon.
+                dead.push_back(connId);
+                continue;
+            }
+            if (connection.peerClosed && !connection.awaitingWorker &&
+                connection.outbox.empty())
+                dead.push_back(connId);
+            if (connection.closeAfterWrite && connection.outbox.empty())
+                dead.push_back(connId);
+        }
+        for (uint64_t id : dead)
+            connections_.erase(id);
+
+        // ---- Idle-session GC ------------------------------------------
+        Clock::time_point now = Clock::now();
+        if (now >= nextSweep) {
+            table_.sweep(now);
+            nextSweep =
+                now + std::chrono::seconds(options_.sweepIntervalSeconds);
+        }
+    }
+}
+
+} // namespace service
+} // namespace petabricks

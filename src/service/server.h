@@ -1,0 +1,183 @@
+/**
+ * @file
+ * The autotuning service daemon: many tuning sessions behind a small
+ * HTTP command API.
+ *
+ * Architecture (the pazpar2 shape, sel_thread bridge included):
+ *
+ *  - ONE I/O thread owns every socket. It runs a poll() loop over the
+ *    listener, the live connections, and a self-pipe; all sockets are
+ *    non-blocking, requests are parsed incrementally, and responses
+ *    are drained through per-connection outboxes. Quick commands
+ *    (create/status/champion/stop/resume/stats/list) execute inline on
+ *    this thread — they hold the table mutex for microseconds.
+ *
+ *  - `step` — the only long command — is fanned out to a worker pool
+ *    built on support/ThreadPool: the server parks one long-running
+ *    parallelFor() on a pump thread and each index runs the worker
+ *    loop, draining a shared command queue. A finished worker posts
+ *    the serialized response to a completion queue and pokes the
+ *    self-pipe; the I/O thread wakes, matches the response to its
+ *    connection (which may have vanished — then it is dropped), and
+ *    writes it out. The connection waits; the daemon never does.
+ *
+ *  - The idle-session sweeper runs off the poll() timeout on the I/O
+ *    thread: every sweepIntervalSeconds it asks the SessionTable to
+ *    evict idle residents and expire abandoned sessions.
+ *
+ * Threading contract per command: `step` blocks its *connection* until
+ * the requested generations complete (`wait=0` returns 202 immediately
+ * and the stepping continues detached); every other command answers
+ * inline. Two commands on the *same* session serialize on its entry;
+ * commands on different sessions are fully concurrent up to the worker
+ * count.
+ */
+
+#ifndef PETABRICKS_SERVICE_SERVER_H
+#define PETABRICKS_SERVICE_SERVER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "service/http.h"
+#include "service/session_table.h"
+#include "support/socket.h"
+#include "support/thread_pool.h"
+
+namespace petabricks {
+namespace service {
+
+/** Construction knobs for TuningServer. */
+struct ServerOptions
+{
+    std::string host = "127.0.0.1";
+    uint16_t port = 0; ///< 0 = ephemeral; read back with port()
+
+    /** Worker threads stepping sessions (>= 1). */
+    int workers = 4;
+
+    /** Session hosting knobs (spool dir, cap, GC). */
+    SessionTableOptions table;
+
+    /** Seconds between idle-GC sweeps. */
+    int64_t sweepIntervalSeconds = 5;
+
+    /** Per-request size cap (headers + body). */
+    size_t maxRequestBytes = 1 << 20;
+};
+
+/** Per-command request/latency counters (`stats` endpoint). */
+struct CommandStats
+{
+    int64_t count = 0;
+    int64_t errors = 0; ///< non-2xx responses
+    double totalMicros = 0;
+    double maxMicros = 0;
+};
+
+/** See file comment. */
+class TuningServer
+{
+  public:
+    explicit TuningServer(ServerOptions options);
+
+    /** stop()s if still running. */
+    ~TuningServer();
+
+    /** Bind the listener and launch the I/O and worker threads. */
+    void start();
+
+    /** Drain and join everything; idempotent. */
+    void stop();
+
+    /** The bound port (valid after start()). */
+    uint16_t port() const { return port_; }
+
+    SessionTable &table() { return table_; }
+
+    /** True once a client POSTed /shutdown (tunerd polls this). */
+    bool shutdownRequested() const { return shutdownRequested_.load(); }
+
+    /** Full server + table counters in KvFile form. */
+    KvFile statsKv() const;
+
+  private:
+    struct Connection
+    {
+        net::TcpStream stream;
+        HttpParser parser;
+        std::string outbox;
+        bool closeAfterWrite = false;
+        bool awaitingWorker = false; ///< a step response is in flight
+        bool peerClosed = false;
+    };
+
+    struct WorkItem
+    {
+        uint64_t connId = 0; ///< 0: detached (fire-and-forget step)
+        HttpRequest request;
+    };
+
+    struct WorkDone
+    {
+        uint64_t connId = 0;
+        std::string wire; ///< serialized HttpResponse
+    };
+
+    void ioLoop();
+    void workerLoop();
+
+    /** Parse-and-route everything buffered on @p connection. */
+    void pumpRequests(uint64_t connId, Connection &connection);
+
+    /** Execute one command and build its response (any thread). */
+    HttpResponse dispatch(const HttpRequest &request);
+
+    /** dispatch() + per-command stats accounting. */
+    HttpResponse timedDispatch(const HttpRequest &request);
+
+    void recordCommand(const std::string &command, int status,
+                       double micros);
+
+    ServerOptions options_;
+    SessionTable table_;
+    uint16_t port_ = 0;
+
+    std::unique_ptr<net::TcpListener> listener_;
+    net::SelfPipe wakeup_;
+    std::thread ioThread_;
+
+    // The sel_thread bridge: ThreadPool workers drain workQueue_ and
+    // post to doneQueue_; pumpThread_ hosts the pool's parallelFor.
+    std::unique_ptr<ThreadPool> pool_;
+    std::thread pumpThread_;
+    std::mutex workMutex_;
+    std::condition_variable workCv_;
+    std::deque<WorkItem> workQueue_;
+    std::mutex doneMutex_;
+    std::deque<WorkDone> doneQueue_;
+
+    std::map<uint64_t, Connection> connections_;
+    uint64_t nextConnId_ = 0;
+
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> shutdownRequested_{false};
+
+    mutable std::mutex statsMutex_;
+    std::map<std::string, CommandStats> commandStats_;
+    int64_t connectionsAccepted_ = 0;
+    int64_t requestsServed_ = 0;
+};
+
+} // namespace service
+} // namespace petabricks
+
+#endif // PETABRICKS_SERVICE_SERVER_H

@@ -1,0 +1,321 @@
+#include "service/session_table.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "support/error.h"
+#include "support/logging.h"
+
+namespace petabricks {
+namespace service {
+
+namespace fs = std::filesystem;
+
+SessionTable::SessionTable(SessionTableOptions options)
+    : options_(std::move(options))
+{
+    PB_ASSERT(!options_.spoolDir.empty(), "spool directory is required");
+    PB_ASSERT(options_.residentCap >= 1, "resident cap must be >= 1");
+    std::error_code ec;
+    fs::create_directories(options_.spoolDir, ec);
+    if (ec)
+        PB_FATAL("cannot create spool directory '" << options_.spoolDir
+                                                   << "': "
+                                                   << ec.message());
+
+    // A restarted daemon must never hand out an id that collides with
+    // a spooled session from its previous life.
+    for (const fs::directory_entry &entry :
+         fs::directory_iterator(options_.spoolDir, ec)) {
+        if (entry.path().extension() != ".meta")
+            continue;
+        std::string stem = entry.path().stem().string();
+        if (stem.size() > 1 && stem[0] == 's') {
+            char *end = nullptr;
+            uint64_t n = std::strtoull(stem.c_str() + 1, &end, 10);
+            if (end && *end == '\0' && n > nextId_)
+                nextId_ = n;
+        }
+    }
+}
+
+std::string
+SessionTable::checkpointPath(const std::string &id) const
+{
+    return options_.spoolDir + "/" + id + ".ckpt";
+}
+
+std::string
+SessionTable::metaPath(const std::string &id) const
+{
+    return options_.spoolDir + "/" + id + ".meta";
+}
+
+SessionTable::EntryPtr
+SessionTable::find(const std::string &id) const
+{
+    auto it = entries_.find(id);
+    if (it == entries_.end())
+        PB_FATAL("unknown session '" << id << "'");
+    return it->second;
+}
+
+void
+SessionTable::waitNotBusy(Entry &entry, std::unique_lock<std::mutex> &lock)
+{
+    entry.busyCv.wait(lock, [&] { return !entry.busy || entry.dead; });
+    if (entry.dead)
+        PB_FATAL("session '" << entry.id << "' was stopped");
+}
+
+void
+SessionTable::evict(Entry &entry)
+{
+    PB_ASSERT(entry.session && !entry.busy,
+              "evicting a session that is not resident and idle");
+    entry.lastStatus = entry.session->introspect();
+    entry.session->save(checkpointPath(entry.id));
+    entry.session.reset();
+    --resident_;
+    ++stats_.evictions;
+    PB_DEBUG("service: evicted session " << entry.id);
+}
+
+void
+SessionTable::ensureResident(Entry &entry,
+                             std::unique_lock<std::mutex> &lock)
+{
+    while (!entry.session) {
+        if (resident_ < options_.residentCap) {
+            // Rebuild from the immutable spec, then restore the last
+            // checkpoint if one exists (a never-stepped session has
+            // none; generation 0 is exactly its saved state).
+            auto session = std::make_unique<HostedSession>(entry.spec);
+            const std::string ckpt = checkpointPath(entry.id);
+            if (fs::exists(ckpt))
+                session->load(ckpt);
+            entry.session = std::move(session);
+            entry.lastStatus = entry.session->introspect();
+            ++resident_;
+            ++stats_.rehydrations;
+            stats_.peakResident = std::max(stats_.peakResident, resident_);
+            PB_DEBUG("service: rehydrated session " << entry.id);
+            return;
+        }
+        // At capacity: evict the least-recently-touched idle resident,
+        // or wait for a stepping worker to finish and free one.
+        Entry *victim = nullptr;
+        for (auto &[id, candidate] : entries_)
+            if (candidate->session && !candidate->busy &&
+                candidate.get() != &entry &&
+                (!victim || candidate->lastTouch < victim->lastTouch))
+                victim = candidate.get();
+        if (victim)
+            evict(*victim);
+        else
+            roomCv_.wait(lock);
+        if (entry.dead)
+            PB_FATAL("session '" << entry.id << "' was stopped");
+    }
+}
+
+std::string
+SessionTable::create(const SessionSpec &spec)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    const std::string id = "s" + std::to_string(++nextId_);
+    auto entry = std::make_shared<Entry>();
+    entry->id = id;
+    entry->spec = spec;
+    entry->lastTouch = std::chrono::steady_clock::now();
+    entries_[id] = entry;
+    // The spec is immutable: persist it now, so the session survives a
+    // daemon crash from the moment create returns.
+    spec.toKv().save(metaPath(id));
+    // Residency accounting (including the rehydration counter: a
+    // create is the first hydration) goes through the same path as a
+    // spool reload.
+    ensureResident(*entry, lock);
+    ++stats_.created;
+    return id;
+}
+
+std::string
+SessionTable::resume(const std::string &id)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = entries_.find(id);
+    if (it != entries_.end()) {
+        // Already known (not restarted, just evicted or live): a
+        // resume is simply a touch that guarantees residency.
+        EntryPtr entry = it->second;
+        waitNotBusy(*entry, lock);
+        ensureResident(*entry, lock);
+        entry->lastTouch = std::chrono::steady_clock::now();
+        ++stats_.resumed;
+        return id;
+    }
+    const std::string meta = metaPath(id);
+    if (!fs::exists(meta))
+        PB_FATAL("no spooled session '" << id << "' to resume");
+    auto entry = std::make_shared<Entry>();
+    entry->id = id;
+    entry->spec = SessionSpec::fromKv(KvFile::load(meta));
+    entry->lastTouch = std::chrono::steady_clock::now();
+    entries_[id] = entry;
+    ensureResident(*entry, lock);
+    ++stats_.resumed;
+    return id;
+}
+
+int
+SessionTable::step(const std::string &id, int steps)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    EntryPtr entry = find(id);
+    waitNotBusy(*entry, lock);
+    ensureResident(*entry, lock);
+    entry->busy = true;
+    entry->lastTouch = std::chrono::steady_clock::now();
+    HostedSession *session = entry->session.get();
+    lock.unlock();
+
+    // The long part runs without the table mutex: other sessions keep
+    // stepping, status stays responsive, only *this* session is held
+    // (busy flag). Checkpoint after every generation when configured —
+    // an atomic rename per step, so SIGKILL at any instant leaves a
+    // loadable on-trajectory checkpoint.
+    int advanced = 0;
+    std::exception_ptr error;
+    try {
+        std::function<void()> afterStep;
+        if (options_.checkpointEachStep)
+            afterStep = [&] { session->save(checkpointPath(id)); };
+        advanced = session->stepMany(steps, afterStep);
+        if (!options_.checkpointEachStep)
+            session->save(checkpointPath(id));
+    } catch (...) {
+        error = std::current_exception();
+    }
+
+    lock.lock();
+    entry->busy = false;
+    entry->lastTouch = std::chrono::steady_clock::now();
+    entry->lastStatus = session->introspect();
+    entry->busyCv.notify_all();
+    roomCv_.notify_all();
+    if (error)
+        std::rethrow_exception(error);
+    return advanced;
+}
+
+tuner::SessionIntrospection
+SessionTable::status(const std::string &id) const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    EntryPtr entry = find(id);
+    // Live sessions answer from their snapshot (safe mid-step); cold
+    // ones from the status recorded at eviction. Neither blocks, and
+    // neither counts as a touch.
+    if (entry->session)
+        return entry->session->introspect();
+    return entry->lastStatus;
+}
+
+SessionSpec
+SessionTable::spec(const std::string &id) const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return find(id)->spec;
+}
+
+KvFile
+SessionTable::champion(const std::string &id)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    EntryPtr entry = find(id);
+    waitNotBusy(*entry, lock);
+    ensureResident(*entry, lock);
+    entry->lastTouch = std::chrono::steady_clock::now();
+    return entry->session->championKv();
+}
+
+void
+SessionTable::stop(const std::string &id)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    EntryPtr entry = find(id);
+    waitNotBusy(*entry, lock);
+    if (entry->session) {
+        entry->session.reset();
+        --resident_;
+    }
+    entry->dead = true;
+    entry->busyCv.notify_all();
+    entries_.erase(id);
+    ++stats_.stopped;
+    removeSpoolFiles(id);
+    roomCv_.notify_all();
+}
+
+std::vector<std::string>
+SessionTable::list() const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    std::vector<std::string> ids;
+    ids.reserve(entries_.size());
+    for (const auto &[id, entry] : entries_)
+        ids.push_back(id);
+    return ids;
+}
+
+void
+SessionTable::sweep(std::chrono::steady_clock::time_point now)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    std::vector<std::string> expired;
+    for (auto &[id, entry] : entries_) {
+        if (entry->busy)
+            continue;
+        const auto idle = std::chrono::duration_cast<std::chrono::seconds>(
+                              now - entry->lastTouch)
+                              .count();
+        if (entry->session && options_.idleEvictSeconds > 0 &&
+            idle >= options_.idleEvictSeconds)
+            evict(*entry);
+        if (!entry->session && options_.expireSeconds > 0 &&
+            idle >= options_.expireSeconds)
+            expired.push_back(id);
+    }
+    for (const std::string &id : expired) {
+        EntryPtr entry = entries_[id];
+        entry->dead = true;
+        entry->busyCv.notify_all();
+        entries_.erase(id);
+        removeSpoolFiles(id);
+        ++stats_.expired;
+        PB_DEBUG("service: expired abandoned session " << id);
+    }
+    if (!expired.empty())
+        roomCv_.notify_all();
+}
+
+SessionTableStats
+SessionTable::stats() const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    SessionTableStats stats = stats_;
+    stats.resident = resident_;
+    stats.total = entries_.size();
+    return stats;
+}
+
+void
+SessionTable::removeSpoolFiles(const std::string &id)
+{
+    std::remove(checkpointPath(id).c_str());
+    std::remove(metaPath(id).c_str());
+}
+
+} // namespace service
+} // namespace petabricks

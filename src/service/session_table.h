@@ -1,0 +1,187 @@
+/**
+ * @file
+ * The daemon's session table: many concurrent searches in bounded
+ * memory.
+ *
+ * Modeled on pazpar2's session table (one entry per client search,
+ * looked up by id on every command), with one addition the tuning
+ * workload forces: searches are *heavy* (population, caches, engine
+ * state), so the table holds at most `residentCap` of them live.
+ * Colder sessions exist only as a spec + checkpoint pair in the spool
+ * directory and are transparently rebuilt on their next touch — the
+ * TuningSession save()/load() guarantee (identical champion after a
+ * round-trip) is what makes this eviction invisible to clients.
+ *
+ * Concurrency contract:
+ *  - One table mutex guards the map and every residency transition
+ *    (create / rehydrate / evict / destroy, including their disk I/O —
+ *    checkpoints are small, so transitions are short).
+ *  - Stepping runs *outside* the mutex on the caller's (worker)
+ *    thread, with the entry marked busy; per-session busy flags plus
+ *    condition variables serialize step/champion/stop on the same
+ *    session while leaving every other session fully concurrent.
+ *  - status() never blocks on a stepping session: it reads the
+ *    session's lock-protected snapshot (live) or the entry's last
+ *    recorded snapshot (evicted), and deliberately does not count as a
+ *    touch, so a client polling status cannot keep an abandoned
+ *    session resident.
+ *  - Because transitions hold the table mutex, the resident count can
+ *    never overshoot the cap, which the soak test asserts.
+ */
+
+#ifndef PETABRICKS_SERVICE_SESSION_TABLE_H
+#define PETABRICKS_SERVICE_SESSION_TABLE_H
+
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/hosted_session.h"
+
+namespace petabricks {
+namespace service {
+
+/** Construction knobs for SessionTable. */
+struct SessionTableOptions
+{
+    /** Directory for spec (.meta) and checkpoint (.ckpt) files.
+     * Created if missing. */
+    std::string spoolDir;
+
+    /** Maximum sessions held live in memory at once. */
+    size_t residentCap = 64;
+
+    /**
+     * Checkpoint after every generation while stepping. Keeps the
+     * spool current enough that a SIGKILLed daemon loses at most one
+     * generation of progress (and none of its determinism: resuming an
+     * on-trajectory checkpoint replays to the identical champion).
+     */
+    bool checkpointEachStep = true;
+
+    /** Sweeper: evict resident sessions idle longer than this
+     * (seconds; 0 disables idle eviction). */
+    int64_t idleEvictSeconds = 300;
+
+    /** Sweeper: hard-delete sessions untouched longer than this
+     * (seconds; 0 disables expiry — abandoned sessions stay on disk). */
+    int64_t expireSeconds = 0;
+};
+
+/** Monotonic counters, exposed through the `stats` endpoint. */
+struct SessionTableStats
+{
+    int64_t created = 0;
+    int64_t resumed = 0;       ///< resume() calls that found a session
+    int64_t evictions = 0;     ///< live -> spool transitions
+    int64_t rehydrations = 0;  ///< spool -> live transitions
+    int64_t expired = 0;       ///< sessions hard-deleted by the sweeper
+    int64_t stopped = 0;       ///< explicit stop() deletions
+    size_t resident = 0;       ///< live sessions right now
+    size_t total = 0;          ///< table entries right now (live + spooled)
+    size_t peakResident = 0;   ///< high-water mark of `resident`
+};
+
+/** See file comment. */
+class SessionTable
+{
+  public:
+    explicit SessionTable(SessionTableOptions options);
+
+    /** Register a new session and make it resident. @return its id. */
+    std::string create(const SessionSpec &spec);
+
+    /**
+     * Re-register a session known from the spool directory (typically
+     * after a daemon restart) and make it resident at its last
+     * checkpoint. No-op (a touch) when the id is already in the table.
+     * Fatal error when the spool has no such session.
+     */
+    std::string resume(const std::string &id);
+
+    /**
+     * Advance @p id by up to @p steps generations on the calling
+     * thread (the server calls this from its worker pool). Blocks
+     * while another thread is stepping the same session.
+     * @return generations actually run (0 when already done).
+     */
+    int step(const std::string &id, int steps);
+
+    /** Status snapshot; never blocks on stepping, never a touch. */
+    tuner::SessionIntrospection status(const std::string &id) const;
+
+    /** The session's spec (create-time recipe). */
+    SessionSpec spec(const std::string &id) const;
+
+    /** Champion in KvFile form (HostedSession::championKv). */
+    KvFile champion(const std::string &id);
+
+    /** Delete @p id: its live state and its spool files. */
+    void stop(const std::string &id);
+
+    /** Ids currently in the table, sorted. */
+    std::vector<std::string> list() const;
+
+    /**
+     * One sweeper pass at time @p now: evict resident sessions idle
+     * past idleEvictSeconds, hard-delete sessions untouched past
+     * expireSeconds. Split from the timer thread so tests drive GC
+     * deterministically with a synthetic clock.
+     */
+    void sweep(std::chrono::steady_clock::time_point now);
+
+    SessionTableStats stats() const;
+
+    const SessionTableOptions &options() const { return options_; }
+
+    /** Checkpoint path for @p id (exposed for the smoke tooling). */
+    std::string checkpointPath(const std::string &id) const;
+    std::string metaPath(const std::string &id) const;
+
+  private:
+    struct Entry
+    {
+        std::string id;
+        SessionSpec spec;
+        std::unique_ptr<HostedSession> session; ///< null when evicted
+        tuner::SessionIntrospection lastStatus;
+        bool busy = false;   ///< a worker owns the session right now
+        bool dead = false;   ///< stop()ed while someone was waiting
+        std::chrono::steady_clock::time_point lastTouch;
+        std::condition_variable busyCv; ///< waits on the table mutex
+    };
+    using EntryPtr = std::shared_ptr<Entry>;
+
+    EntryPtr find(const std::string &id) const;
+
+    /** Wait until nobody is stepping @p entry (table mutex held). */
+    void waitNotBusy(Entry &entry, std::unique_lock<std::mutex> &lock);
+
+    /** Make @p entry resident, evicting LRU sessions as needed (table
+     * mutex held). */
+    void ensureResident(Entry &entry,
+                        std::unique_lock<std::mutex> &lock);
+
+    /** Evict a resident, non-busy entry (table mutex held). */
+    void evict(Entry &entry);
+
+    /** Delete @p entry's spool files (best-effort). */
+    void removeSpoolFiles(const std::string &id);
+
+    SessionTableOptions options_;
+    mutable std::mutex mutex_;
+    std::condition_variable roomCv_; ///< capacity may have freed up
+    std::map<std::string, EntryPtr> entries_;
+    uint64_t nextId_ = 0;
+    size_t resident_ = 0;
+    SessionTableStats stats_;
+};
+
+} // namespace service
+} // namespace petabricks
+
+#endif // PETABRICKS_SERVICE_SESSION_TABLE_H

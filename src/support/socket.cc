@@ -1,0 +1,195 @@
+#include "support/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "support/error.h"
+
+namespace petabricks {
+namespace net {
+
+Fd &
+Fd::operator=(Fd &&other) noexcept
+{
+    if (this != &other) {
+        reset();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+Fd::reset()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+        PB_FATAL("fcntl(O_NONBLOCK): " << std::strerror(errno));
+}
+
+namespace {
+
+sockaddr_in
+makeAddress(const std::string &host, uint16_t port)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+        PB_FATAL("bad IPv4 address '" << host << "'");
+    return addr;
+}
+
+Fd
+makeTcpSocket()
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        PB_FATAL("socket(): " << std::strerror(errno));
+    return Fd(fd);
+}
+
+} // namespace
+
+TcpStream
+TcpStream::connect(const std::string &host, uint16_t port)
+{
+    Fd fd = makeTcpSocket();
+    sockaddr_in addr = makeAddress(host, port);
+    int rc;
+    do {
+        rc = ::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0)
+        PB_FATAL("connect to " << host << ":" << port << ": "
+                               << std::strerror(errno));
+    int one = 1;
+    ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return TcpStream(std::move(fd));
+}
+
+ptrdiff_t
+TcpStream::read(char *buffer, size_t capacity)
+{
+    ptrdiff_t n;
+    do {
+        n = ::read(fd_.get(), buffer, capacity);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return -1;
+        PB_FATAL("socket read: " << std::strerror(errno));
+    }
+    return n;
+}
+
+ptrdiff_t
+TcpStream::write(const char *buffer, size_t size)
+{
+    ptrdiff_t n;
+    do {
+        // MSG_NOSIGNAL: a vanished peer must surface as an EPIPE error
+        // result, not kill the daemon with SIGPIPE.
+        n = ::send(fd_.get(), buffer, size, MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return -1;
+        PB_FATAL("socket write: " << std::strerror(errno));
+    }
+    return n;
+}
+
+void
+TcpStream::writeAll(const std::string &data)
+{
+    size_t sent = 0;
+    while (sent < data.size()) {
+        ptrdiff_t n = write(data.data() + sent, data.size() - sent);
+        PB_ASSERT(n >= 0, "writeAll() requires a blocking socket");
+        sent += static_cast<size_t>(n);
+    }
+}
+
+TcpListener::TcpListener(const std::string &host, uint16_t port)
+{
+    fd_ = makeTcpSocket();
+    int one = 1;
+    ::setsockopt(fd_.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr = makeAddress(host, port);
+    if (::bind(fd_.get(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0)
+        PB_FATAL("bind " << host << ":" << port << ": "
+                         << std::strerror(errno));
+    if (::listen(fd_.get(), 64) < 0)
+        PB_FATAL("listen: " << std::strerror(errno));
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd_.get(), reinterpret_cast<sockaddr *>(&addr),
+                      &len) < 0)
+        PB_FATAL("getsockname: " << std::strerror(errno));
+    port_ = ntohs(addr.sin_port);
+    setNonBlocking(fd_.get());
+}
+
+TcpStream
+TcpListener::accept()
+{
+    int fd;
+    do {
+        fd = ::accept(fd_.get(), nullptr, nullptr);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK ||
+            errno == ECONNABORTED)
+            return TcpStream();
+        PB_FATAL("accept: " << std::strerror(errno));
+    }
+    setNonBlocking(fd);
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return TcpStream(Fd(fd));
+}
+
+SelfPipe::SelfPipe()
+{
+    int fds[2];
+    if (::pipe2(fds, O_CLOEXEC | O_NONBLOCK) < 0)
+        PB_FATAL("pipe2: " << std::strerror(errno));
+    read_ = Fd(fds[0]);
+    write_ = Fd(fds[1]);
+}
+
+void
+SelfPipe::notify()
+{
+    char byte = 1;
+    // A full pipe already guarantees a pending wake-up; EAGAIN is fine.
+    [[maybe_unused]] ssize_t n = ::write(write_.get(), &byte, 1);
+}
+
+void
+SelfPipe::drain()
+{
+    char buffer[256];
+    while (::read(read_.get(), buffer, sizeof(buffer)) > 0) {
+    }
+}
+
+} // namespace net
+} // namespace petabricks

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Thin RAII wrappers over POSIX TCP sockets and a self-pipe.
+ *
+ * The service daemon's front end is a single poll() loop that owns
+ * every socket (the pazpar2 shape: one event thread, non-blocking
+ * I/O), with worker threads handing finished results back through a
+ * SelfPipe wake-up — the classic sel_thread bridge. These wrappers
+ * keep the fd bookkeeping (CLOEXEC, non-blocking mode, EINTR retries,
+ * close-on-destroy) out of the server logic, and give the blocking
+ * service::Client the same primitives.
+ *
+ * Deliberately minimal: IPv4 only, no TLS, loopback-oriented — the
+ * daemon is an intra-host control plane, not an internet service.
+ */
+
+#ifndef PETABRICKS_SUPPORT_SOCKET_H
+#define PETABRICKS_SUPPORT_SOCKET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace petabricks {
+namespace net {
+
+/** Owning file descriptor; closes on destruction, move-only. */
+class Fd
+{
+  public:
+    Fd() = default;
+    explicit Fd(int fd) : fd_(fd) {}
+    ~Fd() { reset(); }
+
+    Fd(Fd &&other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Fd &operator=(Fd &&other) noexcept;
+    Fd(const Fd &) = delete;
+    Fd &operator=(const Fd &) = delete;
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    /** Close the held descriptor (no-op when empty). */
+    void reset();
+
+  private:
+    int fd_ = -1;
+};
+
+/** Put @p fd in non-blocking mode; fatal error on failure. */
+void setNonBlocking(int fd);
+
+/**
+ * A connected TCP byte stream. Obtained from TcpListener::accept()
+ * (server side, non-blocking) or TcpStream::connect() (client side,
+ * blocking).
+ */
+class TcpStream
+{
+  public:
+    TcpStream() = default;
+    explicit TcpStream(Fd fd) : fd_(std::move(fd)) {}
+
+    /** Blocking connect to @p host:@p port; fatal error on failure. */
+    static TcpStream connect(const std::string &host, uint16_t port);
+
+    bool valid() const { return fd_.valid(); }
+    int fd() const { return fd_.get(); }
+    void close() { fd_.reset(); }
+
+    /**
+     * Read up to @p capacity bytes into @p buffer.
+     * @return bytes read; 0 on orderly peer close; -1 when the socket
+     *         is non-blocking and no data is available. Fatal error on
+     *         hard I/O errors.
+     */
+    ptrdiff_t read(char *buffer, size_t capacity);
+
+    /**
+     * Write up to @p size bytes from @p buffer.
+     * @return bytes written (possibly short); -1 when the socket is
+     *         non-blocking and the send buffer is full. Fatal error on
+     *         hard I/O errors (including a closed peer: EPIPE is an
+     *         error result, not a signal).
+     */
+    ptrdiff_t write(const char *buffer, size_t size);
+
+    /** Blocking: write the whole buffer; fatal error on failure. */
+    void writeAll(const std::string &data);
+
+  private:
+    Fd fd_;
+};
+
+/** A listening TCP socket bound to @p host:@p port. */
+class TcpListener
+{
+  public:
+    /**
+     * Bind and listen. @p port 0 picks an ephemeral port — read the
+     * actual one back with port(). SO_REUSEADDR is set so a restarted
+     * daemon can rebind its old port immediately. Fatal error on
+     * failure. The accept socket is non-blocking.
+     */
+    TcpListener(const std::string &host, uint16_t port);
+
+    int fd() const { return fd_.get(); }
+
+    /** The locally bound port (resolves port-0 binds). */
+    uint16_t port() const { return port_; }
+
+    /**
+     * Accept one pending connection, already set non-blocking.
+     * Returns an invalid stream when no connection is pending.
+     */
+    TcpStream accept();
+
+  private:
+    Fd fd_;
+    uint16_t port_ = 0;
+};
+
+/**
+ * The sel_thread wake-up: worker threads notify() when they finish a
+ * job; the poll() loop watches readFd() and drain()s the bytes. Writes
+ * are non-blocking — a full pipe is fine, one pending byte is enough
+ * to wake the loop.
+ */
+class SelfPipe
+{
+  public:
+    SelfPipe();
+
+    int readFd() const { return read_.get(); }
+
+    /** Wake the poller (safe from any thread). */
+    void notify();
+
+    /** Consume all pending wake-up bytes. */
+    void drain();
+
+  private:
+    Fd read_;
+    Fd write_;
+};
+
+} // namespace net
+} // namespace petabricks
+
+#endif // PETABRICKS_SUPPORT_SOCKET_H

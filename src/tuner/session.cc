@@ -276,6 +276,28 @@ TuningSession::result() const
     return snapshot;
 }
 
+SessionIntrospection
+TuningSession::introspect() const
+{
+    SessionIntrospection view;
+    view.done = done();
+    view.completedSteps = completedSteps();
+    view.totalSteps = totalSteps();
+    view.generation = generation_;
+    view.generationsPerSize = options_.generationsPerSize;
+    view.currentInputSize = currentInputSize();
+    view.populationSize = population_.size();
+    view.bestSeconds = population_.front().seconds;
+    view.evaluations = report_.evaluations;
+    view.mutationsAccepted = report_.mutationsAccepted;
+    view.mutationsRejected = report_.mutationsRejected;
+    view.cacheHits = report_.cacheHits;
+    view.tuningSeconds = report_.tuningSeconds;
+    view.compileSeconds = report_.compileSeconds;
+    view.cacheStats = cache_.stats();
+    return view;
+}
+
 void
 TuningSession::onProgress(ProgressCallback callback)
 {
@@ -361,14 +383,18 @@ TuningSession::load(const std::string &path)
                  << "' was saved under different tuner options (search "
                     "schedule mismatch)");
 
+    // From here on the checkpoint's *content* is being trusted; a
+    // truncated or hand-damaged file is a user-input problem, so every
+    // violation raises a clean FatalError rather than tripping an
+    // internal-invariant assert.
     int64_t sizeIndex = kv.getInt("session.sizeIndex");
     int64_t generation = kv.getInt("session.generation");
-    PB_ASSERT(sizeIndex >= 0 &&
-                  sizeIndex <= static_cast<int64_t>(sizes_.size()),
-              "checkpoint size index out of range");
-    PB_ASSERT(generation >= 0 &&
-                  generation < options_.generationsPerSize,
-              "checkpoint generation out of range");
+    if (sizeIndex < 0 || sizeIndex > static_cast<int64_t>(sizes_.size()))
+        PB_FATAL("checkpoint '" << path << "' size index " << sizeIndex
+                                << " out of range");
+    if (generation < 0 || generation >= options_.generationsPerSize)
+        PB_FATAL("checkpoint '" << path << "' generation " << generation
+                                << " out of range");
     sizeIndex_ = static_cast<size_t>(sizeIndex);
     generation_ = static_cast<int>(generation);
 
@@ -382,10 +408,12 @@ TuningSession::load(const std::string &path)
 
     std::istringstream rngState(kv.get("session.rng"));
     rngState >> rng_.engine();
-    PB_ASSERT(!rngState.fail(), "corrupt RNG state in checkpoint");
+    if (rngState.fail())
+        PB_FATAL("checkpoint '" << path << "' has a corrupt RNG state");
 
     int64_t count = kv.getInt("session.population");
-    PB_ASSERT(count >= 1, "checkpoint population is empty");
+    if (count < 1)
+        PB_FATAL("checkpoint '" << path << "' population is empty");
     population_.clear();
     for (int64_t i = 0; i < count; ++i) {
         const std::string prefix = memberPrefix(static_cast<size_t>(i));

@@ -59,6 +59,35 @@ struct SessionProgress
     int64_t cacheHits = 0;
 };
 
+/**
+ * Point-in-time view of a session's search cursor and accounting,
+ * cheap to take between steps. This is what a hosting layer (the
+ * service's `status` endpoint) reports without touching the search
+ * state, and what tests assert on without driving a full run.
+ */
+struct SessionIntrospection
+{
+    bool done = false;
+    int completedSteps = 0;
+    int totalSteps = 0;
+    int generation = 0;       ///< completed generations at currentInputSize
+    int generationsPerSize = 0;
+    int64_t currentInputSize = 0; ///< size the next step() tests at
+    size_t populationSize = 0;    ///< live members (<= options cap)
+    double bestSeconds = 0.0;     ///< champion score at the current size
+
+    /** Accounting so far (mirrors TuningResult counters). */
+    int64_t evaluations = 0;
+    int64_t mutationsAccepted = 0;
+    int64_t mutationsRejected = 0;
+    int64_t cacheHits = 0;
+    double tuningSeconds = 0.0;
+    double compileSeconds = 0.0;
+
+    /** EvaluationCache hit/miss/eviction counters. */
+    EvaluationCacheStats cacheStats;
+};
+
 /** See file comment. */
 class TuningSession
 {
@@ -113,6 +142,9 @@ class TuningSession
     void onProgress(ProgressCallback callback);
 
     const EvaluationCache &cache() const { return cache_; }
+
+    /** Cursor + accounting snapshot; see SessionIntrospection. */
+    SessionIntrospection introspect() const;
 
     const TunerOptions &options() const { return options_; }
 

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * End-to-end service tests: a real TuningServer on an ephemeral port,
+ * driven over real sockets by service::Client. Covers the full command
+ * lifecycle, detached stepping, error mapping, the stats endpoint, and
+ * resume across a server restart on the same spool directory.
+ */
+
+#include <chrono>
+#include <filesystem>
+#include <gtest/gtest.h>
+#include <thread>
+
+#include "service/client.h"
+#include "service/server.h"
+#include "support/error.h"
+
+using namespace petabricks;
+using namespace petabricks::service;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+spoolDir(const char *name)
+{
+    std::string path =
+        std::string(::testing::TempDir()) + "pb_service_e2e_" + name;
+    fs::remove_all(path);
+    return path;
+}
+
+ServerOptions
+serverOptions(const std::string &spool)
+{
+    ServerOptions options;
+    options.port = 0; // ephemeral
+    options.workers = 2;
+    options.table.spoolDir = spool;
+    return options;
+}
+
+KvFile
+tinyCreate(uint64_t seed = 42)
+{
+    KvFile kv;
+    kv.set("benchmark", "Sort");
+    kv.setInt("seed", static_cast<int64_t>(seed));
+    kv.setInt("populationSize", 4);
+    kv.setInt("generationsPerSize", 3);
+    kv.setInt("minInputSize", 64);
+    kv.setInt("maxInputSize", 256);
+    return kv;
+}
+
+/** The same search run in-process — the determinism reference. */
+tuner::TuningResult
+referenceRun(uint64_t seed = 42)
+{
+    return runSpecLocally(SessionSpec::fromCreateRequest(tinyCreate(seed)));
+}
+
+void
+expectChampionMatches(const KvFile &champion,
+                      const tuner::TuningResult &reference)
+{
+    KvFile expected = reference.best.toKv();
+    for (const std::string &key : expected.keys())
+        EXPECT_EQ(champion.get(key), expected.get(key)) << key;
+    EXPECT_EQ(champion.getDouble("champion.seconds"),
+              reference.bestSeconds);
+    EXPECT_EQ(champion.getInt("champion.done"), 1);
+}
+
+} // namespace
+
+TEST(ServiceEndToEnd, FullLifecycleOverRealSockets)
+{
+    TuningServer server(serverOptions(spoolDir("lifecycle")));
+    server.start();
+    Client client("127.0.0.1", server.port());
+    client.ping();
+
+    std::string id = client.create(tinyCreate());
+    EXPECT_FALSE(id.empty());
+    tuner::SessionIntrospection view = client.introspect(id);
+    EXPECT_FALSE(view.done);
+    EXPECT_EQ(view.completedSteps, 0);
+
+    EXPECT_EQ(client.step(id, 2), 2);
+    EXPECT_EQ(client.introspect(id).completedSteps, 2);
+
+    KvFile champion = client.runToCompletion(id);
+    expectChampionMatches(champion, referenceRun());
+
+    client.stopSession(id);
+    EXPECT_THROW(client.status(id), FatalError);
+    server.stop();
+}
+
+TEST(ServiceEndToEnd, DetachedStepCompletesInBackground)
+{
+    TuningServer server(serverOptions(spoolDir("detached")));
+    server.start();
+    Client client("127.0.0.1", server.port());
+
+    std::string id = client.create(tinyCreate(7));
+    // wait=0: the daemon answers 202 before the stepping lands.
+    EXPECT_EQ(client.step(id, 1000, /*wait=*/false), 0);
+    for (int i = 0; i < 600 && !client.introspect(id).done; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_TRUE(client.introspect(id).done);
+    expectChampionMatches(client.champion(id), referenceRun(7));
+    server.stop();
+}
+
+TEST(ServiceEndToEnd, TwoClientsTuneConcurrently)
+{
+    TuningServer server(serverOptions(spoolDir("concurrent")));
+    server.start();
+
+    // Two sessions stepped from two threads through two connections;
+    // each must land exactly its own deterministic champion.
+    auto tuneOne = [&](uint64_t seed, KvFile &championOut) {
+        Client client("127.0.0.1", server.port());
+        std::string id = client.create(tinyCreate(seed));
+        championOut = client.runToCompletion(id, 2);
+    };
+    KvFile championA, championB;
+    std::thread threadA(tuneOne, 101, std::ref(championA));
+    std::thread threadB(tuneOne, 202, std::ref(championB));
+    threadA.join();
+    threadB.join();
+    expectChampionMatches(championA, referenceRun(101));
+    expectChampionMatches(championB, referenceRun(202));
+    server.stop();
+}
+
+TEST(ServiceEndToEnd, ErrorsMapToCleanHttpFailures)
+{
+    TuningServer server(serverOptions(spoolDir("errors")));
+    server.start();
+    Client client("127.0.0.1", server.port());
+
+    // Unknown session -> 404 with the server's message.
+    try {
+        client.status("s999");
+        FAIL() << "unknown session did not throw";
+    } catch (const FatalError &error) {
+        EXPECT_NE(std::string(error.what()).find("unknown session"),
+                  std::string::npos);
+    }
+
+    // Bad create (no benchmark) -> 400.
+    EXPECT_THROW(client.create(KvFile()), FatalError);
+    KvFile bogus;
+    bogus.set("benchmark", "NoSuchBenchmark");
+    EXPECT_THROW(client.create(bogus), FatalError);
+
+    // Unknown endpoint -> error, connection stays usable after.
+    EXPECT_THROW(client.command("GET", "/no-such-endpoint"), FatalError);
+    client.ping();
+
+    // The failures were counted, and the server survived all of them.
+    KvFile stats = client.stats();
+    EXPECT_GE(stats.getInt("command.status.errors"), 1);
+    EXPECT_GE(stats.getInt("command.create.errors"), 2);
+    server.stop();
+}
+
+TEST(ServiceEndToEnd, StatsEndpointCountsCommands)
+{
+    TuningServer server(serverOptions(spoolDir("stats")));
+    server.start();
+    Client client("127.0.0.1", server.port());
+
+    std::string id = client.create(tinyCreate());
+    client.step(id, 2);
+    client.status(id);
+    client.status(id);
+
+    KvFile stats = client.stats();
+    EXPECT_EQ(stats.getInt("command.create.count"), 1);
+    EXPECT_EQ(stats.getInt("command.step.count"), 1);
+    EXPECT_EQ(stats.getInt("command.status.count"), 2);
+    EXPECT_GE(stats.getDouble("command.step.meanMicros"), 0.0);
+    EXPECT_GE(stats.getInt("server.requests"), 5);
+    EXPECT_GE(stats.getInt("server.connectionsAccepted"), 1);
+    EXPECT_EQ(stats.getInt("table.resident"), 1);
+    server.stop();
+}
+
+TEST(ServiceEndToEnd, ResumeAfterServerRestartMatchesReference)
+{
+    const std::string spool = spoolDir("restart");
+    std::string id;
+    {
+        TuningServer server(serverOptions(spool));
+        server.start();
+        Client client("127.0.0.1", server.port());
+        id = client.create(tinyCreate(55));
+        client.step(id, 2);
+        server.stop();
+    } // per-generation checkpoints leave the search on disk
+
+    TuningServer server(serverOptions(spool));
+    server.start();
+    Client client("127.0.0.1", server.port());
+    EXPECT_THROW(client.status(id), FatalError); // needs resume first
+    client.resume(id);
+    EXPECT_EQ(client.introspect(id).completedSteps, 2);
+    expectChampionMatches(client.runToCompletion(id), referenceRun(55));
+    server.stop();
+}
+
+TEST(ServiceEndToEnd, ShutdownEndpointFlagsTheHostLoop)
+{
+    TuningServer server(serverOptions(spoolDir("shutdown")));
+    server.start();
+    Client client("127.0.0.1", server.port());
+    EXPECT_FALSE(server.shutdownRequested());
+    client.shutdownServer();
+    EXPECT_TRUE(server.shutdownRequested());
+    server.stop();
+}

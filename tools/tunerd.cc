@@ -1,0 +1,137 @@
+/**
+ * tunerd — the autotuning service daemon.
+ *
+ * Hosts many concurrent tuning sessions behind the HTTP command API
+ * (see src/service/server.h for the endpoint set and threading
+ * contract). Sessions are checkpointed to the spool directory, so a
+ * killed daemon restarted on the same spool resumes every search via
+ * the `resume` command.
+ *
+ *   tunerd --port 8617 --spool /var/tmp/tunerd --cap 64 --workers 8
+ *
+ * `--port 0` binds an ephemeral port; `--port-file PATH` writes the
+ * bound port there (after the listener is live), which is how the
+ * smoke scripts and tests rendezvous with a daemon they spawned.
+ */
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <thread>
+
+#include "service/server.h"
+#include "support/logging.h"
+
+using namespace petabricks;
+
+namespace {
+
+volatile std::sig_atomic_t signalled = 0;
+
+void
+onSignal(int)
+{
+    signalled = 1;
+}
+
+void
+usage()
+{
+    std::cout <<
+        "usage: tunerd [options]\n"
+        "  --host ADDR        bind address        (default 127.0.0.1)\n"
+        "  --port N           TCP port, 0=ephemeral (default 8617)\n"
+        "  --port-file PATH   write the bound port to PATH\n"
+        "  --spool DIR        checkpoint spool dir (default /tmp/tunerd-spool)\n"
+        "  --cap N            max resident sessions (default 64)\n"
+        "  --workers N        stepping worker threads (default 4)\n"
+        "  --idle-evict SEC   evict sessions idle this long (default 300)\n"
+        "  --expire SEC       delete sessions untouched this long (default 0=never)\n"
+        "  --sweep SEC        GC sweep interval (default 5)\n"
+        "  --no-step-checkpoints  checkpoint per step command, not per generation\n"
+        "  --verbose          info-level logging\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    service::ServerOptions options;
+    options.port = 8617;
+    options.table.spoolDir = "/tmp/tunerd-spool";
+    std::string portFile;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "tunerd: " << arg << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--host")
+            options.host = value();
+        else if (arg == "--port")
+            options.port = static_cast<uint16_t>(std::atoi(value()));
+        else if (arg == "--port-file")
+            portFile = value();
+        else if (arg == "--spool")
+            options.table.spoolDir = value();
+        else if (arg == "--cap")
+            options.table.residentCap =
+                static_cast<size_t>(std::atoll(value()));
+        else if (arg == "--workers")
+            options.workers = std::atoi(value());
+        else if (arg == "--idle-evict")
+            options.table.idleEvictSeconds = std::atoll(value());
+        else if (arg == "--expire")
+            options.table.expireSeconds = std::atoll(value());
+        else if (arg == "--sweep")
+            options.sweepIntervalSeconds = std::atoll(value());
+        else if (arg == "--no-step-checkpoints")
+            options.table.checkpointEachStep = false;
+        else if (arg == "--verbose")
+            setLogLevel(LogLevel::Info);
+        else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::cerr << "tunerd: unknown option " << arg << "\n";
+            usage();
+            return 2;
+        }
+    }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    service::TuningServer server(options);
+    server.start();
+    std::cout << "tunerd listening on " << options.host << ":"
+              << server.port() << " (spool " << options.table.spoolDir
+              << ", cap " << options.table.residentCap << ", workers "
+              << options.workers << ")" << std::endl;
+    if (!portFile.empty()) {
+        // Written after the listener is live: whoever polls this file
+        // can connect the moment it appears.
+        FILE *f = std::fopen(portFile.c_str(), "w");
+        if (!f) {
+            std::cerr << "tunerd: cannot write " << portFile << "\n";
+            return 1;
+        }
+        std::fprintf(f, "%u\n", static_cast<unsigned>(server.port()));
+        std::fclose(f);
+    }
+
+    while (!signalled && !server.shutdownRequested())
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    std::cout << "tunerd: shutting down" << std::endl;
+    server.stop();
+    return 0;
+}
