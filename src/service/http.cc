@@ -56,7 +56,7 @@ reasonPhrase(int status)
 
 } // namespace
 
-const std::string &
+std::string
 HttpRequest::param(const std::string &key, const std::string &fallback) const
 {
     auto it = query.find(key);
@@ -160,13 +160,13 @@ HttpParser::feed(const char *data, size_t size)
 {
     if (failed_)
         return;
+    // No size check here: a burst of pipelined requests may legally
+    // exceed any per-request bound, and each gets popped (and its
+    // bytes trimmed) by next(). The limits live in next(), where
+    // "incomplete request" and "oversized request" can be told apart —
+    // an unparseable tail is bounded there at maxBytes_ of headers
+    // plus maxBytes_ of body.
     buffer_.append(data, size);
-    // A buffer that keeps growing without completing a request is
-    // either an attack or a broken client; cut it off. (maxBytes_ is a
-    // per-request bound; pipelined requests each get a fresh budget
-    // because next() trims consumed bytes.)
-    if (buffer_.size() > maxBytes_ * 2)
-        fail("request exceeds size limit");
 }
 
 std::optional<HttpRequest>
@@ -178,6 +178,13 @@ HttpParser::next()
     if (headerEnd == std::string::npos) {
         if (buffer_.size() > maxBytes_)
             fail("headers exceed size limit");
+        return std::nullopt;
+    }
+    if (headerEnd > maxBytes_) {
+        // The terminator exists but the headers alone bust the
+        // per-request cap (possible when a whole oversized request
+        // arrives within one read burst).
+        fail("headers exceed size limit");
         return std::nullopt;
     }
 

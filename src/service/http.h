@@ -37,9 +37,11 @@ struct HttpRequest
     std::map<std::string, std::string> headers; ///< lowercased names
     std::string body;
 
-    /** Query parameter @p key, or @p fallback when absent. */
-    const std::string &param(const std::string &key,
-                             const std::string &fallback = std::string()) const;
+    /** Query parameter @p key, or @p fallback when absent. Returned by
+     * value: a reference into `query` would invite dangling when the
+     * fallback (a temporary) is chosen. */
+    std::string param(const std::string &key,
+                      const std::string &fallback = std::string()) const;
 
     /** Integer query parameter; fatal error on non-integer values. */
     int64_t intParam(const std::string &key, int64_t fallback) const;

@@ -57,6 +57,20 @@ requiredParam(const HttpRequest &request, const std::string &key)
     return it->second;
 }
 
+/**
+ * Commands that can wait on a session's busy flag or on residency
+ * capacity (condition-variable waits inside SessionTable). They run on
+ * the worker pool, never inline on the I/O thread — a champion request
+ * against a mid-step session must stall its own connection, not the
+ * daemon's accept/read loop.
+ */
+bool
+routesToWorker(const std::string &path)
+{
+    return path == "/step" || path == "/create" || path == "/champion" ||
+           path == "/resume" || path == "/stop";
+}
+
 } // namespace
 
 TuningServer::TuningServer(ServerOptions options)
@@ -149,15 +163,9 @@ TuningServer::pumpRequests(uint64_t connId, Connection &connection)
             std::lock_guard<std::mutex> lock(statsMutex_);
             ++requestsServed_;
         }
-        if (request->path == "/step") {
-            if (request->param("wait", "1") != "0") {
-                // Blocking step: the connection waits for the worker's
-                // response; the I/O loop moves on.
-                connection.awaitingWorker = true;
-                std::lock_guard<std::mutex> lock(workMutex_);
-                workQueue_.push_back({connId, std::move(*request)});
-                workCv_.notify_one();
-            } else {
+        if (routesToWorker(request->path)) {
+            if (request->path == "/step" &&
+                request->param("wait", "1") == "0") {
                 // Detached step: acknowledge now, step in the
                 // background, let `status` polling observe progress.
                 HttpResponse accepted;
@@ -167,6 +175,13 @@ TuningServer::pumpRequests(uint64_t connId, Connection &connection)
                 connection.outbox += accepted.serialize();
                 std::lock_guard<std::mutex> lock(workMutex_);
                 workQueue_.push_back({0, std::move(*request)});
+                workCv_.notify_one();
+            } else {
+                // Blocking session command: the connection waits for
+                // the worker's response; the I/O loop moves on.
+                connection.awaitingWorker = true;
+                std::lock_guard<std::mutex> lock(workMutex_);
+                workQueue_.push_back({connId, std::move(*request)});
                 workCv_.notify_one();
             }
             continue;
@@ -236,9 +251,12 @@ TuningServer::dispatch(const HttpRequest &request)
         return HttpResponse::ok(kv.toString());
     }
 
+    // Session commands below (create/step/champion/resume/stop) reach
+    // here on a worker thread — the I/O loop routes everything that
+    // can wait on a session entry or on residency capacity through the
+    // work queue (routesToWorker), so blocking here is fine.
+
     if (path == "/step") {
-        // Reached on a worker thread (the I/O loop routes /step here
-        // via the work queue); blocking on the session entry is fine.
         const std::string &id = requiredParam(request, "session");
         int steps =
             static_cast<int>(request.intParam("steps", 1));

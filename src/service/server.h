@@ -8,18 +8,20 @@
  *  - ONE I/O thread owns every socket. It runs a poll() loop over the
  *    listener, the live connections, and a self-pipe; all sockets are
  *    non-blocking, requests are parsed incrementally, and responses
- *    are drained through per-connection outboxes. Quick commands
- *    (create/status/champion/stop/resume/stats/list) execute inline on
- *    this thread — they hold the table mutex for microseconds.
+ *    are drained through per-connection outboxes. Only commands that
+ *    can never wait (status/list/stats/ping/shutdown) execute inline
+ *    on this thread — they hold the table mutex for microseconds.
  *
- *  - `step` — the only long command — is fanned out to a worker pool
- *    built on support/ThreadPool: the server parks one long-running
- *    parallelFor() on a pump thread and each index runs the worker
- *    loop, draining a shared command queue. A finished worker posts
- *    the serialized response to a completion queue and pokes the
- *    self-pipe; the I/O thread wakes, matches the response to its
- *    connection (which may have vanished — then it is dropped), and
- *    writes it out. The connection waits; the daemon never does.
+ *  - Session commands that can wait — `step` (long by design), plus
+ *    create/champion/resume/stop (which serialize on a possibly-
+ *    stepping session or wait for residency capacity) — are fanned out
+ *    to a worker pool built on support/ThreadPool: the server parks
+ *    one long-running parallelFor() on a pump thread and each index
+ *    runs the worker loop, draining a shared command queue. A finished
+ *    worker posts the serialized response to a completion queue and
+ *    pokes the self-pipe; the I/O thread wakes, matches the response
+ *    to its connection (which may have vanished — then it is dropped),
+ *    and writes it out. The connection waits; the daemon never does.
  *
  *  - The idle-session sweeper runs off the poll() timeout on the I/O
  *    thread: every sweepIntervalSeconds it asks the SessionTable to
@@ -27,10 +29,12 @@
  *
  * Threading contract per command: `step` blocks its *connection* until
  * the requested generations complete (`wait=0` returns 202 immediately
- * and the stepping continues detached); every other command answers
- * inline. Two commands on the *same* session serialize on its entry;
- * commands on different sessions are fully concurrent up to the worker
- * count.
+ * and the stepping continues detached); create/champion/resume/stop
+ * also run on workers and block only their connection (a champion
+ * requested mid-step waits for that step to finish); status/list/
+ * stats/ping/shutdown answer inline and never block. Two commands on
+ * the *same* session serialize on its entry; commands on different
+ * sessions are fully concurrent up to the worker count.
  */
 
 #ifndef PETABRICKS_SERVICE_SERVER_H

@@ -82,14 +82,23 @@ SessionTable::evict(Entry &entry)
 }
 
 void
-SessionTable::ensureResident(Entry &entry,
-                             std::unique_lock<std::mutex> &lock)
+SessionTable::acquireIdleResident(Entry &entry,
+                                  std::unique_lock<std::mutex> &lock)
 {
-    while (!entry.session) {
+    for (;;) {
+        // Both halves of the predicate — nobody stepping this entry AND
+        // the entry resident — must be observed under one continuous
+        // lock hold. Every wait below drops the mutex (letting another
+        // caller slip in, mark the entry busy, and start stepping), so
+        // after any wake the whole check starts over.
+        waitNotBusy(entry, lock);
+        if (entry.session)
+            return;
         if (resident_ < options_.residentCap) {
             // Rebuild from the immutable spec, then restore the last
             // checkpoint if one exists (a never-stepped session has
-            // none; generation 0 is exactly its saved state).
+            // none; generation 0 is exactly its saved state). The lock
+            // is held throughout, so the idle check above still holds.
             auto session = std::make_unique<HostedSession>(entry.spec);
             const std::string ckpt = checkpointPath(entry.id);
             if (fs::exists(ckpt))
@@ -102,8 +111,9 @@ SessionTable::ensureResident(Entry &entry,
             PB_DEBUG("service: rehydrated session " << entry.id);
             return;
         }
-        // At capacity: evict the least-recently-touched idle resident,
-        // or wait for a stepping worker to finish and free one.
+        // At capacity: evict the least-recently-touched idle resident
+        // (no lock drop), or wait for a stepping worker to finish and
+        // free one (lock drop — loop back and re-check busy too).
         Entry *victim = nullptr;
         for (auto &[id, candidate] : entries_)
             if (candidate->session && !candidate->busy &&
@@ -114,8 +124,6 @@ SessionTable::ensureResident(Entry &entry,
             evict(*victim);
         else
             roomCv_.wait(lock);
-        if (entry.dead)
-            PB_FATAL("session '" << entry.id << "' was stopped");
     }
 }
 
@@ -135,7 +143,7 @@ SessionTable::create(const SessionSpec &spec)
     // Residency accounting (including the rehydration counter: a
     // create is the first hydration) goes through the same path as a
     // spool reload.
-    ensureResident(*entry, lock);
+    acquireIdleResident(*entry, lock);
     ++stats_.created;
     return id;
 }
@@ -149,8 +157,7 @@ SessionTable::resume(const std::string &id)
         // Already known (not restarted, just evicted or live): a
         // resume is simply a touch that guarantees residency.
         EntryPtr entry = it->second;
-        waitNotBusy(*entry, lock);
-        ensureResident(*entry, lock);
+        acquireIdleResident(*entry, lock);
         entry->lastTouch = std::chrono::steady_clock::now();
         ++stats_.resumed;
         return id;
@@ -163,7 +170,7 @@ SessionTable::resume(const std::string &id)
     entry->spec = SessionSpec::fromKv(KvFile::load(meta));
     entry->lastTouch = std::chrono::steady_clock::now();
     entries_[id] = entry;
-    ensureResident(*entry, lock);
+    acquireIdleResident(*entry, lock);
     ++stats_.resumed;
     return id;
 }
@@ -173,8 +180,7 @@ SessionTable::step(const std::string &id, int steps)
 {
     std::unique_lock<std::mutex> lock(mutex_);
     EntryPtr entry = find(id);
-    waitNotBusy(*entry, lock);
-    ensureResident(*entry, lock);
+    acquireIdleResident(*entry, lock);
     entry->busy = true;
     entry->lastTouch = std::chrono::steady_clock::now();
     HostedSession *session = entry->session.get();
@@ -234,8 +240,7 @@ SessionTable::champion(const std::string &id)
 {
     std::unique_lock<std::mutex> lock(mutex_);
     EntryPtr entry = find(id);
-    waitNotBusy(*entry, lock);
-    ensureResident(*entry, lock);
+    acquireIdleResident(*entry, lock);
     entry->lastTouch = std::chrono::steady_clock::now();
     return entry->session->championKv();
 }

@@ -20,6 +20,9 @@
  *    thread, with the entry marked busy; per-session busy flags plus
  *    condition variables serialize step/champion/stop on the same
  *    session while leaving every other session fully concurrent.
+ *    Idle-and-resident is acquired as one atomic predicate
+ *    (acquireIdleResident): any wait that drops the mutex re-checks
+ *    both halves, so two steppers can never own the same session.
  *  - status() never blocks on a stepping session: it reads the
  *    session's lock-protected snapshot (live) or the entry's last
  *    recorded snapshot (evicted), and deliberately does not count as a
@@ -161,10 +164,16 @@ class SessionTable
     /** Wait until nobody is stepping @p entry (table mutex held). */
     void waitNotBusy(Entry &entry, std::unique_lock<std::mutex> &lock);
 
-    /** Make @p entry resident, evicting LRU sessions as needed (table
-     * mutex held). */
-    void ensureResident(Entry &entry,
-                        std::unique_lock<std::mutex> &lock);
+    /**
+     * Wait until @p entry is idle AND resident, evicting LRU sessions
+     * as needed (table mutex held). Both conditions are guaranteed
+     * under the single lock hold this returns with: every internal
+     * wait (busyCv or roomCv) drops the mutex, so the full predicate
+     * is re-checked after each wake — a caller may mark the entry busy
+     * immediately after this returns without racing another waiter.
+     */
+    void acquireIdleResident(Entry &entry,
+                             std::unique_lock<std::mutex> &lock);
 
     /** Evict a resident, non-busy entry (table mutex held). */
     void evict(Entry &entry);

@@ -109,6 +109,40 @@ TEST(HttpParser, OversizedBodyFails)
     EXPECT_TRUE(parser.failed());
 }
 
+TEST(HttpParser, OversizedHeadersFailEvenWhenComplete)
+{
+    // The whole oversized request arrives in one burst, terminator
+    // included: the per-request header cap must still apply.
+    HttpParser parser(64);
+    const std::string wire = "GET /x HTTP/1.1\r\nX-Pad: " +
+                             std::string(200, 'a') + "\r\n\r\n";
+    parser.feed(wire.data(), wire.size());
+    EXPECT_FALSE(parser.next().has_value());
+    EXPECT_TRUE(parser.failed());
+}
+
+TEST(HttpParser, PipelinedBurstLargerThanCapIsLegal)
+{
+    // Several requests, each within the per-request limit, arriving in
+    // one read burst that together far exceeds it: all must parse —
+    // the limit is per request, not per buffered burst.
+    HttpParser parser(256);
+    const std::string body(200, 'b');
+    std::string wire;
+    for (int i = 0; i < 8; ++i)
+        wire += "POST /create HTTP/1.1\r\nContent-Length: " +
+                std::to_string(body.size()) + "\r\n\r\n" + body;
+    ASSERT_GT(wire.size(), 256u * 2);
+    parser.feed(wire.data(), wire.size());
+    for (int i = 0; i < 8; ++i) {
+        auto request = parser.next();
+        ASSERT_TRUE(request.has_value()) << "request " << i;
+        EXPECT_EQ(request->body, body);
+    }
+    EXPECT_FALSE(parser.next().has_value());
+    EXPECT_FALSE(parser.failed());
+}
+
 TEST(HttpResponse, SerializeRoundTripsThroughAClientParse)
 {
     HttpResponse response = HttpResponse::ok("x = 1\n");

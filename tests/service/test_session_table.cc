@@ -8,6 +8,7 @@
 
 #include <filesystem>
 #include <gtest/gtest.h>
+#include <thread>
 
 #include "service/session_table.h"
 #include "sim/machine.h"
@@ -136,6 +137,46 @@ TEST(SessionTable, ResidentCountNeverExceedsCap)
     EXPECT_EQ(stats.peakResident, 2u);
     EXPECT_EQ(stats.total, 6u);
     EXPECT_GE(stats.evictions, 4);
+}
+
+TEST(SessionTable, ConcurrentSteppersUnderCapPressureSerialize)
+{
+    // Regression: acquiring a session must check idle AND resident as
+    // one atomic predicate. With residentCap exhausted, a stepper
+    // waits for room with the table mutex dropped; a second stepper on
+    // the same session could previously pass the busy check in that
+    // window and both would run stepMany() on one HostedSession.
+    // Here two threads race step(a) while a third keeps the cap
+    // contended with b, forcing constant evict/rehydrate waits; the
+    // searches must still finish on their deterministic trajectories.
+    SessionTableOptions options;
+    options.spoolDir = spoolDir("race");
+    options.residentCap = 1;
+    SessionTable table(options);
+
+    SessionSpec specA = tinySpec(61);
+    SessionSpec specB = tinySpec(62);
+    tuner::TuningResult referenceA = runSpecLocally(specA);
+    tuner::TuningResult referenceB = runSpecLocally(specB);
+    std::string a = table.create(specA);
+    std::string b = table.create(specB);
+
+    auto stepUntilDone = [&table](const std::string &id) {
+        while (table.step(id, 1) > 0) {
+        }
+    };
+    std::thread racer1([&] { stepUntilDone(a); });
+    std::thread racer2([&] { stepUntilDone(a); });
+    std::thread contender([&] { stepUntilDone(b); });
+    racer1.join();
+    racer2.join();
+    contender.join();
+
+    EXPECT_TRUE(table.status(a).done);
+    EXPECT_TRUE(table.status(b).done);
+    EXPECT_EQ(table.stats().peakResident, 1u);
+    expectChampionMatches(table.champion(a), referenceA);
+    expectChampionMatches(table.champion(b), referenceB);
 }
 
 TEST(SessionTable, ResumeAfterRestartFinishesIdentically)
