@@ -35,10 +35,12 @@ int
 usage()
 {
     std::cerr << "usage: remote_tuning [--host H] [--port P] "
-                 "MODE [--benchmark B] [--session ID] [--steps N] "
-                 "[--seed N] [--nowait]\n"
+                 "[--timeout MS] MODE [--benchmark B] [--session ID] "
+                 "[--steps N] [--seed N] [--nowait]\n"
                  "modes: run create step finish resume status stats "
-                 "stop local\n";
+                 "stop local\n"
+                 "--timeout bounds the connect and every response read; "
+                 "expiry exits with a transient error\n";
     return 2;
 }
 
@@ -64,6 +66,7 @@ main(int argc, char **argv)
     std::string benchmark = "Sort";
     std::string session;
     int steps = 4;
+    int timeoutMillis = 0;
     bool nowait = false;
     KvFile createOptions;
 
@@ -86,6 +89,8 @@ main(int argc, char **argv)
             session = value();
         else if (arg == "--steps")
             steps = std::atoi(value().c_str());
+        else if (arg == "--timeout")
+            timeoutMillis = std::atoi(value().c_str());
         else if (arg == "--seed")
             createOptions.set("seed", value());
         else if (arg == "--population")
@@ -118,7 +123,7 @@ main(int argc, char **argv)
             return 0;
         }
 
-        service::Client client(host, port);
+        service::Client client(host, port, timeoutMillis);
         if (mode == "run") {
             std::string id = client.create(createOptions);
             std::cerr << "session " << id << " created\n";

@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
-# Daemon crash-durability smoke: start tunerd, drive a search through
-# service::Client (via the remote_tuning example), SIGKILL the daemon
-# mid-search, restart it on the same spool, resume, and assert the
-# finished champion is byte-identical to the same search run
-# uninterrupted in-process.
+# Daemon robustness smoke, three legs:
+#   1. Crash durability: SIGKILL tunerd mid-search, restart on the same
+#      spool, resume, and assert the finished champion is byte-identical
+#      to the same search run uninterrupted in-process.
+#   2. Graceful drain: SIGTERM tunerd with detached work in flight; it
+#      must finish the in-flight stepping, checkpoint every session,
+#      and exit 0 — and a restart must resume to the identical champion.
+#   3. Corrupt-spool boot: plant torn .meta/.ckpt files in the spool;
+#      the daemon must quarantine them, report the count in /stats, and
+#      keep serving new sessions.
 #
 # Usage: scripts/daemon_smoke.sh [BUILD_DIR]   (default: build)
 set -euo pipefail
@@ -78,4 +83,69 @@ echo "daemon_smoke: daemon restarted on port $PORT"
 if ! diff -u "$WORK/expected.txt" "$WORK/resumed.txt"; then
     fail "resumed champion differs from the uninterrupted run"
 fi
-echo "daemon_smoke: PASS (resumed champion identical to uninterrupted run)"
+echo "daemon_smoke: PASS leg 1 (SIGKILL: resumed champion identical)"
+
+# ===========================================================================
+# Leg 2: SIGTERM drain — finish in-flight work, checkpoint, exit 0.
+# ===========================================================================
+SPOOL="$WORK/spool-drain"
+start_daemon
+echo "daemon_smoke: drain leg daemon up on port $PORT (pid $DAEMON_PID)"
+
+SESSION=$("$CLIENT" --port "$PORT" create "${SEARCH_ARGS[@]}")
+[ -n "$SESSION" ] || fail "drain leg: create returned no session id"
+"$CLIENT" --port "$PORT" step --session "$SESSION" --steps 2 \
+    || fail "drain leg: initial steps failed"
+# Detached stepping is in flight when the SIGTERM arrives: the drain
+# must wait for it rather than dropping it on the floor.
+"$CLIENT" --port "$PORT" step --session "$SESSION" --steps 999 --nowait \
+    || fail "drain leg: detached step failed"
+
+kill -TERM "$DAEMON_PID"
+DRAIN_RC=0
+wait "$DAEMON_PID" || DRAIN_RC=$?
+DAEMON_PID=""
+[ "$DRAIN_RC" -eq 0 ] || fail "drained daemon exited $DRAIN_RC, want 0"
+[ -f "$SPOOL/$SESSION.ckpt" ] || fail "drain did not checkpoint the session"
+echo "daemon_smoke: SIGTERM drain exited 0 with a checkpoint on disk"
+
+start_daemon
+"$CLIENT" --port "$PORT" resume --session "$SESSION" \
+    || fail "drain leg: resume after drain failed"
+"$CLIENT" --port "$PORT" finish --session "$SESSION" \
+    > "$WORK/drained.txt" || fail "drain leg: finish failed"
+kill -TERM "$DAEMON_PID" && wait "$DAEMON_PID" || true
+DAEMON_PID=""
+
+if ! diff -u "$WORK/expected.txt" "$WORK/drained.txt"; then
+    fail "champion after drain+restart differs from the uninterrupted run"
+fi
+echo "daemon_smoke: PASS leg 2 (SIGTERM drain: champion identical)"
+
+# ===========================================================================
+# Leg 3: corrupt-spool boot — quarantine the wreckage, keep serving.
+# ===========================================================================
+SPOOL="$WORK/spool-fsck"
+mkdir -p "$SPOOL"
+printf 'spec.benchmark = Sort\ntrunca' > "$SPOOL/s90.meta" # torn mid-write
+printf 'not a checkpoint at all' > "$SPOOL/s92.ckpt"       # orphan garbage
+start_daemon
+echo "daemon_smoke: fsck leg daemon up on port $PORT (pid $DAEMON_PID)"
+
+"$CLIENT" --port "$PORT" stats > "$WORK/fsck-stats.txt" \
+    || fail "fsck leg: stats failed"
+QUARANTINED=$(sed -n 's/^table.spoolQuarantined = //p' "$WORK/fsck-stats.txt")
+[ "${QUARANTINED:-0}" -ge 2 ] \
+    || fail "expected >=2 quarantined spool entries, got '${QUARANTINED:-}'"
+[ -f "$SPOOL/s90.meta.quarantine" ] || fail "torn meta was not quarantined"
+[ -f "$SPOOL/s92.ckpt.quarantine" ] || fail "orphan ckpt was not quarantined"
+
+# The daemon must still serve real work off the fsck'd spool.
+"$CLIENT" --port "$PORT" run "${SEARCH_ARGS[@]}" > "$WORK/fsck-run.txt" \
+    || fail "fsck leg: run on the fsck'd spool failed"
+if ! diff -u "$WORK/expected.txt" "$WORK/fsck-run.txt"; then
+    fail "champion on the fsck'd spool differs from the reference"
+fi
+echo "daemon_smoke: PASS leg 3 (corrupt spool quarantined, daemon serving)"
+
+echo "daemon_smoke: PASS (all legs)"

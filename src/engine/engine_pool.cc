@@ -1,19 +1,71 @@
 #include "engine/engine_pool.h"
 
-#include <thread>
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+
+#include "support/error.h"
+#include "support/logging.h"
 
 namespace petabricks {
 namespace engine {
 
-EnginePool::EnginePool(const EngineFactory &factory, int engineCount)
+namespace {
+
+/** Internal marker timedCall() throws on a watchdog timeout; runItem()
+ * converts it into quarantine + bounce, so it never escapes the pool. */
+struct LaneTimeout
+{};
+
+/** Rethrow the first recorded error (by index, matching the serial
+ * loop); the shadowed remainder is logged at Warn, not dropped
+ * silently. */
+void
+throwFirstLogRest(const std::vector<std::exception_ptr> &errors)
+{
+    std::exception_ptr first;
+    for (const std::exception_ptr &error : errors) {
+        if (!error)
+            continue;
+        if (!first) {
+            first = error;
+            continue;
+        }
+        try {
+            std::rethrow_exception(error);
+        } catch (const std::exception &shadowed) {
+            PB_WARN("batch exception shadowed by an earlier one: "
+                    << shadowed.what());
+        } catch (...) {
+            PB_WARN("non-standard batch exception shadowed by an "
+                    "earlier one");
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+} // namespace
+
+EnginePool::EnginePool(const EngineFactory &factory, int engineCount,
+                       PoolOptions options)
+    : options_(options)
 {
     PB_ASSERT(engineCount >= 1, "engine pool needs at least 1 engine");
-    engines_.reserve(static_cast<size_t>(engineCount));
+    instances_.reserve(static_cast<size_t>(engineCount));
     for (int i = 0; i < engineCount; ++i) {
-        std::unique_ptr<ExecutionEngine> engine = factory();
-        PB_ASSERT(engine != nullptr, "engine factory returned null");
-        engines_.push_back(std::move(engine));
+        auto instance = std::make_unique<Instance>();
+        instance->engine = factory();
+        PB_ASSERT(instance->engine != nullptr,
+                  "engine factory returned null");
+        instances_.push_back(std::move(instance));
     }
+}
+
+EnginePool::~EnginePool()
+{
+    reapWedged();
 }
 
 ExecutionEngine &
@@ -21,124 +73,405 @@ EnginePool::engineAt(int index)
 {
     PB_ASSERT(index >= 0 && index < engineCount(),
               "engine index " << index << " out of range");
-    return *engines_[static_cast<size_t>(index)];
+    return *instances_[static_cast<size_t>(index)]->engine;
+}
+
+PoolInstanceStats
+EnginePool::instanceStats(int index) const
+{
+    PB_ASSERT(index >= 0 && index < engineCount(),
+              "engine index " << index << " out of range");
+    std::lock_guard<std::mutex> lock(mutex_);
+    return instances_[static_cast<size_t>(index)]->stats;
+}
+
+int
+EnginePool::liveInstanceCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    int live = 0;
+    for (const auto &instance : instances_)
+        if (!instance->stats.quarantined)
+            ++live;
+    return live;
 }
 
 std::string
 EnginePool::name() const
 {
-    return "pool[" + std::to_string(engines_.size()) + "]:" +
-           engines_.front()->name();
+    return "pool[" + std::to_string(instances_.size()) + "]:" +
+           instances_.front()->engine->name();
 }
 
 bool
 EnginePool::supports(const apps::Benchmark &benchmark) const
 {
-    return engines_.front()->supports(benchmark);
+    return instances_.front()->engine->supports(benchmark);
 }
 
 RunResult
 EnginePool::run(const apps::Benchmark &benchmark,
                 const tuner::Config &config, int64_t n)
 {
-    return engines_.front()->run(benchmark, config, n);
+    return instances_.front()->engine->run(benchmark, config, n);
 }
 
 double
 EnginePool::measure(const apps::Benchmark &benchmark,
                     const tuner::Config &config, int64_t n)
 {
-    return engines_.front()->measure(benchmark, config, n);
+    return instances_.front()->engine->measure(benchmark, config, n);
 }
 
 void
 EnginePool::configureTuner(tuner::TunerOptions &options) const
 {
-    engines_.front()->configureTuner(options);
+    instances_.front()->engine->configureTuner(options);
 }
 
 bool
 EnginePool::concurrentInstancesSafe(const apps::Benchmark &benchmark) const
 {
-    return engines_.front()->concurrentInstancesSafe(benchmark);
+    return instances_.front()->engine->concurrentInstancesSafe(benchmark);
+}
+
+// ---- fault-tolerant fan-out machinery ----------------------------------
+
+std::vector<EnginePool::Instance *>
+EnginePool::laneSet(const apps::Benchmark &benchmark)
+{
+    std::vector<Instance *> lanes;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &instance : instances_)
+            if (!instance->stats.quarantined)
+                lanes.push_back(instance.get());
+    }
+    // Benchmarks whose real-mode surface is shared across instances
+    // must not race: degrade to a single serial lane.
+    if (lanes.size() > 1 &&
+        !instances_.front()->engine->concurrentInstancesSafe(benchmark))
+        lanes.resize(1);
+    return lanes;
+}
+
+double
+EnginePool::timedCall(Instance &instance,
+                      const std::function<double()> &evaluate)
+{
+    if (options_.deadlineMillis <= 0)
+        return evaluate();
+    std::packaged_task<double()> task(evaluate);
+    std::future<double> future = task.get_future();
+    std::thread worker(std::move(task));
+    if (future.wait_for(std::chrono::milliseconds(
+            options_.deadlineMillis)) == std::future_status::ready) {
+        worker.join();
+        return future.get();
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        instance.wedged.push_back(std::move(worker));
+    }
+    throw LaneTimeout{};
 }
 
 bool
-EnginePool::canFanOut(const apps::Benchmark &benchmark,
-                      size_t batch) const
+EnginePool::recordFailure(Instance &instance, bool timedOut)
 {
-    return engines_.size() > 1 && batch > 1 &&
-           engines_.front()->concurrentInstancesSafe(benchmark);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++instance.stats.transientFailures;
+    ++instance.stats.consecutiveFailures;
+    if (timedOut)
+        ++instance.stats.timeouts;
+    if (!instance.stats.quarantined) {
+        int live = 0;
+        for (const auto &other : instances_)
+            if (!other->stats.quarantined)
+                ++live;
+        // Timeouts quarantine unconditionally: the worker may still be
+        // wedged inside the evaluation, so the engine is unsafe to
+        // reuse. Plain transients quarantine on a long-enough streak,
+        // but never the last live instance.
+        bool quarantine =
+            timedOut ||
+            (options_.quarantineAfter > 0 &&
+             instance.stats.consecutiveFailures >=
+                 options_.quarantineAfter &&
+             live > 1);
+        if (quarantine) {
+            instance.stats.quarantined = true;
+            PB_WARN("quarantining pool instance '"
+                    << instance.engine->name() << "' after "
+                    << instance.stats.consecutiveFailures
+                    << " consecutive failure(s)"
+                    << (timedOut ? " (watchdog timeout)" : "") << "; "
+                    << (live - 1) << " live instance(s) remain");
+        }
+    }
+    return instance.stats.quarantined;
+}
+
+void
+EnginePool::recordSuccess(Instance &instance)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++instance.stats.calls;
+    instance.stats.consecutiveFailures = 0;
+}
+
+void
+EnginePool::recordRetry(Instance &instance)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++instance.stats.retries;
+}
+
+bool
+EnginePool::isQuarantined(const Instance &instance) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return instance.stats.quarantined;
+}
+
+EnginePool::Instance *
+EnginePool::firstLive()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &instance : instances_)
+        if (!instance->stats.quarantined)
+            return instance.get();
+    return nullptr;
+}
+
+void
+EnginePool::reapWedged()
+{
+    std::vector<std::thread> wedged;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &instance : instances_)
+            for (std::thread &thread : instance->wedged)
+                wedged.push_back(std::move(thread));
+        for (const auto &instance : instances_)
+            instance->wedged.clear();
+    }
+    for (std::thread &thread : wedged)
+        thread.join();
+}
+
+EnginePool::ItemStatus
+EnginePool::runItem(
+    Instance &instance, size_t i,
+    const std::function<void(Instance &, size_t)> &evaluateItem,
+    const std::function<void(size_t, std::exception_ptr)> &onFatal,
+    std::vector<std::exception_ptr> &errors)
+{
+    const RetryPolicy &policy = retryPolicy();
+    for (int attempt = 1;; ++attempt) {
+        try {
+            evaluateItem(instance, i);
+            recordSuccess(instance);
+            return ItemStatus::Done;
+        } catch (const LaneTimeout &) {
+            noteTransientFailure();
+            recordFailure(instance, /*timedOut=*/true);
+            return ItemStatus::Bounce;
+        } catch (const TransientError &) {
+            noteTransientFailure();
+            if (recordFailure(instance, /*timedOut=*/false))
+                return ItemStatus::Bounce;
+            if (attempt >= policy.maxAttempts)
+                return ItemStatus::Bounce;
+            noteRetryAttempt();
+            recordRetry(instance);
+            retryBackoffSleep(policy, attempt);
+        } catch (const FatalError &) {
+            // Deterministic property of the configuration, not an
+            // instance fault: the evaluation completed.
+            recordSuccess(instance);
+            onFatal(i, std::current_exception());
+            return ItemStatus::Done;
+        } catch (...) {
+            recordSuccess(instance);
+            errors[i] = std::current_exception();
+            return ItemStatus::Done;
+        }
+    }
 }
 
 namespace {
 
-/**
- * Fan @p count items across @p lanes threads round-robin; each lane
- * runs its share serially, honoring the serial-per-engine contract.
- * The first exception by index rethrows, matching the serial loop.
- */
-template <typename Result, typename PerItem>
-std::vector<Result>
-fanOut(size_t lanes, size_t count, PerItem &&perItem)
+/** Shared work queue drained by one thread per lane; bounced items
+ * collect in @p leftovers for the serial floor pass. */
+void
+drainLanes(const std::vector<size_t> &laneIndex, size_t count,
+           const std::function<bool(size_t lane)> &laneDead,
+           const std::function<bool(size_t lane, size_t item)> &attempt,
+           std::vector<size_t> &leftovers, std::mutex &leftoverMutex)
 {
-    std::vector<Result> results(count);
-    std::vector<std::exception_ptr> errors(count);
+    std::atomic<size_t> cursor{0};
     std::vector<std::thread> threads;
-    threads.reserve(lanes);
-    for (size_t lane = 0; lane < lanes; ++lane) {
+    threads.reserve(laneIndex.size());
+    for (size_t lane : laneIndex) {
         threads.emplace_back([&, lane] {
-            for (size_t i = lane; i < count; i += lanes) {
-                try {
-                    results[i] = perItem(lane, i);
-                } catch (...) {
-                    errors[i] = std::current_exception();
+            for (;;) {
+                if (laneDead(lane))
+                    return;
+                size_t item = cursor.fetch_add(1);
+                if (item >= count)
+                    return;
+                if (!attempt(lane, item)) {
+                    std::lock_guard<std::mutex> lock(leftoverMutex);
+                    leftovers.push_back(item);
                 }
             }
         });
     }
     for (std::thread &thread : threads)
         thread.join();
-    for (const std::exception_ptr &error : errors)
-        if (error)
-            std::rethrow_exception(error);
-    return results;
+    std::sort(leftovers.begin(), leftovers.end());
 }
 
 } // namespace
+
+std::vector<double>
+EnginePool::measureBatch(const apps::Benchmark &benchmark,
+                         std::span<const tuner::Config> configs, int64_t n)
+{
+    Reaper reaper(*this);
+    std::vector<double> results(configs.size(),
+                                std::numeric_limits<double>::quiet_NaN());
+    if (configs.empty())
+        return results;
+
+    std::vector<Instance *> lanes = laneSet(benchmark);
+    std::vector<std::exception_ptr> errors(configs.size());
+    std::vector<size_t> leftovers;
+    std::mutex leftoverMutex;
+
+    auto evaluateItem = [&](Instance &instance, size_t i) {
+        ExecutionEngine *engine = instance.engine.get();
+        results[i] = timedCall(instance, [engine, &benchmark, configs, n,
+                                          i] {
+            return engine->measure(benchmark, configs[i], n);
+        });
+    };
+    auto onFatal = [&](size_t i, std::exception_ptr) {
+        // Infeasible configuration: worst cost, cacheable — unlike the
+        // NaN evaluation-failure sentinel.
+        results[i] = std::numeric_limits<double>::infinity();
+    };
+
+    if (!lanes.empty()) {
+        const size_t laneCount =
+            std::min(lanes.size(), configs.size());
+        std::vector<size_t> laneIndex(laneCount);
+        for (size_t l = 0; l < laneCount; ++l)
+            laneIndex[l] = l;
+        drainLanes(
+            laneIndex, configs.size(),
+            [&](size_t lane) { return isQuarantined(*lanes[lane]); },
+            [&](size_t lane, size_t item) {
+                return runItem(*lanes[lane], item, evaluateItem,
+                               onFatal, errors) == ItemStatus::Done;
+            },
+            leftovers, leftoverMutex);
+    } else {
+        PB_WARN("all " << instances_.size()
+                       << " pool instances are quarantined; pricing "
+                       << configs.size() << " evaluation(s) as failed");
+        for (size_t i = 0; i < configs.size(); ++i)
+            leftovers.push_back(i);
+    }
+
+    // Serial floor: one more pass for bounced items on a surviving
+    // instance; an item that still fails keeps the NaN sentinel. When
+    // instances must not run concurrently, a watchdog-abandoned
+    // evaluation may still be in flight — wait it out first.
+    if (!leftovers.empty() && !concurrentInstancesSafe(benchmark))
+        reapWedged();
+    for (size_t i : leftovers) {
+        Instance *floor = firstLive();
+        if (floor != nullptr &&
+            runItem(*floor, i, evaluateItem, onFatal, errors) ==
+                ItemStatus::Done)
+            continue;
+        noteEvaluationFailure();
+        PB_WARN("evaluation of batch item "
+                << i << " failed on every available instance; "
+                   "pricing as worst cost (not cached)");
+    }
+
+    throwFirstLogRest(errors);
+    return results;
+}
 
 std::vector<RunResult>
 EnginePool::runBatch(const apps::Benchmark &benchmark,
                      std::span<const tuner::Config> configs, int64_t n)
 {
-    if (!canFanOut(benchmark, configs.size()))
-        return engines_.front()->runBatch(benchmark, configs, n);
+    Reaper reaper(*this);
+    std::vector<RunResult> results(configs.size());
+    if (configs.empty())
+        return results;
 
-    const size_t lanes = std::min(engines_.size(), configs.size());
-    return fanOut<RunResult>(lanes, configs.size(),
-                             [&](size_t lane, size_t i) {
-                                 return engines_[lane]->run(
-                                     benchmark, configs[i], n);
-                             });
-}
+    std::vector<Instance *> lanes = laneSet(benchmark);
+    std::vector<std::exception_ptr> errors(configs.size());
+    std::vector<size_t> leftovers;
+    std::mutex leftoverMutex;
 
-std::vector<double>
-EnginePool::measureBatch(const apps::Benchmark &benchmark,
-                         std::span<const tuner::Config> configs,
-                         int64_t n)
-{
-    if (!canFanOut(benchmark, configs.size()))
-        return engines_.front()->measureBatch(benchmark, configs, n);
+    auto evaluateItem = [&](Instance &instance, size_t i) {
+        ExecutionEngine *engine = instance.engine.get();
+        // The watchdog may abandon the evaluation mid-flight, so it
+        // writes a slot it owns, never the shared results array.
+        auto slot = std::make_shared<RunResult>();
+        timedCall(instance,
+                  [engine, slot, &benchmark, configs, n, i]() -> double {
+                      *slot = engine->run(benchmark, configs[i], n);
+                      return 0.0;
+                  });
+        results[i] = *slot;
+    };
+    auto onFatal = [&](size_t i, std::exception_ptr error) {
+        errors[i] = error;
+    };
 
-    const size_t lanes = std::min(engines_.size(), configs.size());
-    return fanOut<double>(
-        lanes, configs.size(), [&](size_t lane, size_t i) {
-            try {
-                return engines_[lane]->measure(benchmark, configs[i], n);
-            } catch (const FatalError &) {
-                return std::numeric_limits<double>::infinity();
-            }
-        });
+    if (!lanes.empty()) {
+        const size_t laneCount =
+            std::min(lanes.size(), configs.size());
+        std::vector<size_t> laneIndex(laneCount);
+        for (size_t l = 0; l < laneCount; ++l)
+            laneIndex[l] = l;
+        drainLanes(
+            laneIndex, configs.size(),
+            [&](size_t lane) { return isQuarantined(*lanes[lane]); },
+            [&](size_t lane, size_t item) {
+                return runItem(*lanes[lane], item, evaluateItem,
+                               onFatal, errors) == ItemStatus::Done;
+            },
+            leftovers, leftoverMutex);
+    } else {
+        for (size_t i = 0; i < configs.size(); ++i)
+            leftovers.push_back(i);
+    }
+
+    if (!leftovers.empty() && !concurrentInstancesSafe(benchmark))
+        reapWedged();
+    for (size_t i : leftovers) {
+        Instance *floor = firstLive();
+        if (floor != nullptr &&
+            runItem(*floor, i, evaluateItem, onFatal, errors) ==
+                ItemStatus::Done)
+            continue;
+        noteEvaluationFailure();
+        errors[i] = std::make_exception_ptr(TransientError(
+            "batch item " + std::to_string(i) +
+            " failed on every available pool instance"));
+    }
+
+    throwFirstLogRest(errors);
+    return results;
 }
 
 } // namespace engine

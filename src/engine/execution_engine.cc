@@ -3,8 +3,74 @@
 #include <chrono>
 #include <thread>
 
+#include "support/error.h"
+#include "support/logging.h"
+
 namespace petabricks {
 namespace engine {
+
+// ---- ExecutionEngine failure policy ------------------------------------
+
+void
+retryBackoffSleep(const RetryPolicy &policy, int attempt)
+{
+    int64_t millis = policy.backoffBaseMillis;
+    for (int i = 1; i < attempt && millis < policy.backoffMaxMillis; ++i)
+        millis *= 2;
+    millis = std::min<int64_t>(millis, policy.backoffMaxMillis);
+    if (millis > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(millis));
+}
+
+void
+ExecutionEngine::setRetryPolicy(const RetryPolicy &policy)
+{
+    PB_ASSERT(policy.maxAttempts >= 1, "retry policy needs >= 1 attempt");
+    retryPolicy_ = policy;
+}
+
+EngineFailureStats
+ExecutionEngine::failureStats() const
+{
+    EngineFailureStats stats;
+    stats.transientFailures = transientFailures_.load();
+    stats.retries = retries_.load();
+    stats.evaluationFailures = evaluationFailures_.load();
+    return stats;
+}
+
+double
+ExecutionEngine::guarded(const std::function<double()> &evaluate)
+{
+    for (int attempt = 1;; ++attempt) {
+        try {
+            return evaluate();
+        } catch (const TransientError &error) {
+            // Environment fault, not a property of the configuration:
+            // retry within budget, then surface the NaN sentinel so the
+            // caller prices it as worst cost without caching it.
+            transientFailures_.fetch_add(1);
+            if (attempt >= retryPolicy_.maxAttempts) {
+                evaluationFailures_.fetch_add(1);
+                PB_WARN("evaluation failed after "
+                        << attempt << " attempts: " << error.what());
+                return std::numeric_limits<double>::quiet_NaN();
+            }
+            retries_.fetch_add(1);
+            retryBackoffSleep(retryPolicy_, attempt);
+        } catch (const FatalError &) {
+            // Infeasible configuration: deterministic, never retried.
+            return std::numeric_limits<double>::infinity();
+        }
+    }
+}
+
+double
+ExecutionEngine::measureGuarded(const apps::Benchmark &benchmark,
+                                const tuner::Config &config, int64_t n)
+{
+    return guarded([&] { return measure(benchmark, config, n); });
+}
 
 // ---- ExecutionEngine batch defaults ------------------------------------
 
@@ -27,13 +93,8 @@ ExecutionEngine::measureBatch(const apps::Benchmark &benchmark,
 {
     std::vector<double> seconds;
     seconds.reserve(configs.size());
-    for (const tuner::Config &config : configs) {
-        try {
-            seconds.push_back(measure(benchmark, config, n));
-        } catch (const FatalError &) {
-            seconds.push_back(std::numeric_limits<double>::infinity());
-        }
-    }
+    for (const tuner::Config &config : configs)
+        seconds.push_back(measureGuarded(benchmark, config, n));
     return seconds;
 }
 
@@ -104,12 +165,11 @@ ModelEngine::measureBatch(const apps::Benchmark &benchmark,
     const apps::EvalContext *ctx = contextFor(benchmark, n);
     std::vector<double> seconds(configs.size(), 0.0);
     pool().parallelFor(configs.size(), [&](size_t i) {
-        try {
-            seconds[i] =
-                benchmark.evaluate(configs[i], n, machine_, ctx);
-        } catch (const FatalError &) {
-            seconds[i] = std::numeric_limits<double>::infinity();
-        }
+        // guarded() prices infeasible configs as +inf and absorbs
+        // transient faults (retry, then the NaN sentinel) — same
+        // failure semantics as the serial default.
+        seconds[i] = guarded(
+            [&] { return benchmark.evaluate(configs[i], n, machine_, ctx); });
     });
     return seconds;
 }

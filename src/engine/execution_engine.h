@@ -23,6 +23,8 @@
 #define PETABRICKS_ENGINE_EXECUTION_ENGINE_H
 
 #include <atomic>
+#include <cmath>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <span>
@@ -37,6 +39,31 @@
 
 namespace petabricks {
 namespace engine {
+
+/**
+ * How an engine re-attempts evaluations that raise TransientError
+ * (flaky device, injected fault, timed-out worker). Exponential
+ * backoff: attempt k sleeps backoffBaseMillis * 2^(k-1), capped at
+ * backoffMaxMillis. Non-transient FatalErrors (infeasible configs)
+ * are never retried — they are deterministic.
+ */
+struct RetryPolicy
+{
+    int maxAttempts = 3;      ///< total tries per evaluation (>= 1)
+    int backoffBaseMillis = 1;
+    int backoffMaxMillis = 50;
+};
+
+/** Sleep before re-attempt @p attempt (1-based) per @p policy. */
+void retryBackoffSleep(const RetryPolicy &policy, int attempt);
+
+/** Monotonic failure accounting, per engine (snapshot form). */
+struct EngineFailureStats
+{
+    int64_t transientFailures = 0; ///< TransientErrors observed
+    int64_t retries = 0;           ///< re-attempts actually made
+    int64_t evaluationFailures = 0; ///< gave up after maxAttempts
+};
 
 /** Outcome of evaluating one configuration at one input size. */
 struct RunResult
@@ -59,6 +86,25 @@ class ExecutionEngine
 {
   public:
     virtual ~ExecutionEngine() = default;
+
+    // Copying an engine snapshots its failure counters (the counters
+    // are atomics only so guarded() can run on batch worker threads).
+    ExecutionEngine() = default;
+    ExecutionEngine(const ExecutionEngine &other)
+        : retryPolicy_(other.retryPolicy_),
+          transientFailures_(other.transientFailures_.load()),
+          retries_(other.retries_.load()),
+          evaluationFailures_(other.evaluationFailures_.load())
+    {}
+    ExecutionEngine &
+    operator=(const ExecutionEngine &other)
+    {
+        retryPolicy_ = other.retryPolicy_;
+        transientFailures_.store(other.transientFailures_.load());
+        retries_.store(other.retries_.load());
+        evaluationFailures_.store(other.evaluationFailures_.load());
+        return *this;
+    }
 
     /** Display name ("model:Desktop", "runtime:Desktop", ...). */
     virtual std::string name() const = 0;
@@ -92,11 +138,34 @@ class ExecutionEngine
      * configuration, index-aligned with @p configs. Unlike measure(),
      * infeasible configurations (FatalError) yield +inf instead of
      * throwing, so one bad mutant cannot abort a parallel generation.
-     * Default: loop over measure().
+     * Transient failures (TransientError — crash, hang, flake) are
+     * retried per the engine's RetryPolicy; an evaluation that still
+     * fails after the retry budget yields NaN, the "evaluation failed"
+     * sentinel: callers must treat it as worst cost and never record
+     * it as a real measurement (the TuningSession keeps NaN out of the
+     * EvaluationCache). Default: loop over measureGuarded().
      */
     virtual std::vector<double>
     measureBatch(const apps::Benchmark &benchmark,
                  std::span<const tuner::Config> configs, int64_t n);
+
+    /**
+     * measure() wrapped in the engine's failure policy: TransientError
+     * is retried with bounded exponential backoff, infeasible configs
+     * (FatalError) price as +inf, and an evaluation whose retry budget
+     * runs out returns NaN (see measureBatch). Never throws for
+     * evaluation-level failures; thread-safe counters record what was
+     * absorbed.
+     */
+    double measureGuarded(const apps::Benchmark &benchmark,
+                          const tuner::Config &config, int64_t n);
+
+    /** Retry policy applied by measureGuarded()/the batch defaults. */
+    void setRetryPolicy(const RetryPolicy &policy);
+    const RetryPolicy &retryPolicy() const { return retryPolicy_; }
+
+    /** Failures absorbed (or given up on) by this engine so far. */
+    EngineFailureStats failureStats() const;
 
     /**
      * True if *independent instances* of this engine may evaluate
@@ -138,6 +207,27 @@ class ExecutionEngine
     {
         (void)options;
     }
+
+  protected:
+    /**
+     * The retry loop behind measureGuarded(), factored so batch
+     * overrides (ModelEngine's parallel lambda) can guard their own
+     * evaluation calls. Thread-safe.
+     */
+    double guarded(const std::function<double()> &evaluate);
+
+    // Failure accounting for subclasses that run their own retry loop
+    // (EnginePool) — feeds the same failureStats() surface guarded()
+    // reports into.
+    void noteTransientFailure() { transientFailures_.fetch_add(1); }
+    void noteRetryAttempt() { retries_.fetch_add(1); }
+    void noteEvaluationFailure() { evaluationFailures_.fetch_add(1); }
+
+  private:
+    RetryPolicy retryPolicy_;
+    std::atomic<int64_t> transientFailures_{0};
+    std::atomic<int64_t> retries_{0};
+    std::atomic<int64_t> evaluationFailures_{0};
 };
 
 /**
@@ -322,17 +412,22 @@ class EngineEvaluator : public tuner::Evaluator
     double
     evaluate(const tuner::Config &config, int64_t inputSize) override
     {
-        try {
-            return engine_.measure(benchmark_, config, inputSize);
-        } catch (const FatalError &) {
-            // Infeasible placement (local memory overflow, inadmissible
-            // backend, ...): never selected.
+        // measureGuarded prices infeasible placements (local memory
+        // overflow, inadmissible backend, ...) as +inf and retries
+        // transient faults; a retry budget that runs out is also worst
+        // cost on this single-config path (the sentinel-preserving
+        // route is evaluateBatch).
+        double seconds =
+            engine_.measureGuarded(benchmark_, config, inputSize);
+        if (std::isnan(seconds))
             return std::numeric_limits<double>::infinity();
-        }
+        return seconds;
     }
 
     /** The generation-level batch: one engine call per tuner
-     * generation instead of populationSize blocking calls. */
+     * generation instead of populationSize blocking calls. NaN entries
+     * (evaluation failed after retries) pass through so the session
+     * can apply its worst-cost-without-caching policy. */
     std::vector<double>
     evaluateBatch(std::span<const tuner::Config> configs,
                   int64_t inputSize) override

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Deterministic fault injection for the evaluation path.
+ *
+ * Real devices crash, hang, and occasionally return garbage; the
+ * autotuner must absorb all three without corrupting the search (the
+ * paper's stance on inadmissible configurations — worst cost, move on
+ * — extended to the evaluation harness itself). FaultInjectingEngine
+ * is a decorator that wraps any ExecutionEngine and injects faults on
+ * a *deterministic* schedule, so the failure paths (retry, backoff,
+ * quarantine, worst-cost penalties) are testable with exact
+ * expectations instead of flaky sleeps.
+ *
+ * Determinism without call-order coupling: whether a fault fires is a
+ * pure hash of (configuration fingerprint, input size, plan seed), so
+ * the schedule is identical across runs *and* across thread
+ * interleavings — a pool lane retrying an item sees the same decision
+ * a serial loop would. A per-key attempt counter makes faults
+ * *transient*: a key faults on its first `faultsPerKey` attempts and
+ * then succeeds, which is exactly the shape a retry budget must
+ * absorb. With faultsPerKey below the engine's retry budget, every
+ * injected fault recovers, and a fault-injected search reaches a
+ * champion byte-identical to a clean one.
+ */
+
+#ifndef PETABRICKS_ENGINE_FAULT_INJECTION_H
+#define PETABRICKS_ENGINE_FAULT_INJECTION_H
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "engine/execution_engine.h"
+
+namespace petabricks {
+namespace engine {
+
+/** The fault schedule a FaultInjectingEngine executes. */
+struct FaultPlan
+{
+    /** Mixed into every fault decision; two engines with the same seed
+     * inject the same faults for the same (config, size) keys. */
+    uint64_t seed = 20130316;
+
+    /** Probability that a (config, size) key faults at all. */
+    double transientRate = 0.0;
+
+    /**
+     * Failing attempts before a faulting key starts succeeding.
+     * Keep below the caller's retry budget for guaranteed-recoverable
+     * faults; negative means the key never recovers (an instance that
+     * must end up quarantined).
+     */
+    int faultsPerKey = 1;
+
+    /** Probability that a fault *hangs* (sleeps hangMillis) before
+     * throwing — the shape a watchdog deadline must convert into a
+     * TransientError instead of a wedged worker. */
+    double hangRate = 0.0;
+    int hangMillis = 20;
+
+    /** Probability that a *successful* evaluation returns a perturbed
+     * cost (scaled by perturbFactor) — garbage that upper layers must
+     * never mistake for a fault-free measurement. */
+    double perturbRate = 0.0;
+    double perturbFactor = 2.0;
+};
+
+/** Monotonic injection counters (what the schedule actually did). */
+struct FaultStats
+{
+    int64_t calls = 0;          ///< evaluations intercepted
+    int64_t transients = 0;     ///< TransientErrors thrown
+    int64_t hangs = 0;          ///< transients that slept first
+    int64_t perturbations = 0;  ///< costs scaled on return
+};
+
+/** See file comment. */
+class FaultInjectingEngine : public ExecutionEngine
+{
+  public:
+    FaultInjectingEngine(std::unique_ptr<ExecutionEngine> inner,
+                         FaultPlan plan);
+
+    ExecutionEngine &inner() { return *inner_; }
+
+    FaultStats faultStats() const;
+
+    // Decorated evaluation entry points (single-config; batches take
+    // the base-class guarded loop, so every batched evaluation passes
+    // through the injector too).
+    RunResult run(const apps::Benchmark &benchmark,
+                  const tuner::Config &config, int64_t n) override;
+    double measure(const apps::Benchmark &benchmark,
+                   const tuner::Config &config, int64_t n) override;
+
+    // Pass-throughs.
+    std::string name() const override;
+    bool supports(const apps::Benchmark &benchmark) const override;
+    void configureTuner(tuner::TunerOptions &options) const override;
+    bool
+    concurrentInstancesSafe(const apps::Benchmark &benchmark) const override;
+
+  private:
+    /** Throw/hang per the plan, or return the cost scale factor. */
+    double applySchedule(const tuner::Config &config, int64_t n);
+
+    std::unique_ptr<ExecutionEngine> inner_;
+    FaultPlan plan_;
+
+    mutable std::mutex mutex_;
+    std::unordered_map<uint64_t, int> attempts_; ///< per faulting key
+    FaultStats stats_;
+};
+
+} // namespace engine
+} // namespace petabricks
+
+#endif // PETABRICKS_ENGINE_FAULT_INJECTION_H

@@ -8,8 +8,9 @@
 namespace petabricks {
 namespace service {
 
-Client::Client(const std::string &host, uint16_t port)
-    : host_(host), stream_(net::TcpStream::connect(host, port))
+Client::Client(const std::string &host, uint16_t port, int timeoutMillis)
+    : host_(host), timeoutMillis_(timeoutMillis),
+      stream_(net::TcpStream::connect(host, port, timeoutMillis))
 {}
 
 KvFile
@@ -26,6 +27,11 @@ Client::command(const std::string &method, const std::string &target,
 
     // ---- Read one response (headers, then Content-Length body) --------
     auto readMore = [&] {
+        if (timeoutMillis_ > 0 &&
+            !net::waitReadable(stream_.fd(), timeoutMillis_))
+            PB_TRANSIENT("timed out after "
+                         << timeoutMillis_
+                         << "ms awaiting a response from the daemon");
         char buffer[16384];
         ptrdiff_t n = stream_.read(buffer, sizeof(buffer));
         if (n <= 0)
@@ -60,6 +66,13 @@ Client::command(const std::string &method, const std::string &target,
     inbox_.erase(0, headerEnd + 4 + bodySize);
 
     KvFile kv = KvFile::fromString(responseBody);
+    if (code == 503)
+        // Backpressure or drain: the daemon asked us to come back, so
+        // callers with a retry loop must be able to tell this apart
+        // from a genuine failure.
+        PB_TRANSIENT("daemon busy (503): "
+                     << (kv.has("error") ? kv.get("error")
+                                         : responseBody));
     if (code >= 400)
         PB_FATAL("daemon error " << code << ": "
                                  << (kv.has("error") ? kv.get("error")

@@ -9,8 +9,11 @@
  * has exactly one client-side implementation.
  *
  * Server-reported errors (4xx/5xx) surface as FatalError carrying the
- * server's message; transport failures (daemon died mid-request)
- * surface as FatalError from the socket layer.
+ * server's message — except 503 (backpressure / draining), which is a
+ * TransientError: the daemon explicitly said "try again", so callers
+ * with a retry loop can distinguish it from a real failure. Transport
+ * failures (daemon died mid-request) surface as FatalError from the
+ * socket layer; connect/read timeouts surface as TransientError.
  */
 
 #ifndef PETABRICKS_SERVICE_CLIENT_H
@@ -30,8 +33,14 @@ namespace service {
 class Client
 {
   public:
-    /** Connect to a running daemon; fatal error when unreachable. */
-    Client(const std::string &host, uint16_t port);
+    /**
+     * Connect to a running daemon; fatal error when unreachable.
+     * @param timeoutMillis bound on the connect and on every read
+     *        while awaiting a response (0 = block forever). Expiry
+     *        throws TransientError — the daemon may just be slow, so
+     *        the caller decides whether to retry.
+     */
+    Client(const std::string &host, uint16_t port, int timeoutMillis = 0);
 
     /** Round-trip liveness probe. */
     void ping();
@@ -88,6 +97,7 @@ class Client
 
   private:
     std::string host_;
+    int timeoutMillis_ = 0;
     net::TcpStream stream_;
     std::string inbox_; ///< bytes read past the previous response
 };

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <limits>
 
+#include "engine/fault_injection.h"
 #include "support/error.h"
 
 namespace petabricks {
@@ -16,6 +17,25 @@ makeEngine(const SessionSpec &spec)
 {
     return engine::ModelEngine(sim::MachineProfile::byName(spec.machine),
                                spec.engineParallelism);
+}
+
+/** The session's evaluation engine: the spec's ModelEngine, wrapped
+ * in a deterministic fault injector when the spec asks for one. */
+std::unique_ptr<engine::ExecutionEngine>
+makeSessionEngine(const SessionSpec &spec)
+{
+    auto engine = std::make_unique<engine::ModelEngine>(makeEngine(spec));
+    if (spec.faultRate <= 0.0)
+        return engine;
+    engine::FaultPlan plan;
+    plan.seed = static_cast<uint64_t>(spec.faultSeed);
+    plan.transientRate = spec.faultRate;
+    // One failing attempt per faulting key keeps every injected fault
+    // inside the default retry budget: the search must converge to the
+    // clean champion.
+    plan.faultsPerKey = 1;
+    return std::make_unique<engine::FaultInjectingEngine>(
+        std::move(engine), plan);
 }
 
 } // namespace
@@ -36,6 +56,11 @@ SessionSpec::fromCreateRequest(const KvFile &kv)
         static_cast<int>(kv.getIntOr("engineParallelism", 1));
     if (spec.engineParallelism < 0)
         PB_FATAL("engineParallelism must be >= 0");
+    if (kv.has("faultRate"))
+        spec.faultRate = kv.getDouble("faultRate");
+    spec.faultSeed = kv.getIntOr("faultSeed", spec.faultSeed);
+    if (spec.faultRate < 0.0 || spec.faultRate >= 1.0)
+        PB_FATAL("faultRate must be in [0, 1)");
 
     // Benchmark-derived defaults, then the machine's compile model,
     // then the request's explicit overrides — the same layering
@@ -88,6 +113,8 @@ SessionSpec::toKv() const
     kv.setDouble("spec.kernelCompileSeconds",
                  tuner.kernelCompileSeconds);
     kv.setDouble("spec.irCacheSavings", tuner.irCacheSavings);
+    kv.setDouble("spec.faultRate", faultRate);
+    kv.setInt("spec.faultSeed", faultSeed);
     return kv;
 }
 
@@ -114,12 +141,16 @@ SessionSpec::fromKv(const KvFile &kv)
     spec.tuner.kernelCompileSeconds =
         kv.getDouble("spec.kernelCompileSeconds");
     spec.tuner.irCacheSavings = kv.getDouble("spec.irCacheSavings");
+    // Absent in pre-fault-injection spool files: default to disabled.
+    if (kv.has("spec.faultRate"))
+        spec.faultRate = kv.getDouble("spec.faultRate");
+    spec.faultSeed = kv.getIntOr("spec.faultSeed", spec.faultSeed);
     return spec;
 }
 
 HostedSession::HostedSession(SessionSpec spec)
     : spec_(std::move(spec)), benchmark_(apps::findBenchmark(spec_.benchmark)),
-      engine_(makeEngine(spec_)), evaluator_(*benchmark_, engine_),
+      engine_(makeSessionEngine(spec_)), evaluator_(*benchmark_, *engine_),
       session_(evaluator_, benchmark_->seedConfig(), spec_.tuner)
 {
     refreshSnapshot();

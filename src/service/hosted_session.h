@@ -46,6 +46,16 @@ struct SessionSpec
      * stepping sessions concurrently, not from nested pools. */
     int engineParallelism = 1;
 
+    /**
+     * Deterministic fault injection (soak/chaos testing): probability
+     * that an evaluation key raises a TransientError on its first
+     * attempt (engine::FaultPlan::transientRate). 0 disables. Injected
+     * faults always recover within the engine's retry budget, so a
+     * faulted search reaches the same champion as a clean one.
+     */
+    double faultRate = 0.0;
+    int64_t faultSeed = 20130316; ///< FaultPlan seed when faultRate > 0
+
     /** Concrete search knobs (no unresolved defaults). */
     tuner::TunerOptions tuner;
 
@@ -116,7 +126,9 @@ class HostedSession
 
     SessionSpec spec_;
     apps::BenchmarkPtr benchmark_;
-    engine::ModelEngine engine_;
+    /** ModelEngine, wrapped in a FaultInjectingEngine when the spec
+     * asks for fault injection. */
+    std::unique_ptr<engine::ExecutionEngine> engine_;
     engine::EngineEvaluator evaluator_;
     tuner::TuningSession session_;
 

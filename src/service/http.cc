@@ -50,6 +50,7 @@ reasonPhrase(int status)
     case 409: return "Conflict";
     case 413: return "Payload Too Large";
     case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
     default: return "Unknown";
     }
 }
@@ -84,8 +85,10 @@ HttpResponse::serialize() const
     std::ostringstream out;
     out << "HTTP/1.1 " << status << ' ' << reasonPhrase(status) << "\r\n"
         << "Content-Type: " << contentType << "\r\n"
-        << "Content-Length: " << body.size() << "\r\n"
-        << "Connection: " << (keepAlive ? "keep-alive" : "close")
+        << "Content-Length: " << body.size() << "\r\n";
+    if (retryAfterSeconds > 0)
+        out << "Retry-After: " << retryAfterSeconds << "\r\n";
+    out << "Connection: " << (keepAlive ? "keep-alive" : "close")
         << "\r\n\r\n"
         << body;
     return out.str();

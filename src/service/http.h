@@ -55,6 +55,10 @@ struct HttpResponse
     std::string body;
     bool keepAlive = true;
 
+    /** When > 0, emitted as a `Retry-After` header — the backpressure
+     * hint accompanying a 503 so clients know when to come back. */
+    int retryAfterSeconds = 0;
+
     /** Render the full wire form (status line, headers, body). */
     std::string serialize() const;
 

@@ -128,6 +128,30 @@ TuningServer::stop()
 }
 
 void
+TuningServer::drain()
+{
+    if (draining_.exchange(true))
+        return; // a concurrent drain already owns the protocol
+    if (!running_.load())
+        return;
+    PB_INFORM("tunerd: draining — finishing in-flight commands");
+    {
+        // New worker commands are now rejected at admission (503), so
+        // the queue can only shrink; wait for it to empty and for the
+        // last busy worker to finish.
+        std::unique_lock<std::mutex> lock(workMutex_);
+        drainCv_.wait(lock, [this] {
+            return workQueue_.empty() && busyWorkers_ == 0;
+        });
+    }
+    // Every session is idle now: flush them all so a restart resumes
+    // from exactly the drained state.
+    table_.checkpointAll();
+    PB_INFORM("tunerd: drained; all sessions checkpointed");
+    stop();
+}
+
+void
 TuningServer::workerLoop()
 {
     for (;;) {
@@ -142,12 +166,38 @@ TuningServer::workerLoop()
                         // checkpointed at their last completed step
             item = std::move(workQueue_.front());
             workQueue_.pop_front();
+            ++busyWorkers_;
         }
-        HttpResponse response = timedDispatch(item.request);
+        HttpResponse response;
+        const int64_t deadline = options_.requestDeadlineSeconds;
+        const auto queuedSeconds =
+            std::chrono::duration_cast<std::chrono::seconds>(
+                Clock::now() - item.enqueued)
+                .count();
+        if (deadline > 0 && queuedSeconds >= deadline) {
+            // The client has usually timed out and retried by now;
+            // dispatching would run the same command twice.
+            ++deadlineRejections_;
+            response = HttpResponse::error(
+                503, "request spent too long queued (deadline "
+                         + std::to_string(deadline) + "s)");
+            response.retryAfterSeconds = 1;
+            recordCommand(item.request.path.empty()
+                              ? std::string("?")
+                              : item.request.path.substr(1),
+                          response.status, 0.0);
+        } else {
+            response = timedDispatch(item.request);
+        }
         if (item.connId != 0) {
             std::lock_guard<std::mutex> lock(doneMutex_);
             doneQueue_.push_back({item.connId, response.serialize()});
         }
+        {
+            std::lock_guard<std::mutex> lock(workMutex_);
+            --busyWorkers_;
+        }
+        drainCv_.notify_all();
         wakeup_.notify();
     }
 }
@@ -164,6 +214,30 @@ TuningServer::pumpRequests(uint64_t connId, Connection &connection)
             ++requestsServed_;
         }
         if (routesToWorker(request->path)) {
+            // Admission control before the queue sees the request:
+            // drains and full queues shed load with a retry hint
+            // rather than buffering doomed work. Only this (I/O)
+            // thread pushes, so the depth check cannot race a push.
+            bool draining = draining_.load();
+            bool full;
+            {
+                std::lock_guard<std::mutex> lock(workMutex_);
+                full = workQueue_.size() >= options_.maxQueueDepth;
+            }
+            if (draining || full) {
+                ++backpressureRejections_;
+                HttpResponse busy = HttpResponse::error(
+                    503, draining
+                             ? "draining: not accepting new commands"
+                             : "worker queue is full");
+                busy.retryAfterSeconds = draining ? 5 : 1;
+                connection.outbox += busy.serialize();
+                recordCommand(request->path.empty()
+                                  ? std::string("?")
+                                  : request->path.substr(1),
+                              busy.status, 0.0);
+                continue;
+            }
             if (request->path == "/step" &&
                 request->param("wait", "1") == "0") {
                 // Detached step: acknowledge now, step in the
@@ -174,14 +248,15 @@ TuningServer::pumpRequests(uint64_t connId, Connection &connection)
                                 request->param("session") + "\n";
                 connection.outbox += accepted.serialize();
                 std::lock_guard<std::mutex> lock(workMutex_);
-                workQueue_.push_back({0, std::move(*request)});
+                workQueue_.push_back({0, std::move(*request), Clock::now()});
                 workCv_.notify_one();
             } else {
                 // Blocking session command: the connection waits for
                 // the worker's response; the I/O loop moves on.
                 connection.awaitingWorker = true;
                 std::lock_guard<std::mutex> lock(workMutex_);
-                workQueue_.push_back({connId, std::move(*request)});
+                workQueue_.push_back(
+                    {connId, std::move(*request), Clock::now()});
                 workCv_.notify_one();
             }
             continue;
@@ -241,6 +316,34 @@ TuningServer::dispatch(const HttpRequest &request)
 
     if (path == "/ping")
         return HttpResponse::ok("pong = 1\n");
+
+    if (path == "/healthz") {
+        // Liveness + load probe: answers inline on the I/O thread, so
+        // it stays responsive while every worker is busy — that is
+        // precisely when a health check matters.
+        KvFile kv;
+        {
+            std::lock_guard<std::mutex> lock(workMutex_);
+            kv.setInt("health.queueDepth",
+                      static_cast<int64_t>(workQueue_.size()));
+            kv.setInt("health.busyWorkers", busyWorkers_);
+        }
+        kv.setInt("health.maxQueueDepth",
+                  static_cast<int64_t>(options_.maxQueueDepth));
+        kv.setInt("health.draining", draining_.load() ? 1 : 0);
+        kv.setInt("health.backpressureRejections",
+                  backpressureRejections_.load());
+        kv.setInt("health.deadlineRejections", deadlineRejections_.load());
+        SessionTableStats table = table_.stats();
+        kv.setInt("health.residentSessions",
+                  static_cast<int64_t>(table.resident));
+        kv.setInt("health.totalSessions",
+                  static_cast<int64_t>(table.total));
+        kv.setInt("health.spoolQuarantined", table.spoolQuarantined);
+        kv.setInt("health.evaluationFailures", table.evaluationFailures);
+        kv.setInt("health.ok", 1);
+        return HttpResponse::ok(kv.toString());
+    }
 
     if (path == "/create") {
         SessionSpec spec =
@@ -337,7 +440,21 @@ TuningServer::statsKv() const
             kv.setDouble(prefix + "maxMicros", stats.maxMicros);
         }
     }
+    {
+        std::lock_guard<std::mutex> lock(workMutex_);
+        kv.setInt("server.queueDepth",
+                  static_cast<int64_t>(workQueue_.size()));
+        kv.setInt("server.busyWorkers", busyWorkers_);
+    }
+    kv.setInt("server.maxQueueDepth",
+              static_cast<int64_t>(options_.maxQueueDepth));
+    kv.setInt("server.draining", draining_.load() ? 1 : 0);
+    kv.setInt("server.backpressureRejections",
+              backpressureRejections_.load());
+    kv.setInt("server.deadlineRejections", deadlineRejections_.load());
     SessionTableStats table = table_.stats();
+    kv.setInt("table.spoolQuarantined", table.spoolQuarantined);
+    kv.setInt("table.evaluationFailures", table.evaluationFailures);
     kv.setInt("table.created", table.created);
     kv.setInt("table.resumed", table.resumed);
     kv.setInt("table.evictions", table.evictions);

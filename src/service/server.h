@@ -41,6 +41,7 @@
 #define PETABRICKS_SERVICE_SERVER_H
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -75,6 +76,22 @@ struct ServerOptions
 
     /** Per-request size cap (headers + body). */
     size_t maxRequestBytes = 1 << 20;
+
+    /**
+     * Bound on queued worker commands. A burst beyond this answers
+     * `503 Service Unavailable` with a `Retry-After` hint instead of
+     * buffering without limit — overload sheds load at the edge, it
+     * never grows an unbounded queue of doomed work.
+     */
+    size_t maxQueueDepth = 128;
+
+    /**
+     * Per-request deadline (seconds; 0 disables): a queued command
+     * older than this when a worker finally picks it up is answered
+     * `503` without being dispatched — the client has usually timed
+     * out and retried by then, so running it would double the work.
+     */
+    int64_t requestDeadlineSeconds = 0;
 };
 
 /** Per-command request/latency counters (`stats` endpoint). */
@@ -100,6 +117,18 @@ class TuningServer
 
     /** Drain and join everything; idempotent. */
     void stop();
+
+    /**
+     * Graceful shutdown (the SIGTERM path): stop accepting new worker
+     * commands (they get 503 + Retry-After), wait for every queued and
+     * in-flight command to finish, checkpoint every resident session
+     * to the spool, then stop(). Blocks until done; idempotent with
+     * respect to concurrent drain() calls.
+     */
+    void drain();
+
+    /** True once drain() began (new worker commands are rejected). */
+    bool draining() const { return draining_.load(); }
 
     /** The bound port (valid after start()). */
     uint16_t port() const { return port_; }
@@ -127,6 +156,7 @@ class TuningServer
     {
         uint64_t connId = 0; ///< 0: detached (fire-and-forget step)
         HttpRequest request;
+        std::chrono::steady_clock::time_point enqueued; ///< deadline base
     };
 
     struct WorkDone
@@ -162,9 +192,11 @@ class TuningServer
     // post to doneQueue_; pumpThread_ hosts the pool's parallelFor.
     std::unique_ptr<ThreadPool> pool_;
     std::thread pumpThread_;
-    std::mutex workMutex_;
+    mutable std::mutex workMutex_;
     std::condition_variable workCv_;
     std::deque<WorkItem> workQueue_;
+    int busyWorkers_ = 0;            ///< guarded by workMutex_
+    std::condition_variable drainCv_; ///< queue empty + workers idle
     std::mutex doneMutex_;
     std::deque<WorkDone> doneQueue_;
 
@@ -174,6 +206,9 @@ class TuningServer
     std::atomic<bool> running_{false};
     std::atomic<bool> stopping_{false};
     std::atomic<bool> shutdownRequested_{false};
+    std::atomic<bool> draining_{false};
+    std::atomic<int64_t> backpressureRejections_{0};
+    std::atomic<int64_t> deadlineRejections_{0};
 
     mutable std::mutex statsMutex_;
     std::map<std::string, CommandStats> commandStats_;

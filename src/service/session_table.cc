@@ -23,6 +23,9 @@ SessionTable::SessionTable(SessionTableOptions options)
                                                    << "': "
                                                    << ec.message());
 
+    if (options_.fsckSpool)
+        fsckSpoolDir();
+
     // A restarted daemon must never hand out an id that collides with
     // a spooled session from its previous life.
     for (const fs::directory_entry &entry :
@@ -37,6 +40,57 @@ SessionTable::SessionTable(SessionTableOptions options)
                 nextId_ = n;
         }
     }
+}
+
+void
+SessionTable::fsckSpoolDir()
+{
+    // Quarantine = rename, not delete: a corrupt pair is preserved for
+    // post-mortem while becoming invisible to every later spool scan
+    // (resume, id allocation, this fsck on the next boot).
+    auto quarantine = [&](const std::string &id, const char *why) {
+        for (const std::string &path :
+             {metaPath(id), checkpointPath(id)}) {
+            std::error_code ec;
+            if (fs::exists(path, ec))
+                fs::rename(path, path + ".quarantine", ec);
+        }
+        ++stats_.spoolQuarantined;
+        PB_WARN("service: quarantined spooled session '" << id << "' ("
+                                                         << why << ")");
+    };
+
+    std::error_code ec;
+    std::vector<std::string> metaIds;
+    std::vector<std::string> orphanCkptIds;
+    for (const fs::directory_entry &entry :
+         fs::directory_iterator(options_.spoolDir, ec)) {
+        if (entry.path().extension() == ".meta")
+            metaIds.push_back(entry.path().stem().string());
+        else if (entry.path().extension() == ".ckpt")
+            orphanCkptIds.push_back(entry.path().stem().string());
+    }
+
+    for (const std::string &id : metaIds) {
+        try {
+            // The full rehydration path: spec parse, session build,
+            // checkpoint restore. Anything a later resume would trip
+            // over trips here instead, once, at boot.
+            SessionSpec spec = SessionSpec::fromKv(KvFile::load(metaPath(id)));
+            const std::string ckpt = checkpointPath(id);
+            if (fs::exists(ckpt)) {
+                HostedSession probe(spec);
+                probe.load(ckpt);
+            }
+        } catch (const std::exception &e) {
+            quarantine(id, e.what());
+        }
+    }
+    // A ckpt whose meta was just quarantined was renamed with it —
+    // re-check existence so it is not counted twice.
+    for (const std::string &id : orphanCkptIds)
+        if (!fs::exists(metaPath(id)) && fs::exists(checkpointPath(id)))
+            quarantine(id, "checkpoint without a .meta spec");
 }
 
 std::string
@@ -305,6 +359,23 @@ SessionTable::sweep(std::chrono::steady_clock::time_point now)
         roomCv_.notify_all();
 }
 
+void
+SessionTable::checkpointAll()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (auto &[id, entry] : entries_) {
+        if (!entry->session)
+            continue; // evicted: the spool already has its state
+        if (entry->busy) {
+            PB_WARN("service: checkpointAll skipping busy session "
+                    << id);
+            continue;
+        }
+        entry->lastStatus = entry->session->introspect();
+        entry->session->save(checkpointPath(id));
+    }
+}
+
 SessionTableStats
 SessionTable::stats() const
 {
@@ -312,6 +383,14 @@ SessionTable::stats() const
     SessionTableStats stats = stats_;
     stats.resident = resident_;
     stats.total = entries_.size();
+    for (const auto &[id, entry] : entries_) {
+        // Live entries answer from their snapshot (safe mid-step);
+        // evicted ones from the status recorded at eviction.
+        const tuner::SessionIntrospection view =
+            entry->session ? entry->session->introspect()
+                           : entry->lastStatus;
+        stats.evaluationFailures += view.evaluationFailures;
+    }
     return stats;
 }
 

@@ -73,6 +73,16 @@ struct SessionTableOptions
     /** Sweeper: hard-delete sessions untouched longer than this
      * (seconds; 0 disables expiry — abandoned sessions stay on disk). */
     int64_t expireSeconds = 0;
+
+    /**
+     * Verify every spooled session at construction: each .meta must
+     * parse into a spec and its .ckpt (if any) must restore into a
+     * live session. Corrupt pairs are quarantined (renamed with a
+     * `.quarantine` suffix) and counted, so one torn file can never
+     * take the daemon down or poison a later resume; healthy sessions
+     * keep serving. Orphan .ckpt files (no .meta) are quarantined too.
+     */
+    bool fsckSpool = true;
 };
 
 /** Monotonic counters, exposed through the `stats` endpoint. */
@@ -87,6 +97,14 @@ struct SessionTableStats
     size_t resident = 0;       ///< live sessions right now
     size_t total = 0;          ///< table entries right now (live + spooled)
     size_t peakResident = 0;   ///< high-water mark of `resident`
+
+    /** Spooled sessions set aside by the startup fsck (corrupt .meta
+     * or .ckpt, renamed `*.quarantine`). */
+    int64_t spoolQuarantined = 0;
+
+    /** Sum of evaluation failures (retries exhausted) across every
+     * session in the table, live or spooled. */
+    int64_t evaluationFailures = 0;
 };
 
 /** See file comment. */
@@ -137,6 +155,14 @@ class SessionTable
      */
     void sweep(std::chrono::steady_clock::time_point now);
 
+    /**
+     * Checkpoint every resident idle session to the spool (the
+     * graceful-drain final flush). Busy sessions are skipped with a
+     * warning — the drain protocol only calls this once the worker
+     * pool is quiesced, so a busy entry here means a bug upstream.
+     */
+    void checkpointAll();
+
     SessionTableStats stats() const;
 
     const SessionTableOptions &options() const { return options_; }
@@ -180,6 +206,10 @@ class SessionTable
 
     /** Delete @p entry's spool files (best-effort). */
     void removeSpoolFiles(const std::string &id);
+
+    /** Startup spool verification (see SessionTableOptions::fsckSpool);
+     * runs before the id scan, so quarantined files are invisible. */
+    void fsckSpoolDir();
 
     SessionTableOptions options_;
     mutable std::mutex mutex_;

@@ -28,5 +28,11 @@ throwPanic(const char *file, int line, const std::string &msg)
     throw PanicError(decorate("panic", file, line, msg));
 }
 
+void
+throwTransient(const char *file, int line, const std::string &msg)
+{
+    throw TransientError(decorate("transient", file, line, msg));
+}
+
 } // namespace detail
 } // namespace petabricks

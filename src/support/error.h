@@ -23,6 +23,35 @@ class FatalError : public std::runtime_error
     explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
 };
 
+/**
+ * An evaluation failed in a way that condemns the *evaluation*, not
+ * the configuration: the measured result is garbage or was never
+ * produced. Distinct from plain FatalError (infeasible configuration:
+ * deterministic, price as +inf and move on) so harness layers can
+ * account for flaky evaluations separately. Catch-ordering matters:
+ * handlers must catch the subclasses below before FatalError.
+ */
+class EvaluationError : public FatalError
+{
+  public:
+    explicit EvaluationError(const std::string &msg) : FatalError(msg) {}
+};
+
+/**
+ * A *retryable* evaluation failure: the device crashed, the worker
+ * hung past its deadline, the daemon connection timed out — faults of
+ * the environment, not of the configuration under test. Callers with a
+ * retry budget should re-attempt; callers without one should treat the
+ * configuration like the paper treats inadmissible configs (worst
+ * cost, move on) and never record the result as a real measurement.
+ */
+class TransientError : public EvaluationError
+{
+  public:
+    explicit TransientError(const std::string &msg) : EvaluationError(msg)
+    {}
+};
+
 /** Exception thrown for internal invariant violations (library bugs). */
 class PanicError : public std::logic_error
 {
@@ -36,6 +65,8 @@ namespace detail {
                              const std::string &msg);
 [[noreturn]] void throwPanic(const char *file, int line,
                              const std::string &msg);
+[[noreturn]] void throwTransient(const char *file, int line,
+                                 const std::string &msg);
 
 } // namespace detail
 
@@ -48,6 +79,15 @@ namespace detail {
         pb_oss_ << msg;                                                     \
         ::petabricks::detail::throwFatal(__FILE__, __LINE__,                \
                                          pb_oss_.str());                    \
+    } while (0)
+
+/** Report a retryable evaluation failure (see TransientError). */
+#define PB_TRANSIENT(msg)                                                   \
+    do {                                                                    \
+        std::ostringstream pb_oss_;                                         \
+        pb_oss_ << msg;                                                     \
+        ::petabricks::detail::throwTransient(__FILE__, __LINE__,            \
+                                             pb_oss_.str());                \
     } while (0)
 
 /** Report an internal invariant violation (a bug in this library). */

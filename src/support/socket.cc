@@ -6,6 +6,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -79,6 +80,67 @@ TcpStream::connect(const std::string &host, uint16_t port)
     if (rc < 0)
         PB_FATAL("connect to " << host << ":" << port << ": "
                                << std::strerror(errno));
+    int one = 1;
+    ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return TcpStream(std::move(fd));
+}
+
+bool
+waitReadable(int fd, int timeoutMillis)
+{
+    pollfd pfd{fd, POLLIN, 0};
+    int rc;
+    do {
+        rc = ::poll(&pfd, 1, timeoutMillis);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0)
+        PB_FATAL("poll: " << std::strerror(errno));
+    return rc > 0;
+}
+
+TcpStream
+TcpStream::connect(const std::string &host, uint16_t port,
+                   int timeoutMillis)
+{
+    if (timeoutMillis <= 0)
+        return connect(host, port);
+
+    Fd fd = makeTcpSocket();
+    setNonBlocking(fd.get());
+    sockaddr_in addr = makeAddress(host, port);
+    int rc;
+    do {
+        rc = ::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0 && errno != EINPROGRESS)
+        PB_TRANSIENT("connect to " << host << ":" << port << ": "
+                                   << std::strerror(errno));
+    if (rc < 0) {
+        pollfd pfd{fd.get(), POLLOUT, 0};
+        do {
+            rc = ::poll(&pfd, 1, timeoutMillis);
+        } while (rc < 0 && errno == EINTR);
+        if (rc == 0)
+            PB_TRANSIENT("connect to " << host << ":" << port
+                                       << " timed out after "
+                                       << timeoutMillis << " ms");
+        if (rc < 0)
+            PB_FATAL("poll: " << std::strerror(errno));
+        int soError = 0;
+        socklen_t len = sizeof(soError);
+        if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &soError,
+                         &len) < 0)
+            PB_FATAL("getsockopt(SO_ERROR): " << std::strerror(errno));
+        if (soError != 0)
+            PB_TRANSIENT("connect to " << host << ":" << port << ": "
+                                       << std::strerror(soError));
+    }
+    // Back to blocking mode: the client's write/read path assumes it.
+    int flags = ::fcntl(fd.get(), F_GETFL, 0);
+    if (flags < 0 ||
+        ::fcntl(fd.get(), F_SETFL, flags & ~O_NONBLOCK) < 0)
+        PB_FATAL("fcntl(~O_NONBLOCK): " << std::strerror(errno));
     int one = 1;
     ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     return TcpStream(std::move(fd));

@@ -51,6 +51,14 @@ class Fd
 void setNonBlocking(int fd);
 
 /**
+ * poll() @p fd for readability for at most @p timeoutMillis.
+ * @return true when readable (or the peer hung up — the next read
+ *         observes it), false on timeout. @p timeoutMillis < 0 waits
+ *         forever. Fatal error on poll() failure.
+ */
+bool waitReadable(int fd, int timeoutMillis);
+
+/**
  * A connected TCP byte stream. Obtained from TcpListener::accept()
  * (server side, non-blocking) or TcpStream::connect() (client side,
  * blocking).
@@ -63,6 +71,17 @@ class TcpStream
 
     /** Blocking connect to @p host:@p port; fatal error on failure. */
     static TcpStream connect(const std::string &host, uint16_t port);
+
+    /**
+     * connect() with a deadline: the attempt runs non-blocking and is
+     * poll()ed for at most @p timeoutMillis. A dead or unresponsive
+     * peer surfaces as TransientError (retryable — the daemon may be
+     * restarting) instead of blocking the caller forever; other
+     * failures stay FatalError. @p timeoutMillis <= 0 means no
+     * deadline (identical to connect()).
+     */
+    static TcpStream connect(const std::string &host, uint16_t port,
+                             int timeoutMillis);
 
     bool valid() const { return fd_.valid(); }
     int fd() const { return fd_.get(); }

@@ -127,6 +127,11 @@ struct TuningResult
     /** Evaluations answered from the EvaluationCache (including
      * in-batch duplicates) instead of being re-run. */
     int64_t cacheHits = 0;
+
+    /** Evaluations that failed even after the engine's retry budget
+     * (the NaN sentinel). Each was priced as worst cost for its
+     * generation only and never entered the EvaluationCache. */
+    int64_t evaluationFailures = 0;
 };
 
 class TuningSession;

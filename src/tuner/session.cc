@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
@@ -122,6 +123,16 @@ TuningSession::measureBatch(const std::vector<Config> &configs,
 
             double secs = measured[k];
             ++report_.evaluations;
+            if (std::isnan(secs)) {
+                // The engine gave up after its retry budget: an
+                // environment fault, not a property of the config.
+                // Price as worst cost for this generation only — a
+                // NaN must never enter the cache as a real result.
+                ++report_.evaluationFailures;
+                report_.tuningSeconds += compile;
+                seconds[i] = std::numeric_limits<double>::infinity();
+                continue;
+            }
             double testing = std::isfinite(secs)
                                  ? secs * options_.trialsPerEvaluation
                                  : 0.0;
@@ -292,6 +303,7 @@ TuningSession::introspect() const
     view.mutationsAccepted = report_.mutationsAccepted;
     view.mutationsRejected = report_.mutationsRejected;
     view.cacheHits = report_.cacheHits;
+    view.evaluationFailures = report_.evaluationFailures;
     view.tuningSeconds = report_.tuningSeconds;
     view.compileSeconds = report_.compileSeconds;
     view.cacheStats = cache_.stats();
@@ -340,6 +352,7 @@ TuningSession::save(const std::string &path) const
     kv.setInt("session.mutationsAccepted", report_.mutationsAccepted);
     kv.setInt("session.mutationsRejected", report_.mutationsRejected);
     kv.setInt("session.cacheHits", report_.cacheHits);
+    kv.setInt("session.evaluationFailures", report_.evaluationFailures);
     kv.setDouble("session.tuningSeconds", report_.tuningSeconds);
     kv.setDouble("session.compileSeconds", report_.compileSeconds);
 
@@ -403,6 +416,9 @@ TuningSession::load(const std::string &path)
     report_.mutationsAccepted = kv.getInt("session.mutationsAccepted");
     report_.mutationsRejected = kv.getInt("session.mutationsRejected");
     report_.cacheHits = kv.getInt("session.cacheHits");
+    // Absent in pre-fault-tolerance checkpoints: default, don't fail.
+    report_.evaluationFailures =
+        kv.getIntOr("session.evaluationFailures", 0);
     report_.tuningSeconds = kv.getDouble("session.tuningSeconds");
     report_.compileSeconds = kv.getDouble("session.compileSeconds");
 

@@ -81,6 +81,7 @@ struct SessionIntrospection
     int64_t mutationsAccepted = 0;
     int64_t mutationsRejected = 0;
     int64_t cacheHits = 0;
+    int64_t evaluationFailures = 0; ///< retries exhausted (see TuningResult)
     double tuningSeconds = 0.0;
     double compileSeconds = 0.0;
 

@@ -224,3 +224,97 @@ TEST(ServiceEndToEnd, ShutdownEndpointFlagsTheHostLoop)
     EXPECT_TRUE(server.shutdownRequested());
     server.stop();
 }
+
+TEST(ServiceEndToEnd, HealthzAnswersInlineWithLoadCounters)
+{
+    TuningServer server(serverOptions(spoolDir("healthz")));
+    server.start();
+    Client client("127.0.0.1", server.port());
+
+    std::string id = client.create(tinyCreate());
+    KvFile health = client.command("GET", "/healthz");
+    EXPECT_EQ(health.getInt("health.ok"), 1);
+    EXPECT_EQ(health.getInt("health.draining"), 0);
+    EXPECT_EQ(health.getInt("health.residentSessions"), 1);
+    EXPECT_EQ(health.getInt("health.totalSessions"), 1);
+    EXPECT_EQ(health.getInt("health.spoolQuarantined"), 0);
+    EXPECT_EQ(health.getInt("health.evaluationFailures"), 0);
+    EXPECT_GE(health.getInt("health.maxQueueDepth"), 1);
+    EXPECT_GE(health.getInt("health.queueDepth"), 0);
+    EXPECT_GE(health.getInt("health.busyWorkers"), 0);
+
+    // The hardened counters also ride the stats endpoint.
+    KvFile stats = client.stats();
+    EXPECT_EQ(stats.getInt("server.draining"), 0);
+    EXPECT_EQ(stats.getInt("server.backpressureRejections"), 0);
+    EXPECT_EQ(stats.getInt("server.deadlineRejections"), 0);
+    EXPECT_EQ(stats.getInt("table.spoolQuarantined"), 0);
+    server.stop();
+}
+
+TEST(ServiceEndToEnd, FullQueueShedsLoadAsRetryableBackpressure)
+{
+    // maxQueueDepth = 0 makes every worker-routed command overflow the
+    // queue, deterministically: each must come back 503 + Retry-After,
+    // which the client surfaces as TransientError (retryable), never
+    // as a hard failure. Inline commands keep answering throughout.
+    ServerOptions options = serverOptions(spoolDir("backpressure"));
+    options.maxQueueDepth = 0;
+    TuningServer server(options);
+    server.start();
+    Client client("127.0.0.1", server.port());
+
+    client.ping(); // inline: unaffected by the full queue
+    EXPECT_THROW(client.create(tinyCreate()), TransientError);
+    client.ping(); // the connection survived the 503
+
+    KvFile health = client.command("GET", "/healthz");
+    EXPECT_GE(health.getInt("health.backpressureRejections"), 1);
+    EXPECT_EQ(health.getInt("health.totalSessions"), 0); // never ran
+    server.stop();
+}
+
+TEST(ServiceEndToEnd, DrainCheckpointsEverySessionForARestart)
+{
+    const std::string spool = spoolDir("drain");
+    tuner::TuningResult reference = referenceRun(77);
+    std::string idA, idB;
+    {
+        ServerOptions options = serverOptions(spool);
+        options.table.checkpointEachStep = false;
+        TuningServer server(options);
+        server.start();
+        Client client("127.0.0.1", server.port());
+        idA = client.create(tinyCreate(77));
+        idB = client.create(tinyCreate(88));
+        client.step(idA, 2);
+        // Kick off detached work, then drain: the drain must wait for
+        // the in-flight stepping to finish before checkpointing.
+        client.step(idA, 1000, /*wait=*/false);
+        server.drain();
+        EXPECT_TRUE(server.draining());
+    }
+
+    // The drained spool resumes every session exactly where the drain
+    // flushed it: A ran to completion (the detached step), B never
+    // stepped at all — both states survived.
+    TuningServer server(serverOptions(spool));
+    server.start();
+    Client client("127.0.0.1", server.port());
+    client.resume(idA);
+    client.resume(idB);
+    EXPECT_TRUE(client.introspect(idA).done);
+    expectChampionMatches(client.champion(idA), reference);
+    EXPECT_EQ(client.introspect(idB).completedSteps, 0);
+    expectChampionMatches(client.runToCompletion(idB), referenceRun(88));
+    server.stop();
+}
+
+TEST(ServiceEndToEnd, ClientConnectTimeoutIsTransient)
+{
+    // Nothing listens on the reserved discard port: the bounded
+    // connect must fail fast as TransientError (retryable), not hang
+    // and not surface as a config-style fatal.
+    EXPECT_THROW(Client("127.0.0.1", 9, /*timeoutMillis=*/250),
+                 TransientError);
+}

@@ -7,6 +7,7 @@
  */
 
 #include <filesystem>
+#include <fstream>
 #include <gtest/gtest.h>
 #include <thread>
 
@@ -285,4 +286,106 @@ TEST(SessionSpec, CreateRequestResolvesAndRoundTrips)
     EXPECT_THROW(SessionSpec::fromCreateRequest(bad), FatalError);
     KvFile empty;
     EXPECT_THROW(SessionSpec::fromCreateRequest(empty), FatalError);
+}
+
+TEST(SessionTable, SpoolFsckQuarantinesCorruptPairsAndKeepsHealthyOnes)
+{
+    std::string spool = spoolDir("fsck");
+
+    // A healthy session, written by a first daemon life.
+    std::string healthyId;
+    {
+        SessionTableOptions options;
+        options.spoolDir = spool;
+        SessionTable table(options);
+        healthyId = table.create(tinySpec(7));
+        table.step(healthyId, 2);
+    }
+
+    // Corruption a crash could leave behind: a torn .meta, a torn
+    // .ckpt under a valid .meta, and an orphan .ckpt with no spec.
+    auto write = [&](const std::string &name, const std::string &text) {
+        std::ofstream out(spool + "/" + name);
+        out << text;
+    };
+    write("s90.meta", "spec.benchmark = Sort\ntrunca");
+    tinySpec(8).toKv().save(spool + "/s91.meta");
+    write("s91.ckpt", "not a checkpoint at all");
+    write("s92.ckpt", "orphan checkpoint");
+
+    // Boot on the damaged spool: the fsck must set the corrupt trio
+    // aside (renamed, not deleted) and keep serving the healthy one.
+    SessionTableOptions options;
+    options.spoolDir = spool;
+    SessionTable table(options);
+
+    EXPECT_EQ(table.stats().spoolQuarantined, 3);
+    EXPECT_TRUE(fs::exists(spool + "/s90.meta.quarantine"));
+    EXPECT_TRUE(fs::exists(spool + "/s91.meta.quarantine"));
+    EXPECT_TRUE(fs::exists(spool + "/s91.ckpt.quarantine"));
+    EXPECT_TRUE(fs::exists(spool + "/s92.ckpt.quarantine"));
+    EXPECT_FALSE(fs::exists(spool + "/s90.meta"));
+    EXPECT_FALSE(fs::exists(spool + "/s91.meta"));
+
+    // Quarantined ids are invisible: not resumable, and their numbers
+    // can be re-issued without tripping over leftover files.
+    EXPECT_THROW(table.resume("s90"), FatalError);
+    EXPECT_THROW(table.resume("s91"), FatalError);
+
+    // The healthy session survived fsck intact and resumes mid-search.
+    table.resume(healthyId);
+    EXPECT_EQ(table.status(healthyId).completedSteps, 2);
+    while (!table.status(healthyId).done)
+        table.step(healthyId, 8);
+    expectChampionMatches(table.champion(healthyId),
+                          runSpecLocally(tinySpec(7)));
+}
+
+TEST(SessionTable, FsckCanBeDisabled)
+{
+    std::string spool = spoolDir("nofsck");
+    {
+        SessionTableOptions bootstrap;
+        bootstrap.spoolDir = spool;
+        SessionTable ignored(bootstrap);
+    }
+    std::ofstream(spool + "/s50.meta") << "spec.benchmark = Sort\ntorn";
+
+    SessionTableOptions options;
+    options.spoolDir = spool;
+    options.fsckSpool = false;
+    SessionTable table(options);
+    EXPECT_EQ(table.stats().spoolQuarantined, 0);
+    EXPECT_TRUE(fs::exists(spool + "/s50.meta")); // untouched
+}
+
+TEST(SessionTable, CheckpointAllFlushesEveryResidentSession)
+{
+    SessionTableOptions options;
+    options.spoolDir = spoolDir("ckptall");
+    options.checkpointEachStep = false; // only explicit saves
+    SessionTable table(options);
+
+    std::string a = table.create(tinySpec(1));
+    std::string b = table.create(tinySpec(2));
+    table.step(a, 2);
+    table.step(b, 3);
+    // step() saved once per step command; remove those to isolate what
+    // checkpointAll() itself writes.
+    fs::remove(table.checkpointPath(a));
+    fs::remove(table.checkpointPath(b));
+
+    table.checkpointAll();
+    EXPECT_TRUE(fs::exists(table.checkpointPath(a)));
+    EXPECT_TRUE(fs::exists(table.checkpointPath(b)));
+
+    // A fresh table on the same spool resumes both at the flushed
+    // cursor — the drain-then-restart contract.
+    SessionTableOptions reopened;
+    reopened.spoolDir = options.spoolDir;
+    SessionTable restarted(reopened);
+    restarted.resume(a);
+    restarted.resume(b);
+    EXPECT_EQ(restarted.status(a).completedSteps, 2);
+    EXPECT_EQ(restarted.status(b).completedSteps, 3);
 }

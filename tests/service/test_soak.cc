@@ -25,7 +25,7 @@ constexpr size_t kCap = 8;
 constexpr int kThreads = 4;
 
 SessionSpec
-soakSpec(int i)
+soakSpec(int i, double faultRate = 0.0)
 {
     KvFile kv;
     kv.set("benchmark", "Sort");
@@ -34,7 +34,35 @@ soakSpec(int i)
     kv.setInt("generationsPerSize", 3);
     kv.setInt("minInputSize", 64);
     kv.setInt("maxInputSize", 256);
+    if (faultRate > 0.0) {
+        kv.setDouble("faultRate", faultRate);
+        kv.setInt("faultSeed", 7000 + i);
+    }
     return SessionSpec::fromCreateRequest(kv);
+}
+
+/** Drive @p table's sessions round-robin from kThreads workers so
+ * every session is evicted and rehydrated many times mid-search. */
+int
+stepRoundRobin(SessionTable &table, const std::vector<std::string> &ids,
+               int totalSteps)
+{
+    std::atomic<int> cursor{0};
+    std::atomic<int> advanced{0};
+    auto worker = [&] {
+        for (;;) {
+            int j = cursor.fetch_add(1);
+            if (j >= totalSteps)
+                return;
+            advanced += table.step(ids[j % ids.size()], 1);
+        }
+    };
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back(worker);
+    for (std::thread &thread : threads)
+        thread.join();
+    return advanced.load();
 }
 
 } // namespace
@@ -63,25 +91,11 @@ TEST(ServiceSoak, SixtyFourSessionsUnderCapEightFinishIdentically)
     // rehydrated repeatedly, and concurrent touches of the same session
     // exercise the per-entry busy serialization.
     const int totalSteps = kSessions * stepsPerSession;
-    std::atomic<int> cursor{0};
-    std::atomic<int> advanced{0};
-    auto worker = [&] {
-        for (;;) {
-            int j = cursor.fetch_add(1);
-            if (j >= totalSteps)
-                return;
-            advanced += table.step(ids[j % kSessions], 1);
-        }
-    };
-    std::vector<std::thread> threads;
-    for (int t = 0; t < kThreads; ++t)
-        threads.emplace_back(worker);
-    for (std::thread &thread : threads)
-        thread.join();
+    int advanced = stepRoundRobin(table, ids, totalSteps);
 
     // Exactly the full search ran: round-robin hands each session its
     // own step budget, so nothing is skipped or double-stepped.
-    EXPECT_EQ(advanced.load(), totalSteps);
+    EXPECT_EQ(advanced, totalSteps);
 
     SessionTableStats stats = table.stats();
     EXPECT_LE(stats.peakResident, kCap);
@@ -100,5 +114,60 @@ TEST(ServiceSoak, SixtyFourSessionsUnderCapEightFinishIdentically)
         ASSERT_EQ(champion.getDouble("champion.seconds"),
                   reference.bestSeconds)
             << ids[i];
+    }
+}
+
+TEST(ServiceSoak, FaultInjectedSessionsReachTheCleanChampions)
+{
+    // The same 64-sessions-under-cap-8 churn, with every session's
+    // engine injecting deterministic transient faults on ~10% of its
+    // evaluation keys. Each fault recovers within the retry budget
+    // (FaultPlan::faultsPerKey = 1 on the hosted path), so every
+    // champion must be byte-identical to the *clean* in-process run of
+    // the same search — and no injected fault may ever surface as an
+    // evaluation failure or a cached cost.
+    std::string spool = std::string(::testing::TempDir()) + "pb_soak_fault";
+    std::filesystem::remove_all(spool);
+
+    SessionTableOptions options;
+    options.spoolDir = spool;
+    options.residentCap = kCap;
+    SessionTable table(options);
+
+    std::vector<std::string> ids;
+    for (int i = 0; i < kSessions; ++i)
+        ids.push_back(table.create(soakSpec(i, 0.1)));
+    const int stepsPerSession = table.status(ids[0]).totalSteps;
+    ASSERT_GT(stepsPerSession, 0);
+
+    // The fault knobs round-tripped into the hosted spec (and thus the
+    // spool: an evicted faulty session rehydrates as a faulty session).
+    ASSERT_DOUBLE_EQ(table.spec(ids[0]).faultRate, 0.1);
+    ASSERT_EQ(table.spec(ids[5]).faultSeed, 7005);
+
+    const int totalSteps = kSessions * stepsPerSession;
+    EXPECT_EQ(stepRoundRobin(table, ids, totalSteps), totalSteps);
+
+    SessionTableStats stats = table.stats();
+    EXPECT_LE(stats.peakResident, kCap);
+    EXPECT_GT(stats.evictions, kSessions);
+    // Every injected fault recovered inside the retry budget: none may
+    // be reported as an exhausted-retries failure.
+    EXPECT_EQ(stats.evaluationFailures, 0);
+
+    for (int i = 0; i < kSessions; ++i) {
+        ASSERT_TRUE(table.status(ids[i]).done) << ids[i];
+        // The reference search is CLEAN — no fault injection — so this
+        // comparison proves the faults were absorbed invisibly.
+        tuner::TuningResult reference = runSpecLocally(soakSpec(i));
+        KvFile champion = table.champion(ids[i]);
+        KvFile expected = reference.best.toKv();
+        for (const std::string &key : expected.keys())
+            ASSERT_EQ(champion.get(key), expected.get(key))
+                << ids[i] << " " << key;
+        ASSERT_EQ(champion.getDouble("champion.seconds"),
+                  reference.bestSeconds)
+            << ids[i];
+        ASSERT_EQ(table.status(ids[i]).evaluationFailures, 0) << ids[i];
     }
 }

@@ -51,8 +51,14 @@ usage()
         "  --idle-evict SEC   evict sessions idle this long (default 300)\n"
         "  --expire SEC       delete sessions untouched this long (default 0=never)\n"
         "  --sweep SEC        GC sweep interval (default 5)\n"
+        "  --queue-depth N    worker queue bound; excess gets 503 (default 128)\n"
+        "  --request-deadline SEC  503 commands queued too long (default 0=off)\n"
+        "  --no-fsck          skip spool verification at startup\n"
         "  --no-step-checkpoints  checkpoint per step command, not per generation\n"
-        "  --verbose          info-level logging\n";
+        "  --verbose          info-level logging\n"
+        "\n"
+        "SIGTERM/SIGINT drain gracefully: stop accepting commands,\n"
+        "finish in-flight work, checkpoint every session, exit 0.\n";
 }
 
 } // namespace
@@ -93,6 +99,12 @@ main(int argc, char **argv)
             options.table.expireSeconds = std::atoll(value());
         else if (arg == "--sweep")
             options.sweepIntervalSeconds = std::atoll(value());
+        else if (arg == "--queue-depth")
+            options.maxQueueDepth = static_cast<size_t>(std::atoll(value()));
+        else if (arg == "--request-deadline")
+            options.requestDeadlineSeconds = std::atoll(value());
+        else if (arg == "--no-fsck")
+            options.table.fsckSpool = false;
         else if (arg == "--no-step-checkpoints")
             options.table.checkpointEachStep = false;
         else if (arg == "--verbose")
@@ -130,6 +142,17 @@ main(int argc, char **argv)
 
     while (!signalled && !server.shutdownRequested())
         std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    if (signalled) {
+        // Graceful drain: finish what's in flight, flush every session
+        // to the spool, then exit 0 — a supervisor's TERM never costs
+        // a search more than zero generations of progress.
+        std::cout << "tunerd: signal received, draining" << std::endl;
+        server.drain();
+        std::cout << "tunerd: drained, all sessions checkpointed"
+                  << std::endl;
+        return 0;
+    }
 
     std::cout << "tunerd: shutting down" << std::endl;
     server.stop();
