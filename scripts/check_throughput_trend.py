@@ -4,8 +4,10 @@
 Perf-trend starter: CI runs `model_throughput --short`, then this script
 diffs the fresh BENCH_model_throughput.json against
 bench/baseline_model_throughput.json per benchmark and per path
-(reference and fast), warning when configs/sec regressed by more than
-the threshold (default 15%).
+(reference, fast, and warm shared cache), warning when configs/sec
+regressed by more than the threshold (default 15%). Paths missing from
+the baseline (e.g. warm_cache against a pre-cache baseline) are
+skipped, not warned.
 
 Deliberately NON-GATING: shared CI runners are far too noisy to fail a
 build on wall-clock numbers, and the committed baseline was measured on
@@ -68,8 +70,13 @@ def main():
         if base is None:
             print(f"{name:<20} (not in baseline)")
             continue
-        for path in ("reference", "fast"):
+        for path in ("reference", "fast", "warm_cache"):
             key = f"{path}_configs_per_sec"
+            if key not in base or key not in row:
+                # The warm_cache column postdates older baselines; a
+                # missing key is a schema generation gap, not a
+                # regression.
+                continue
             before, after = base[key], row[key]
             delta = (after - before) / before if before else 0.0
             print(f"{name:<20} {path:<10} {before:>12.3g} "

@@ -9,6 +9,11 @@
 #   3. Corrupt-spool boot: plant torn .meta/.ckpt files in the spool;
 #      the daemon must quarantine them, report the count in /stats, and
 #      keep serving new sessions.
+#   4. Shared-cache persistence: run a search with --cache-dir, SIGTERM
+#      drain, plant a torn cache segment, restart on the same cache
+#      dir; the rerun must be served shared-cache hits (cross-session,
+#      since the publisher was the previous process), the torn segment
+#      must be quarantined, and the champion must stay byte-identical.
 #
 # Usage: scripts/daemon_smoke.sh [BUILD_DIR]   (default: build)
 set -euo pipefail
@@ -20,6 +25,7 @@ WORK="$(mktemp -d "${TMPDIR:-/tmp}/tunerd-smoke.XXXXXX")"
 SPOOL="$WORK/spool"
 PORT_FILE="$WORK/port"
 DAEMON_PID=""
+DAEMON_EXTRA_ARGS=()
 
 # Small enough to finish in seconds, large enough that the kill lands
 # mid-search (12 total generations across input sizes 64..1024).
@@ -37,7 +43,8 @@ fail() { echo "daemon_smoke: FAIL: $*" >&2; exit 1; }
 start_daemon() {
     rm -f "$PORT_FILE"
     "$TUNERD" --port 0 --port-file "$PORT_FILE" --spool "$SPOOL" \
-        --cap 4 --workers 2 >"$WORK/tunerd.log" 2>&1 &
+        --cap 4 --workers 2 "${DAEMON_EXTRA_ARGS[@]}" \
+        >"$WORK/tunerd.log" 2>&1 &
     DAEMON_PID=$!
     for _ in $(seq 1 100); do
         [ -s "$PORT_FILE" ] && break
@@ -147,5 +154,60 @@ if ! diff -u "$WORK/expected.txt" "$WORK/fsck-run.txt"; then
     fail "champion on the fsck'd spool differs from the reference"
 fi
 echo "daemon_smoke: PASS leg 3 (corrupt spool quarantined, daemon serving)"
+kill -TERM "$DAEMON_PID" && wait "$DAEMON_PID" || true
+DAEMON_PID=""
+
+# ===========================================================================
+# Leg 4: shared-cache persistence — drain, tear a segment, restart,
+# get served the previous process's evaluations.
+# ===========================================================================
+SPOOL="$WORK/spool-cache"
+CACHE="$WORK/cache"
+DAEMON_EXTRA_ARGS=(--cache-dir "$CACHE")
+start_daemon
+echo "daemon_smoke: cache leg daemon up on port $PORT (pid $DAEMON_PID)"
+
+"$CLIENT" --port "$PORT" run "${SEARCH_ARGS[@]}" > "$WORK/cache-cold.txt" \
+    || fail "cache leg: cold run failed"
+if ! diff -u "$WORK/expected.txt" "$WORK/cache-cold.txt"; then
+    fail "cache leg: champion with an empty shared cache differs"
+fi
+
+# Drain flushes the publish journal to a segment before exit.
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || fail "cache leg: drain exited nonzero"
+DAEMON_PID=""
+ls "$CACHE"/seg-*.kv >/dev/null 2>&1 \
+    || fail "cache leg: drain left no cache segments in $CACHE"
+
+# Tear one segment; the restart fsck must set it aside and still boot.
+printf 'segment.version = 1\ntrunca' > "$CACHE/seg-00000099.kv"
+
+start_daemon
+echo "daemon_smoke: cache leg daemon restarted on port $PORT"
+"$CLIENT" --port "$PORT" run "${SEARCH_ARGS[@]}" > "$WORK/cache-warm.txt" \
+    || fail "cache leg: warm run failed"
+if ! diff -u "$WORK/expected.txt" "$WORK/cache-warm.txt"; then
+    fail "cache leg: champion served from the shared cache differs"
+fi
+
+"$CLIENT" --port "$PORT" stats > "$WORK/cache-stats.txt" \
+    || fail "cache leg: stats failed"
+stat_of() { sed -n "s/^cache.$1 = //p" "$WORK/cache-stats.txt"; }
+[ "$(stat_of enabled)" = "1" ] || fail "cache leg: shared cache not enabled"
+[ "$(stat_of loadedEntries)" -gt 0 ] \
+    || fail "cache leg: nothing warm-started from $CACHE"
+[ "$(stat_of segmentsQuarantined)" -ge 1 ] \
+    || fail "cache leg: torn segment was not quarantined"
+[ -f "$CACHE/seg-00000099.kv.quarantine" ] \
+    || fail "cache leg: quarantined segment file missing"
+# Every hit on a warm-started entry is a cross-session hit (the
+# publisher was the previous daemon process).
+[ "$(stat_of hits)" -gt 0 ] || fail "cache leg: no shared-cache hits"
+[ "$(stat_of crossSessionHits)" -gt 0 ] \
+    || fail "cache leg: no cross-session hits after restart"
+echo "daemon_smoke: PASS leg 4 (shared cache persisted across restart:" \
+     "$(stat_of crossSessionHits) cross-session hits," \
+     "$(stat_of segmentsQuarantined) segment(s) quarantined)"
 
 echo "daemon_smoke: PASS (all legs)"

@@ -1,0 +1,203 @@
+#include "cache/segment_store.h"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+
+#include "support/error.h"
+#include "support/hash.h"
+#include "support/kvfile.h"
+#include "support/logging.h"
+
+namespace petabricks {
+namespace cache {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/** Checksum covering every record, in index order. */
+uint64_t
+recordsChecksum(const std::vector<SegmentRecord> &records)
+{
+    Fnv1a hash;
+    for (const SegmentRecord &record : records) {
+        hash.mix(record.scope);
+        hash.mix(static_cast<uint64_t>(record.inputSize));
+        hash.mix(record.fingerprint);
+        hash.mix(record.seconds);
+    }
+    return hash.value();
+}
+
+std::string
+recordToText(const SegmentRecord &record)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "%016" PRIx64 " %" PRId64 " %016" PRIx64 " %016" PRIx64,
+                  record.scope, record.inputSize, record.fingerprint,
+                  std::bit_cast<uint64_t>(record.seconds));
+    return buf;
+}
+
+SegmentRecord
+recordFromText(const std::string &text)
+{
+    SegmentRecord record;
+    uint64_t bits = 0;
+    char trailing = 0;
+    int fields = std::sscanf(text.c_str(),
+                             "%" SCNx64 " %" SCNd64 " %" SCNx64
+                             " %" SCNx64 " %c",
+                             &record.scope, &record.inputSize,
+                             &record.fingerprint, &bits, &trailing);
+    if (fields != 4)
+        PB_FATAL("malformed cache record '" << text << "'");
+    record.seconds = std::bit_cast<double>(bits);
+    return record;
+}
+
+} // namespace
+
+SegmentStore::SegmentStore(std::string dir, bool fsck)
+    : dir_(std::move(dir)), fsck_(fsck)
+{
+    PB_ASSERT(!dir_.empty(), "segment directory is required");
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+        PB_FATAL("cannot create cache directory '" << dir_
+                                                   << "': " << ec.message());
+    // Continue the numbering past everything already present
+    // (quarantined files included: their index must never be reused,
+    // or a fresh segment could collide with a preserved corpse).
+    for (const fs::directory_entry &entry : fs::directory_iterator(dir_, ec)) {
+        const std::string name = entry.path().filename().string();
+        uint64_t index = 0;
+        if (std::sscanf(name.c_str(), "seg-%" SCNu64 ".kv", &index) == 1 &&
+            index >= nextIndex_)
+            nextIndex_ = index + 1;
+    }
+}
+
+std::string
+SegmentStore::segmentPath(uint64_t index) const
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "seg-%08" PRIu64 ".kv", index);
+    return dir_ + "/" + name;
+}
+
+std::vector<std::pair<uint64_t, std::string>>
+SegmentStore::listSegments() const
+{
+    std::vector<std::pair<uint64_t, std::string>> segments;
+    std::error_code ec;
+    for (const fs::directory_entry &entry : fs::directory_iterator(dir_, ec)) {
+        if (entry.path().extension() != ".kv")
+            continue;
+        const std::string name = entry.path().filename().string();
+        uint64_t index = 0;
+        char trailing = 0;
+        if (std::sscanf(name.c_str(), "seg-%" SCNu64 ".kv%c", &index,
+                        &trailing) == 1)
+            segments.emplace_back(index, entry.path().string());
+    }
+    std::sort(segments.begin(), segments.end());
+    return segments;
+}
+
+size_t
+SegmentStore::segmentCount() const
+{
+    return listSegments().size();
+}
+
+std::vector<SegmentRecord>
+SegmentStore::parseSegment(const std::string &path)
+{
+    KvFile kv = KvFile::load(path);
+    if (kv.getIntOr("segment.version", -1) != 1)
+        PB_FATAL("'" << path << "' is not a cache segment");
+    int64_t count = kv.getInt("segment.count");
+    if (count < 0)
+        PB_FATAL("'" << path << "' has a negative record count");
+    std::vector<SegmentRecord> records;
+    records.reserve(static_cast<size_t>(count));
+    for (int64_t i = 0; i < count; ++i)
+        records.push_back(
+            recordFromText(kv.get("entry." + std::to_string(i))));
+    uint64_t checksum = 0;
+    if (std::sscanf(kv.get("segment.checksum").c_str(), "%" SCNx64,
+                    &checksum) != 1 ||
+        checksum != recordsChecksum(records))
+        PB_FATAL("'" << path << "' fails its checksum (torn write?)");
+    return records;
+}
+
+std::vector<SegmentRecord>
+SegmentStore::loadAll()
+{
+    std::vector<SegmentRecord> all;
+    for (const auto &[index, path] : listSegments()) {
+        try {
+            std::vector<SegmentRecord> records = parseSegment(path);
+            stats_.recordsLoaded += static_cast<int64_t>(records.size());
+            ++stats_.segmentsLoaded;
+            all.insert(all.end(), records.begin(), records.end());
+        } catch (const std::exception &e) {
+            if (fsck_) {
+                std::error_code ec;
+                fs::rename(path, path + ".quarantine", ec);
+                ++stats_.segmentsQuarantined;
+                PB_WARN("cache: quarantined segment '" << path << "' ("
+                                                       << e.what() << ")");
+            } else {
+                PB_WARN("cache: skipping invalid segment '"
+                        << path << "' (" << e.what() << ")");
+            }
+        }
+    }
+    return all;
+}
+
+void
+SegmentStore::append(const std::vector<SegmentRecord> &records)
+{
+    if (records.empty())
+        return;
+    KvFile kv;
+    kv.setInt("segment.version", 1);
+    kv.setInt("segment.count", static_cast<int64_t>(records.size()));
+    for (size_t i = 0; i < records.size(); ++i)
+        kv.set("entry." + std::to_string(i), recordToText(records[i]));
+    char checksum[24];
+    std::snprintf(checksum, sizeof(checksum), "%016" PRIx64,
+                  recordsChecksum(records));
+    kv.set("segment.checksum", checksum);
+
+    const std::string path = segmentPath(nextIndex_++);
+    const std::string temp = path + ".tmp";
+    kv.save(temp);
+    if (std::rename(temp.c_str(), path.c_str()) != 0)
+        PB_FATAL("failed to move cache segment into place at '" << path
+                                                                << "'");
+    ++stats_.segmentsWritten;
+}
+
+void
+SegmentStore::compact(const std::vector<SegmentRecord> &records)
+{
+    std::vector<std::pair<uint64_t, std::string>> old = listSegments();
+    append(records);
+    for (const auto &[index, path] : old) {
+        std::error_code ec;
+        fs::remove(path, ec);
+    }
+}
+
+} // namespace cache
+} // namespace petabricks

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "support/error.h"
+#include "support/hash.h"
 #include "support/logging.h"
 
 namespace petabricks {
@@ -27,6 +28,12 @@ ExecutionEngine::setRetryPolicy(const RetryPolicy &policy)
 {
     PB_ASSERT(policy.maxAttempts >= 1, "retry policy needs >= 1 attempt");
     retryPolicy_ = policy;
+}
+
+uint64_t
+ExecutionEngine::cacheScope(const apps::Benchmark &benchmark) const
+{
+    return Fnv1a().mix(name()).mix(benchmark.name()).value();
 }
 
 EngineFailureStats
@@ -179,6 +186,16 @@ ModelEngine::configureTuner(tuner::TunerOptions &options) const
 {
     options.kernelCompileSeconds = machine_.kernelCompileSeconds;
     options.irCacheSavings = machine_.irCacheSavings;
+}
+
+uint64_t
+ModelEngine::cacheScope(const apps::Benchmark &benchmark) const
+{
+    return Fnv1a()
+        .mix(std::string("model"))
+        .mix(machine_.fingerprint())
+        .mix(benchmark.name())
+        .value();
 }
 
 // ---- RuntimeEngine -----------------------------------------------------

@@ -208,6 +208,19 @@ class ExecutionEngine
         (void)options;
     }
 
+    /**
+     * Stable partition key for the shared evaluation cache: two
+     * sessions may share cached (config, n) -> seconds results exactly
+     * when their engines report equal scopes. An engine must fold in
+     * everything its pricing depends on — ModelEngine hashes the full
+     * machine-profile content, and decorators that can alter observed
+     * costs (FaultInjectingEngine with perturbation enabled) must
+     * perturb the scope too, or one session's garbage would poison
+     * another's search. The default is deliberately conservative:
+     * a hash of the engine's display name and the benchmark name.
+     */
+    virtual uint64_t cacheScope(const apps::Benchmark &benchmark) const;
+
   protected:
     /**
      * The retry loop behind measureGuarded(), factored so batch
@@ -283,6 +296,12 @@ class ModelEngine : public ExecutionEngine
     }
 
     void configureTuner(tuner::TunerOptions &options) const override;
+
+    /** Model pricing is a pure function of (config, n, machine), so
+     * the scope is the machine-profile content fingerprint plus the
+     * benchmark — profiles that merely share a display name do not
+     * share cache entries. */
+    uint64_t cacheScope(const apps::Benchmark &benchmark) const override;
 
   private:
     ThreadPool &pool();

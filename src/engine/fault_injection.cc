@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "support/error.h"
+#include "support/hash.h"
 #include "tuner/evaluation_cache.h"
 
 namespace petabricks {
@@ -126,6 +127,21 @@ FaultInjectingEngine::concurrentInstancesSafe(
     const apps::Benchmark &benchmark) const
 {
     return inner_->concurrentInstancesSafe(benchmark);
+}
+
+uint64_t
+FaultInjectingEngine::cacheScope(const apps::Benchmark &benchmark) const
+{
+    uint64_t scope = inner_->cacheScope(benchmark);
+    if (plan_.perturbRate > 0.0)
+        scope = Fnv1a()
+                    .mix(std::string("perturbed"))
+                    .mix(scope)
+                    .mix(plan_.seed)
+                    .mix(plan_.perturbRate)
+                    .mix(plan_.perturbFactor)
+                    .value();
+    return scope;
 }
 
 } // namespace engine

@@ -101,6 +101,16 @@ class FaultInjectingEngine : public ExecutionEngine
     bool
     concurrentInstancesSafe(const apps::Benchmark &benchmark) const override;
 
+    /**
+     * Delegates to the inner engine — faults that only throw/hang
+     * never change a *successful* measurement, so those results are
+     * still shareable under the inner scope. A plan that can perturb
+     * returned costs is different: its measurements are garbage by
+     * design, so the plan is mixed into the scope to keep them from
+     * ever crossing into clean sessions.
+     */
+    uint64_t cacheScope(const apps::Benchmark &benchmark) const override;
+
   private:
     /** Throw/hang per the plan, or return the cost scale factor. */
     double applySchedule(const tuner::Config &config, int64_t n);

@@ -148,11 +148,15 @@ SessionSpec::fromKv(const KvFile &kv)
     return spec;
 }
 
-HostedSession::HostedSession(SessionSpec spec)
+HostedSession::HostedSession(SessionSpec spec,
+                             cache::SharedEvaluationCache *sharedCache)
     : spec_(std::move(spec)), benchmark_(apps::findBenchmark(spec_.benchmark)),
       engine_(makeSessionEngine(spec_)), evaluator_(*benchmark_, *engine_),
       session_(evaluator_, benchmark_->seedConfig(), spec_.tuner)
 {
+    if (sharedCache != nullptr)
+        session_.attachSharedCache(sharedCache,
+                                   engine_->cacheScope(*benchmark_));
     refreshSnapshot();
 }
 

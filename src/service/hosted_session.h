@@ -80,8 +80,17 @@ struct SessionSpec
 class HostedSession
 {
   public:
-    /** Build the live search a spec describes (at generation 0). */
-    explicit HostedSession(SessionSpec spec);
+    /**
+     * Build the live search a spec describes (at generation 0). When
+     * @p sharedCache is set, the session's private L1 cache is layered
+     * over it: L1 miss -> L2 probe -> evaluate -> publish to both,
+     * scoped by the engine's cacheScope() so only sessions pricing the
+     * same benchmark on the same machine share results. The cache must
+     * outlive the session (the SessionTable's owner guarantees that).
+     */
+    explicit HostedSession(SessionSpec spec,
+                           cache::SharedEvaluationCache *sharedCache =
+                               nullptr);
 
     const SessionSpec &spec() const { return spec_; }
 

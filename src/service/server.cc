@@ -45,6 +45,14 @@ introspectionToKv(const tuner::SessionIntrospection &view)
     kv.setInt("cache.misses", view.cacheStats.misses);
     kv.setInt("cache.insertions", view.cacheStats.insertions);
     kv.setInt("cache.invalidated", view.cacheStats.invalidated);
+    kv.setInt("cache.evictions", view.cacheStats.evictions);
+    kv.setInt("cache.bytes",
+              static_cast<int64_t>(view.cacheStats.bytes));
+    // This session's traffic against the process-wide L2 tier (all
+    // zero when the daemon runs without a shared cache).
+    kv.setInt("cache.sharedHits", view.sharedHits);
+    kv.setInt("cache.sharedMisses", view.sharedMisses);
+    kv.setInt("cache.sharedPublishes", view.sharedPublishes);
     return kv;
 }
 
@@ -73,8 +81,27 @@ routesToWorker(const std::string &path)
 
 } // namespace
 
+namespace {
+
+/** Build the server's shared cache (maxBytes = 0 disables it) and
+ * inject it into the table options the SessionTable is built from. */
+std::unique_ptr<cache::SharedEvaluationCache>
+makeSharedCache(ServerOptions &options)
+{
+    options.table.sharedCache = nullptr;
+    if (options.cache.maxBytes == 0)
+        return nullptr;
+    auto cache =
+        std::make_unique<cache::SharedEvaluationCache>(options.cache);
+    options.table.sharedCache = cache.get();
+    return cache;
+}
+
+} // namespace
+
 TuningServer::TuningServer(ServerOptions options)
-    : options_(std::move(options)), table_(options_.table)
+    : options_(std::move(options)), sharedCache_(makeSharedCache(options_)),
+      table_(options_.table)
 {
     PB_ASSERT(options_.workers >= 1, "need at least one worker");
 }
@@ -145,8 +172,11 @@ TuningServer::drain()
         });
     }
     // Every session is idle now: flush them all so a restart resumes
-    // from exactly the drained state.
+    // from exactly the drained state, and persist the shared cache so
+    // the restarted daemon warm-starts with this run's results.
     table_.checkpointAll();
+    if (sharedCache_ != nullptr)
+        sharedCache_->flush();
     PB_INFORM("tunerd: drained; all sessions checkpointed");
     stop();
 }
@@ -468,6 +498,27 @@ TuningServer::statsKv() const
     kv.setInt("table.residentCap",
               static_cast<int64_t>(options_.table.residentCap));
     kv.setInt("server.workers", options_.workers);
+    kv.setInt("cache.enabled", sharedCache_ != nullptr ? 1 : 0);
+    if (sharedCache_ != nullptr) {
+        cache::SharedCacheStats shared = sharedCache_->stats();
+        kv.setInt("cache.hits", shared.hits);
+        kv.setInt("cache.misses", shared.misses);
+        kv.setInt("cache.insertions", shared.insertions);
+        kv.setInt("cache.crossSessionHits", shared.crossSessionHits);
+        kv.setInt("cache.rejectedNonFinite", shared.rejectedNonFinite);
+        kv.setInt("cache.evictions", shared.evictions);
+        kv.setInt("cache.flushes", shared.flushes);
+        kv.setInt("cache.loadedEntries", shared.loadedEntries);
+        kv.setInt("cache.segmentsLoaded", shared.segmentsLoaded);
+        kv.setInt("cache.segmentsQuarantined",
+                  shared.segmentsQuarantined);
+        kv.setInt("cache.entries", static_cast<int64_t>(shared.entries));
+        kv.setInt("cache.bytes", static_cast<int64_t>(shared.bytes));
+        kv.setInt("cache.maxBytes",
+                  static_cast<int64_t>(options_.cache.maxBytes));
+        kv.setInt("cache.persistent",
+                  sharedCache_->persistent() ? 1 : 0);
+    }
     return kv;
 }
 
@@ -592,6 +643,12 @@ TuningServer::ioLoop()
         Clock::time_point now = Clock::now();
         if (now >= nextSweep) {
             table_.sweep(now);
+            // Piggyback the cache journal flush on the sweep cadence:
+            // a SIGKILLed daemon loses at most one sweep interval of
+            // publishes (flush is one atomic segment rename, cheap
+            // enough for the I/O thread).
+            if (sharedCache_ != nullptr)
+                sharedCache_->flush();
             nextSweep =
                 now + std::chrono::seconds(options_.sweepIntervalSeconds);
         }

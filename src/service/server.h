@@ -51,6 +51,7 @@
 #include <string>
 #include <thread>
 
+#include "cache/shared_cache.h"
 #include "service/http.h"
 #include "service/session_table.h"
 #include "support/socket.h"
@@ -70,6 +71,16 @@ struct ServerOptions
 
     /** Session hosting knobs (spool dir, cap, GC). */
     SessionTableOptions table;
+
+    /**
+     * Shared L2 evaluation cache for every hosted session.
+     * `cache.maxBytes = 0` disables the shared tier entirely; a
+     * non-empty `cache.dir` persists it across daemon restarts (the
+     * segment directory, warm-started at boot). The server owns the
+     * cache and injects it into the table; `table.sharedCache` is
+     * overwritten by the constructor.
+     */
+    cache::SharedCacheOptions cache;
 
     /** Seconds between idle-GC sweeps. */
     int64_t sweepIntervalSeconds = 5;
@@ -135,6 +146,9 @@ class TuningServer
 
     SessionTable &table() { return table_; }
 
+    /** The shared L2 cache, or nullptr when disabled. */
+    cache::SharedEvaluationCache *sharedCache() { return sharedCache_.get(); }
+
     /** True once a client POSTed /shutdown (tunerd polls this). */
     bool shutdownRequested() const { return shutdownRequested_.load(); }
 
@@ -181,6 +195,9 @@ class TuningServer
                        double micros);
 
     ServerOptions options_;
+    /** Declared before table_: sessions hold raw pointers into the
+     * cache, so it must outlive every entry the table destroys. */
+    std::unique_ptr<cache::SharedEvaluationCache> sharedCache_;
     SessionTable table_;
     uint16_t port_ = 0;
 

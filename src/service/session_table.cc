@@ -153,7 +153,8 @@ SessionTable::acquireIdleResident(Entry &entry,
             // checkpoint if one exists (a never-stepped session has
             // none; generation 0 is exactly its saved state). The lock
             // is held throughout, so the idle check above still holds.
-            auto session = std::make_unique<HostedSession>(entry.spec);
+            auto session = std::make_unique<HostedSession>(
+                entry.spec, options_.sharedCache);
             const std::string ckpt = checkpointPath(entry.id);
             if (fs::exists(ckpt))
                 session->load(ckpt);

@@ -83,6 +83,14 @@ struct SessionTableOptions
      * keep serving. Orphan .ckpt files (no .meta) are quarantined too.
      */
     bool fsckSpool = true;
+
+    /**
+     * Process-wide shared evaluation cache (L2) handed to every
+     * hosted session built by this table, or nullptr for private-only
+     * caching. Not owned; must outlive the table (the server declares
+     * the cache before the table for exactly that reason).
+     */
+    cache::SharedEvaluationCache *sharedCache = nullptr;
 };
 
 /** Monotonic counters, exposed through the `stats` endpoint. */

@@ -1,9 +1,70 @@
 #include "sim/machine.h"
 
 #include "support/error.h"
+#include "support/hash.h"
 
 namespace petabricks {
 namespace sim {
+
+namespace {
+
+/** Hash one named field; the name tag keeps equal values in different
+ * fields from canceling when the tagged hashes are XOR-combined. */
+template <typename T>
+uint64_t
+taggedField(const char *tag, const T &value)
+{
+    return Fnv1a().mix(std::string(tag)).mix(value).value();
+}
+
+uint64_t
+deviceFingerprint(const char *tag, const DeviceSpec &device)
+{
+    uint64_t hash = 0;
+    hash ^= taggedField("name", device.name);
+    hash ^= taggedField("type",
+                        static_cast<uint64_t>(device.type));
+    hash ^= taggedField("cores", static_cast<uint64_t>(device.cores));
+    hash ^= taggedField("gflopsPerCore", device.gflopsPerCore);
+    hash ^= taggedField("memBandwidthGBs", device.memBandwidthGBs);
+    hash ^= taggedField("localMemBandwidthGBs",
+                        device.localMemBandwidthGBs);
+    hash ^= taggedField("dedicatedLocalMem", device.dedicatedLocalMem);
+    hash ^= taggedField("launchLatencyUs", device.launchLatencyUs);
+    hash ^= taggedField("simdWidth",
+                        static_cast<uint64_t>(device.simdWidth));
+    return taggedField(tag, hash);
+}
+
+} // namespace
+
+uint64_t
+MachineProfile::fingerprint() const
+{
+    uint64_t hash = 0;
+    hash ^= taggedField("name", name);
+    hash ^= taggedField("os", os);
+    hash ^= taggedField("openclRuntime", openclRuntime);
+    hash ^= deviceFingerprint("cpu", cpu);
+    hash ^= taggedField("hasOpenCL", hasOpenCL);
+    if (hasOpenCL) {
+        hash ^= deviceFingerprint("ocl", ocl);
+        hash ^= taggedField("transfer.latencyUs", transfer.latencyUs);
+        hash ^= taggedField("transfer.bandwidthGBs",
+                            transfer.bandwidthGBs);
+        hash ^= taggedField("oclSharesCpu", oclSharesCpu);
+    }
+    hash ^= taggedField("workerThreads",
+                        static_cast<uint64_t>(workerThreads));
+    hash ^= taggedField("blasSpeedup", blasSpeedup);
+    hash ^= taggedField("blasThreads",
+                        static_cast<uint64_t>(blasThreads));
+    hash ^= taggedField("kernelCompileSeconds", kernelCompileSeconds);
+    hash ^= taggedField("irCacheSavings", irCacheSavings);
+    // Re-seed through FNV so the combined value is well-mixed even
+    // though the combination above is a plain XOR.
+    return Fnv1a().mix(hash).value();
+}
 
 const char *
 deviceTypeName(DeviceType type)

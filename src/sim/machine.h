@@ -71,6 +71,17 @@ struct MachineProfile
     /** Fraction of kernel compile time skipped on an IR-cache hit. */
     double irCacheSavings = 0.6;
 
+    /**
+     * Stable content hash of every parameter above. Two profiles
+     * fingerprint equal exactly when they describe the same machine,
+     * whatever order their fields were assigned in (each field is
+     * hashed tagged with its name and the tagged hashes are combined
+     * commutatively). This is the machine component of the shared
+     * evaluation cache's scope key, so it must be stable across
+     * processes and platforms.
+     */
+    uint64_t fingerprint() const;
+
     /** The paper's Desktop system. */
     static MachineProfile desktop();
     /** The paper's Server system. */

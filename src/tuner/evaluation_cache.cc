@@ -39,22 +39,52 @@ void
 EvaluationCache::insertFingerprint(uint64_t fingerprint,
                                    int64_t inputSize, double seconds)
 {
-    entries_[{inputSize, fingerprint}] = seconds;
+    auto [it, inserted] = entries_.insert_or_assign(
+        {inputSize, fingerprint}, seconds);
+    (void)it;
+    if (inserted)
+        stats_.bytes += kEntryBytes;
     ++stats_.insertions;
+    if (maxEntries_ > 0 && entries_.size() > maxEntries_) {
+        // Evict from the front: map order is size-first, so the
+        // smallest-size entries go first — they are also the ones the
+        // growing test-size schedule is least likely to consult again.
+        while (entries_.size() > maxEntries_) {
+            entries_.erase(entries_.begin());
+            ++stats_.evictions;
+            stats_.bytes -= kEntryBytes;
+        }
+    }
+}
+
+void
+EvaluationCache::setMaxEntries(size_t maxEntries)
+{
+    maxEntries_ = maxEntries;
+    if (maxEntries_ > 0) {
+        while (entries_.size() > maxEntries_) {
+            entries_.erase(entries_.begin());
+            ++stats_.evictions;
+            stats_.bytes -= kEntryBytes;
+        }
+    }
 }
 
 void
 EvaluationCache::invalidateBelow(int64_t inputSize)
 {
     auto end = entries_.lower_bound({inputSize, 0});
-    stats_.invalidated +=
+    int64_t dropped =
         static_cast<int64_t>(std::distance(entries_.begin(), end));
+    stats_.invalidated += dropped;
+    stats_.bytes -= static_cast<size_t>(dropped) * kEntryBytes;
     entries_.erase(entries_.begin(), end);
 }
 
 void
 EvaluationCache::clear()
 {
+    stats_.bytes = 0;
     entries_.clear();
 }
 

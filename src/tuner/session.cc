@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "cache/shared_cache.h"
 #include "support/error.h"
 #include "support/logging.h"
 
@@ -83,6 +84,22 @@ TuningSession::measureBatch(const std::vector<Config> &configs,
             ++report_.cacheHits;
             continue;
         }
+        // L1 miss: probe the process-wide L2 before paying for an
+        // evaluation. A hit is bit-identical to what the evaluator
+        // would return (deterministic per scope), so promoting it into
+        // the L1 changes accounting, never the search.
+        if (shared_ != nullptr) {
+            if (std::optional<double> sharedValue =
+                    shared_->lookup(sharedScope_, size, fp,
+                                    sharedOwner_)) {
+                cache_.insertFingerprint(fp, size, *sharedValue);
+                seconds[i] = *sharedValue;
+                ++report_.cacheHits;
+                ++sharedHits_;
+                continue;
+            }
+            ++sharedMisses_;
+        }
         auto [it, inserted] = firstInBatch.emplace(fp, i);
         if (!inserted) {
             duplicateOf[i] = it->second;
@@ -137,8 +154,20 @@ TuningSession::measureBatch(const std::vector<Config> &configs,
                                  ? secs * options_.trialsPerEvaluation
                                  : 0.0;
             report_.tuningSeconds += compile + testing;
-            if (useCache)
+            if (useCache) {
                 cache_.insertFingerprint(fingerprints[i], size, secs);
+                // Publish finite results for other sessions; +inf
+                // (infeasible) stays in the private L1 — recomputing
+                // it elsewhere is cheap and deterministic, and the
+                // shared tier never has to serialize non-finite
+                // values. NaN never reaches this line (above).
+                if (shared_ != nullptr && std::isfinite(secs)) {
+                    shared_->publish(sharedScope_, size,
+                                     fingerprints[i], secs,
+                                     sharedOwner_);
+                    ++sharedPublishes_;
+                }
+            }
             seconds[i] = secs;
         }
     }
@@ -307,7 +336,19 @@ TuningSession::introspect() const
     view.tuningSeconds = report_.tuningSeconds;
     view.compileSeconds = report_.compileSeconds;
     view.cacheStats = cache_.stats();
+    view.sharedHits = sharedHits_;
+    view.sharedMisses = sharedMisses_;
+    view.sharedPublishes = sharedPublishes_;
     return view;
+}
+
+void
+TuningSession::attachSharedCache(cache::SharedEvaluationCache *cache,
+                                 uint64_t scope)
+{
+    shared_ = cache;
+    sharedScope_ = scope;
+    sharedOwner_ = cache != nullptr ? cache->registerOwner() : 0;
 }
 
 void

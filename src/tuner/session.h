@@ -44,6 +44,11 @@
 #include "tuner/evolution.h"
 
 namespace petabricks {
+
+namespace cache {
+class SharedEvaluationCache;
+} // namespace cache
+
 namespace tuner {
 
 /** Snapshot handed to progress callbacks after every step(). */
@@ -87,6 +92,17 @@ struct SessionIntrospection
 
     /** EvaluationCache hit/miss/eviction counters. */
     EvaluationCacheStats cacheStats;
+
+    /**
+     * This session's traffic against the shared L2 cache (all zero
+     * when none is attached). Session-local accounting, not
+     * checkpointed: a resumed session restarts them at zero, same as
+     * the L1 cache restarting cold — only modeled accounting, never
+     * the champion, can tell the difference.
+     */
+    int64_t sharedHits = 0;
+    int64_t sharedMisses = 0;
+    int64_t sharedPublishes = 0;
 };
 
 /** See file comment. */
@@ -144,6 +160,19 @@ class TuningSession
 
     const EvaluationCache &cache() const { return cache_; }
 
+    /**
+     * Layer the process-wide L2 @p cache behind this session's private
+     * L1: an L1 miss probes the L2 under @p scope (the engine's
+     * cacheScope for this benchmark) before evaluating, and every
+     * finite evaluation result is published back. L2 hits are promoted
+     * into the L1 and are bit-identical to what the evaluator would
+     * return, so attaching a shared cache never changes the champion.
+     * @p cache must outlive the session; nullptr detaches. Gated on
+     * options().cacheEvaluations like the L1.
+     */
+    void attachSharedCache(cache::SharedEvaluationCache *cache,
+                           uint64_t scope);
+
     /** Cursor + accounting snapshot; see SessionIntrospection. */
     SessionIntrospection introspect() const;
 
@@ -197,6 +226,14 @@ class TuningSession
     size_t sizeIndex_ = 0;
     int generation_ = 0; // completed generations at sizes_[sizeIndex_]
     ProgressCallback progress_;
+
+    // Shared L2 binding (see attachSharedCache).
+    cache::SharedEvaluationCache *shared_ = nullptr;
+    uint64_t sharedScope_ = 0;
+    uint64_t sharedOwner_ = 0;
+    int64_t sharedHits_ = 0;
+    int64_t sharedMisses_ = 0;
+    int64_t sharedPublishes_ = 0;
 };
 
 } // namespace tuner

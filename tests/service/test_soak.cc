@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "cache/shared_cache.h"
 #include "service/session_table.h"
 
 using namespace petabricks;
@@ -169,5 +170,66 @@ TEST(ServiceSoak, FaultInjectedSessionsReachTheCleanChampions)
                   reference.bestSeconds)
             << ids[i];
         ASSERT_EQ(table.status(ids[i]).evaluationFailures, 0) << ids[i];
+    }
+}
+
+TEST(ServiceSoak, SharedCacheSoakSharesWorkAndKeepsChampions)
+{
+    // The same 64-sessions-under-cap-8 churn with a process-wide L2
+    // attached to the table. All sessions tune the same benchmark on
+    // the same machine (same cache scope), so they hammer overlapping
+    // keys from kThreads workers while eviction and rehydration cycle
+    // the owners. The acceptance bar: real cross-session sharing
+    // happened, and every champion is still byte-identical to the
+    // private-cache in-process run — the L2 changes accounting, never
+    // the search.
+    std::string spool = std::string(::testing::TempDir()) + "pb_soak_shared";
+    std::filesystem::remove_all(spool);
+
+    cache::SharedCacheOptions cacheOptions;
+    cacheOptions.maxBytes = 8u << 20;
+    cache::SharedEvaluationCache shared(cacheOptions);
+
+    SessionTableOptions options;
+    options.spoolDir = spool;
+    options.residentCap = kCap;
+    options.sharedCache = &shared;
+    SessionTable table(options);
+
+    std::vector<SessionSpec> specs;
+    std::vector<std::string> ids;
+    for (int i = 0; i < kSessions; ++i) {
+        specs.push_back(soakSpec(i));
+        ids.push_back(table.create(specs.back()));
+    }
+    const int stepsPerSession = table.status(ids[0]).totalSteps;
+    ASSERT_GT(stepsPerSession, 0);
+
+    const int totalSteps = kSessions * stepsPerSession;
+    EXPECT_EQ(stepRoundRobin(table, ids, totalSteps), totalSteps);
+
+    SessionTableStats stats = table.stats();
+    EXPECT_LE(stats.peakResident, kCap);
+    EXPECT_GT(stats.evictions, kSessions);
+
+    // The proof of sharing: sessions were served results that other
+    // sessions published, and nothing non-finite ever got in.
+    cache::SharedCacheStats cacheStats = shared.stats();
+    EXPECT_GT(cacheStats.crossSessionHits, 0);
+    EXPECT_GT(cacheStats.insertions, 0);
+    EXPECT_EQ(cacheStats.rejectedNonFinite, 0);
+    EXPECT_GT(cacheStats.hits + cacheStats.misses, 0);
+
+    for (int i = 0; i < kSessions; ++i) {
+        ASSERT_TRUE(table.status(ids[i]).done) << ids[i];
+        tuner::TuningResult reference = runSpecLocally(specs[i]);
+        KvFile champion = table.champion(ids[i]);
+        KvFile expected = reference.best.toKv();
+        for (const std::string &key : expected.keys())
+            ASSERT_EQ(champion.get(key), expected.get(key))
+                << ids[i] << " " << key;
+        ASSERT_EQ(champion.getDouble("champion.seconds"),
+                  reference.bestSeconds)
+            << ids[i];
     }
 }

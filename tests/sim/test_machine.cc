@@ -98,6 +98,79 @@ TEST(Machine, DeviceTypeNames)
     EXPECT_STREQ(deviceTypeName(DeviceType::CpuOpenCL), "CPU-OpenCL");
 }
 
+TEST(MachineFingerprint, StableForEqualContent)
+{
+    // Two independently built copies of the same profile must agree —
+    // the fingerprint keys on-disk cache segments, so it has to be a
+    // pure function of the parameters.
+    EXPECT_EQ(MachineProfile::desktop().fingerprint(),
+              MachineProfile::desktop().fingerprint());
+    MachineProfile copy = MachineProfile::server();
+    EXPECT_EQ(copy.fingerprint(), MachineProfile::server().fingerprint());
+}
+
+TEST(MachineFingerprint, DistinguishesTheThreeProfiles)
+{
+    uint64_t desktop = MachineProfile::desktop().fingerprint();
+    uint64_t server = MachineProfile::server().fingerprint();
+    uint64_t laptop = MachineProfile::laptop().fingerprint();
+    EXPECT_NE(desktop, server);
+    EXPECT_NE(desktop, laptop);
+    EXPECT_NE(server, laptop);
+}
+
+TEST(MachineFingerprint, SensitiveToEveryParameterKind)
+{
+    const MachineProfile base = MachineProfile::desktop();
+
+    MachineProfile m = base; // int field
+    m.workerThreads = base.workerThreads + 1;
+    EXPECT_NE(m.fingerprint(), base.fingerprint());
+
+    m = base; // double field
+    m.kernelCompileSeconds = base.kernelCompileSeconds * 2;
+    EXPECT_NE(m.fingerprint(), base.fingerprint());
+
+    m = base; // string field
+    m.os = "TempleOS";
+    EXPECT_NE(m.fingerprint(), base.fingerprint());
+
+    m = base; // nested device field
+    m.cpu.cores = base.cpu.cores + 1;
+    EXPECT_NE(m.fingerprint(), base.fingerprint());
+
+    m = base; // display name alone is content too
+    m.name = "Desktop2";
+    EXPECT_NE(m.fingerprint(), base.fingerprint());
+}
+
+TEST(MachineFingerprint, SwappedEqualValuesDoNotAlias)
+{
+    // Each field is hashed tagged with its name before the commutative
+    // combine, so moving a value between two fields must change the
+    // fingerprint — equal values in different slots are different
+    // machines.
+    MachineProfile a = MachineProfile::desktop();
+    a.workerThreads = 2;
+    a.blasThreads = 8;
+    MachineProfile b = MachineProfile::desktop();
+    b.workerThreads = 8;
+    b.blasThreads = 2;
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(MachineFingerprint, IgnoresOpenCLParametersWhenDisabled)
+{
+    // A CPU-only machine is the same machine whatever garbage its
+    // unused OpenCL fields hold.
+    MachineProfile a = MachineProfile::server();
+    a.hasOpenCL = false;
+    MachineProfile b = a;
+    b.ocl.cores = 9999;
+    b.transfer.latencyUs = 123.0;
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
 } // namespace
 } // namespace sim
 } // namespace petabricks

@@ -120,6 +120,63 @@ TEST(EvaluationCache, OverwriteUpdatesValue)
     EXPECT_DOUBLE_EQ(*cache.lookup(config, 64), 2.0);
 }
 
+TEST(EvaluationCache, ByteAccountingTracksLiveEntries)
+{
+    EvaluationCache cache;
+    EXPECT_EQ(cache.stats().bytes, 0u);
+    cache.insert(makeConfig(1), 64, 1.0);
+    cache.insert(makeConfig(2), 64, 2.0);
+    EXPECT_EQ(cache.stats().bytes, 2 * EvaluationCache::kEntryBytes);
+    // Overwrites reuse the entry: no growth.
+    cache.insert(makeConfig(1), 64, 3.0);
+    EXPECT_EQ(cache.stats().bytes, 2 * EvaluationCache::kEntryBytes);
+    cache.invalidateBelow(128);
+    EXPECT_EQ(cache.stats().bytes, 0u);
+    cache.insert(makeConfig(1), 256, 1.0);
+    cache.clear();
+    EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+TEST(EvaluationCache, CapacityBoundEvictsSmallestSizesFirst)
+{
+    EvaluationCache cache;
+    cache.setMaxEntries(3);
+    cache.insert(makeConfig(1), 64, 1.0);
+    cache.insert(makeConfig(2), 128, 2.0);
+    cache.insert(makeConfig(3), 256, 3.0);
+    EXPECT_EQ(cache.stats().evictions, 0);
+
+    // The fourth insert pushes past the bound: the smallest-size entry
+    // goes (the growing test schedule consults it least).
+    cache.insert(makeConfig(4), 512, 4.0);
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_EQ(cache.stats().evictions, 1);
+    EXPECT_EQ(cache.stats().bytes, 3 * EvaluationCache::kEntryBytes);
+    EXPECT_FALSE(cache.lookup(makeConfig(1), 64).has_value());
+    EXPECT_TRUE(cache.lookup(makeConfig(2), 128).has_value());
+    EXPECT_TRUE(cache.lookup(makeConfig(4), 512).has_value());
+}
+
+TEST(EvaluationCache, SetMaxEntriesTrimsRetroactively)
+{
+    EvaluationCache cache;
+    for (int i = 1; i <= 5; ++i)
+        cache.insert(makeConfig(i), 64 * i, 1.0);
+    cache.setMaxEntries(2);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.stats().evictions, 3);
+    EXPECT_TRUE(cache.lookup(makeConfig(5), 320).has_value());
+}
+
+TEST(EvaluationCache, UnboundedByDefault)
+{
+    EvaluationCache cache;
+    for (int i = 1; i <= 200; ++i)
+        cache.insert(makeConfig(i), 64, 1.0);
+    EXPECT_EQ(cache.size(), 200u);
+    EXPECT_EQ(cache.stats().evictions, 0);
+}
+
 } // namespace
 } // namespace tuner
 } // namespace petabricks

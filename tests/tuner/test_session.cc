@@ -11,6 +11,7 @@
 #include <limits>
 #include <string>
 
+#include "cache/shared_cache.h"
 #include "support/error.h"
 #include "tuner/session.h"
 
@@ -329,6 +330,100 @@ TEST(TuningSession, LoadRejectsNonCheckpointFiles)
     TuningSession session(eval, bowlSeed(), fastOptions());
     EXPECT_THROW(session.load(path), FatalError);
     std::remove(path.c_str());
+}
+
+TEST(TuningSession, SharedCacheChampionMatchesPrivateRun)
+{
+    // The L2 is a pure memo: attaching it (empty or warm) must change
+    // accounting, never the champion. Three runs with the same seed —
+    // private L1 only, first-through-the-shared-cache, and
+    // second-through-the-shared-cache — must agree byte-for-byte.
+    BowlEvaluator privateEval;
+    TuningResult priv =
+        TuningSession(privateEval, bowlSeed(), fastOptions()).run();
+
+    cache::SharedCacheOptions cacheOptions;
+    cacheOptions.maxBytes = 1 << 20;
+    cache::SharedEvaluationCache shared(cacheOptions);
+    constexpr uint64_t kScope = 7;
+
+    BowlEvaluator firstEval;
+    TuningSession first(firstEval, bowlSeed(), fastOptions());
+    first.attachSharedCache(&shared, kScope);
+    TuningResult cold = first.run();
+
+    BowlEvaluator secondEval;
+    TuningSession second(secondEval, bowlSeed(), fastOptions());
+    second.attachSharedCache(&shared, kScope);
+    TuningResult warm = second.run();
+
+    EXPECT_EQ(priv.best, cold.best);
+    EXPECT_EQ(priv.best, warm.best);
+    EXPECT_DOUBLE_EQ(priv.bestSeconds, cold.bestSeconds);
+    EXPECT_DOUBLE_EQ(priv.bestSeconds, warm.bestSeconds);
+
+    // The second session rode the first one's evaluations.
+    EXPECT_LT(secondEval.calls, firstEval.calls);
+    EXPECT_GT(second.introspect().sharedHits, 0);
+    EXPECT_GT(shared.stats().crossSessionHits, 0);
+    EXPECT_GT(first.introspect().sharedPublishes, 0);
+}
+
+TEST(TuningSession, SharedCacheScopesDoNotBleed)
+{
+    // Different cacheScope (different engine/machine identity): a
+    // fully warmed cache must answer nothing.
+    cache::SharedCacheOptions cacheOptions;
+    cacheOptions.maxBytes = 1 << 20;
+    cache::SharedEvaluationCache shared(cacheOptions);
+
+    BowlEvaluator firstEval;
+    TuningSession first(firstEval, bowlSeed(), fastOptions());
+    first.attachSharedCache(&shared, /*scope=*/1);
+    first.run();
+
+    BowlEvaluator secondEval;
+    TuningSession second(secondEval, bowlSeed(), fastOptions());
+    second.attachSharedCache(&shared, /*scope=*/2);
+    second.run();
+
+    EXPECT_EQ(second.introspect().sharedHits, 0);
+    EXPECT_EQ(secondEval.calls, firstEval.calls);
+}
+
+TEST(TuningSession, SharedCacheNeverSeesFailures)
+{
+    // An evaluator with infeasible points: +inf stays in the private
+    // L1; the shared tier receives only finite seconds, and the
+    // session filters before publish (so not even the cache's own
+    // non-finite rejection counter moves).
+    class PartiallyInfeasibleBowl : public BowlEvaluator
+    {
+      public:
+        double
+        evaluate(const Config &config, int64_t size) override
+        {
+            if (config.tunableValue("lws") > 512)
+                return std::numeric_limits<double>::infinity();
+            return BowlEvaluator::evaluate(config, size);
+        }
+    };
+
+    cache::SharedCacheOptions cacheOptions;
+    cacheOptions.maxBytes = 1 << 20;
+    cache::SharedEvaluationCache shared(cacheOptions);
+
+    PartiallyInfeasibleBowl eval;
+    TuningSession session(eval, bowlSeed(), fastOptions());
+    session.attachSharedCache(&shared, /*scope=*/3);
+    session.run();
+
+    SessionIntrospection view = session.introspect();
+    EXPECT_GT(view.sharedPublishes, 0);
+    EXPECT_EQ(shared.stats().rejectedNonFinite, 0);
+    // Each published key was unique (the L1 answers repeats), so
+    // publishes and insertions line up exactly.
+    EXPECT_EQ(shared.stats().insertions, view.sharedPublishes);
 }
 
 } // namespace

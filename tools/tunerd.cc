@@ -53,6 +53,10 @@ usage()
         "  --sweep SEC        GC sweep interval (default 5)\n"
         "  --queue-depth N    worker queue bound; excess gets 503 (default 128)\n"
         "  --request-deadline SEC  503 commands queued too long (default 0=off)\n"
+        "  --cache-dir DIR    persist the shared evaluation cache here and\n"
+        "                     warm-start from it at boot (default: memory only)\n"
+        "  --cache-bytes N    shared-cache memory bound; 0 disables the\n"
+        "                     shared tier entirely (default 64MiB)\n"
         "  --no-fsck          skip spool verification at startup\n"
         "  --no-step-checkpoints  checkpoint per step command, not per generation\n"
         "  --verbose          info-level logging\n"
@@ -103,8 +107,15 @@ main(int argc, char **argv)
             options.maxQueueDepth = static_cast<size_t>(std::atoll(value()));
         else if (arg == "--request-deadline")
             options.requestDeadlineSeconds = std::atoll(value());
-        else if (arg == "--no-fsck")
+        else if (arg == "--cache-dir")
+            options.cache.dir = value();
+        else if (arg == "--cache-bytes")
+            options.cache.maxBytes =
+                static_cast<size_t>(std::atoll(value()));
+        else if (arg == "--no-fsck") {
             options.table.fsckSpool = false;
+            options.cache.fsckOnLoad = false;
+        }
         else if (arg == "--no-step-checkpoints")
             options.table.checkpointEachStep = false;
         else if (arg == "--verbose")
