@@ -17,8 +17,10 @@ main()
 {
     std::cout << "=== Figure 6: autotuned configurations per benchmark "
                  "and machine ===\n\n";
-    TextTable table(
-        {"Benchmark", "Desktop Config", "Server Config", "Laptop Config"});
+    std::vector<std::string> header{"Benchmark"};
+    for (const auto &machine : sim::MachineProfile::all())
+        header.push_back(machine.name + " Config");
+    TextTable table(header);
     for (const BenchmarkPtr &benchmark : allBenchmarks()) {
         std::vector<std::string> row{benchmark->name()};
         for (const auto &machine : sim::MachineProfile::all()) {

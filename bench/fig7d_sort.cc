@@ -33,11 +33,20 @@ main()
         double best = std::numeric_limits<double>::infinity();
         double worst = 0.0;
         for (size_t c = 0; c < 3; ++c) {
-            double t = bench.evaluate(configs[c].config, n, machine);
+            // A tuned config can be infeasible elsewhere (GPU-placed
+            // champion priced on the OpenCL-less BigLittle): skip it,
+            // the spread is over configs the machine can run.
+            double t;
+            try {
+                t = bench.evaluate(configs[c].config, n, machine);
+            } catch (const FatalError &) {
+                continue;
+            }
             best = std::min(best, t);
             worst = std::max(worst, t);
         }
-        worstSpread = std::max(worstSpread, worst / best);
+        if (worst > 0.0 && best < worst)
+            worstSpread = std::max(worstSpread, worst / best);
     }
     std::cout << "\nLargest cross-config spread: "
               << TextTable::num(worstSpread, 2)

@@ -36,16 +36,23 @@ main()
               << run.maxError << "\n";
 
     // --- Model mode: what would each mapping cost on each machine? --
+    // A placement can be infeasible on a profile (the fixed mapping
+    // uses the GPU, and BigLittle has no OpenCL device): run() throws
+    // FatalError for those, so price them as "n/a" like the tuner does.
     for (const auto &machine : sim::MachineProfile::all()) {
         engine::ModelEngine model(machine);
         std::cout << machine.name << ":";
         for (bool separable : {false, true}) {
-            engine::RunResult r = model.run(
-                bench,
-                ConvolutionBenchmark::fixedMapping(separable, false),
-                3520);
-            std::cout << (separable ? "  separable=" : "  2d=")
-                      << r.seconds * 1e3 << "ms";
+            std::cout << (separable ? "  separable=" : "  2d=");
+            try {
+                engine::RunResult r = model.run(
+                    bench,
+                    ConvolutionBenchmark::fixedMapping(separable, false),
+                    3520);
+                std::cout << r.seconds * 1e3 << "ms";
+            } catch (const FatalError &) {
+                std::cout << "n/a";
+            }
         }
         std::cout << "\n";
     }

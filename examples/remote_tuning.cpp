@@ -16,13 +16,21 @@
  *   remote_tuning --port P stats
  *   remote_tuning local             --benchmark Sort [--seed N]
  *
- * Champion output (run/finish/local) is the choice-configuration
- * KvFile text, so two modes' outputs can be compared byte-for-byte.
+ * Portfolio modes (the champion store behind input-adaptive dispatch):
+ *   remote_tuning --port P machines
+ *   remote_tuning --port P portfolio
+ *   remote_tuning --port P portfolio-tune     --benchmark B --machine M
+ *                                             [--sizes 64,256,1024]
+ *   remote_tuning --port P portfolio-champion --benchmark B --machine M --n N
+ *
+ * Champion output (run/finish/local/portfolio-champion) is KvFile
+ * text, so two modes' outputs can be compared byte-for-byte.
  */
 
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "service/client.h"
 #include "service/hosted_session.h"
@@ -36,9 +44,11 @@ usage()
 {
     std::cerr << "usage: remote_tuning [--host H] [--port P] "
                  "[--timeout MS] MODE [--benchmark B] [--session ID] "
-                 "[--steps N] [--seed N] [--nowait]\n"
+                 "[--steps N] [--seed N] [--nowait] [--machine M] "
+                 "[--sizes A,B,...] [--n N]\n"
                  "modes: run create step finish resume status stats "
-                 "stop local\n"
+                 "stop local machines portfolio portfolio-tune "
+                 "portfolio-champion\n"
                  "--timeout bounds the connect and every response read; "
                  "expiry exits with a transient error\n";
     return 2;
@@ -68,7 +78,10 @@ main(int argc, char **argv)
     int steps = 4;
     int timeoutMillis = 0;
     bool nowait = false;
+    std::string machine = "Desktop";
+    int64_t n = 0;
     KvFile createOptions;
+    KvFile tuneOptions;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -99,6 +112,24 @@ main(int argc, char **argv)
             createOptions.set("generationsPerSize", value());
         else if (arg == "--max-input")
             createOptions.set("maxInputSize", value());
+        else if (arg == "--machine")
+            machine = value();
+        else if (arg == "--n")
+            n = std::atoll(value().c_str());
+        else if (arg == "--sizes") {
+            // Comma list -> the tune body's int-list field.
+            std::vector<int64_t> sizes;
+            std::string list = value();
+            for (size_t pos = 0; pos < list.size();) {
+                size_t comma = list.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                sizes.push_back(
+                    std::atoll(list.substr(pos, comma - pos).c_str()));
+                pos = comma + 1;
+            }
+            tuneOptions.setIntList("sizes", sizes);
+        }
         else if (arg == "--nowait")
             nowait = true;
         else if (arg == "--help" || arg == "-h")
@@ -156,6 +187,27 @@ main(int argc, char **argv)
             client.stopSession(session);
         } else if (mode == "stats") {
             std::cout << client.stats().toString();
+        } else if (mode == "machines") {
+            std::cout << client.machines().toString();
+        } else if (mode == "portfolio") {
+            std::cout << client.portfolio().toString();
+        } else if (mode == "portfolio-tune") {
+            tuneOptions.set("benchmark", benchmark);
+            tuneOptions.set("machine", machine);
+            if (createOptions.has("seed"))
+                tuneOptions.set("seed", createOptions.get("seed"));
+            if (createOptions.has("populationSize"))
+                tuneOptions.set("population",
+                                createOptions.get("populationSize"));
+            if (createOptions.has("generationsPerSize"))
+                tuneOptions.set("generations",
+                                createOptions.get("generationsPerSize"));
+            std::cout << client.portfolioTune(tuneOptions).toString();
+        } else if (mode == "portfolio-champion") {
+            if (n < 1)
+                return usage();
+            std::cout << client.portfolioChampion(benchmark, machine, n)
+                             .toString();
         } else {
             return usage();
         }

@@ -70,14 +70,18 @@ def main():
         if base is None:
             print(f"{name:<20} (not in baseline)")
             continue
-        for path in ("reference", "fast", "warm_cache"):
-            key = f"{path}_configs_per_sec"
-            if key not in base or key not in row:
-                # The warm_cache column postdates older baselines; a
-                # missing key is a schema generation gap, not a
-                # regression.
-                continue
+        # Paths are derived from the *_configs_per_sec columns present
+        # in BOTH reports: columns newer than the committed baseline
+        # (e.g. warm_cache against a pre-cache baseline) are a schema
+        # generation gap, not a regression, and are skipped silently.
+        suffix = "_configs_per_sec"
+        paths = sorted(key[:-len(suffix)] for key in row
+                       if key.endswith(suffix) and key in base)
+        for path in paths:
+            key = f"{path}{suffix}"
             before, after = base[key], row[key]
+            if before is None or after is None:
+                continue  # null = not measurable (infeasible/inf)
             delta = (after - before) / before if before else 0.0
             print(f"{name:<20} {path:<10} {before:>12.3g} "
                   f"{after:>12.3g} {delta:>+7.1%}")

@@ -14,6 +14,10 @@
 #      dir; the rerun must be served shared-cache hits (cross-session,
 #      since the publisher was the previous process), the torn segment
 #      must be quarantined, and the champion must stay byte-identical.
+#   5. Portfolio persistence: tune a champion ladder over HTTP with
+#      --portfolio-dir, SIGTERM drain, restart on the same directory;
+#      the restarted daemon must serve a byte-identical champion from
+#      the champ-*.kv files it loaded at boot.
 #
 # Usage: scripts/daemon_smoke.sh [BUILD_DIR]   (default: build)
 set -euo pipefail
@@ -209,5 +213,49 @@ stat_of() { sed -n "s/^cache.$1 = //p" "$WORK/cache-stats.txt"; }
 echo "daemon_smoke: PASS leg 4 (shared cache persisted across restart:" \
      "$(stat_of crossSessionHits) cross-session hits," \
      "$(stat_of segmentsQuarantined) segment(s) quarantined)"
+kill -TERM "$DAEMON_PID" && wait "$DAEMON_PID" || true
+DAEMON_PID=""
+
+# ===========================================================================
+# Leg 5: portfolio persistence — tune a champion ladder over HTTP,
+# drain, restart on the same portfolio dir, get the identical champion.
+# ===========================================================================
+SPOOL="$WORK/spool-portfolio"
+PORTDIR="$WORK/portfolio"
+DAEMON_EXTRA_ARGS=(--portfolio-dir "$PORTDIR")
+start_daemon
+echo "daemon_smoke: portfolio leg daemon up on port $PORT (pid $DAEMON_PID)"
+
+"$CLIENT" --port "$PORT" portfolio-tune --benchmark Black-Scholes \
+    --machine Desktop --sizes 1024,4096 --seed 7 --population 4 \
+    --generations 2 > "$WORK/portfolio-tune.txt" \
+    || fail "portfolio leg: tune failed"
+"$CLIENT" --port "$PORT" portfolio-champion --benchmark Black-Scholes \
+    --machine Desktop --n 4096 > "$WORK/champ1.txt" \
+    || fail "portfolio leg: champion query failed"
+grep -q '^dispatch.policy = exact$' "$WORK/champ1.txt" \
+    || fail "portfolio leg: expected an exact-hit dispatch"
+
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || fail "portfolio leg: drain exited nonzero"
+DAEMON_PID=""
+ls "$PORTDIR"/champ-*.kv >/dev/null 2>&1 \
+    || fail "portfolio leg: no champ-*.kv files in $PORTDIR"
+
+start_daemon
+echo "daemon_smoke: portfolio leg daemon restarted on port $PORT"
+"$CLIENT" --port "$PORT" portfolio-champion --benchmark Black-Scholes \
+    --machine Desktop --n 4096 > "$WORK/champ2.txt" \
+    || fail "portfolio leg: champion query after restart failed"
+if ! diff -u "$WORK/champ1.txt" "$WORK/champ2.txt"; then
+    fail "champion served after restart differs from the tuned one"
+fi
+"$CLIENT" --port "$PORT" stats > "$WORK/portfolio-stats.txt" \
+    || fail "portfolio leg: stats failed"
+LOADED=$(sed -n 's/^portfolio.loaded = //p' "$WORK/portfolio-stats.txt")
+[ "${LOADED:-0}" -ge 2 ] \
+    || fail "portfolio leg: expected >=2 loaded champions, got '${LOADED:-}'"
+echo "daemon_smoke: PASS leg 5 (portfolio: byte-identical champion" \
+     "served from disk after restart, $LOADED loaded)"
 
 echo "daemon_smoke: PASS (all legs)"

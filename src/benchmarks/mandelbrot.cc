@@ -1,0 +1,227 @@
+#include "benchmarks/mandelbrot.h"
+
+#include <cmath>
+
+#include "benchmarks/backend_util.h"
+#include "compiler/simulator.h"
+
+namespace petabricks {
+namespace apps {
+
+namespace {
+
+using lang::AccessPattern;
+using lang::ParamEnv;
+using lang::PointArgs;
+using lang::RuleDef;
+
+/** flops one escape-loop iteration costs (5 mul, 3 add, 1 compare). */
+constexpr double kFlopsPerIteration = 9.0;
+
+/**
+ * Modeled flops per point. The real loop exits early for escaping
+ * points, but the cost model must be a pure function of the parameter
+ * environment (the same for every cell), so it prices the cap — the
+ * worst case, and the exact cost for in-set points, which dominate the
+ * classic viewing window.
+ */
+double
+flopsPerPoint(const ParamEnv &params)
+{
+    return static_cast<double>(params.at(0)) * kFlopsPerIteration;
+}
+
+lang::RulePtr
+mandelbrotRule()
+{
+    return RuleDef::makePoint(
+        "Mandelbrot", "Iter",
+        {AccessPattern::point("Cr"), AccessPattern::point("Ci")},
+        [](const PointArgs &pt) {
+            double cr = pt.input(0).at(pt.x, pt.y);
+            double ci = pt.input(1).at(pt.x, pt.y);
+            return mandelbrotEscape(cr, ci, pt.param(0));
+        },
+        flopsPerPoint);
+}
+
+compiler::SlotSizes
+sizesFor(int64_t n)
+{
+    int64_t rows = MandelbrotBenchmark::rowsFor(n);
+    int64_t cols = (n + rows - 1) / rows;
+    std::pair<int64_t, int64_t> shape{cols, rows};
+    return {{"Cr", shape}, {"Ci", shape}, {"Iter", shape}};
+}
+
+/** The escape-loop cap: 64 keeps a probe-sized run quick while still
+ * making each point strongly compute bound. */
+constexpr int64_t kMaxIter = 64;
+
+/** Config-invariant state shared by a batch (see Benchmark docs). */
+struct MbEvalContext : apps::EvalContext
+{
+    compiler::EvaluationContext sim;
+    StageChoiceIds rule;
+    size_t splitTun;
+
+    MbEvalContext(const std::shared_ptr<lang::Transform> &transform,
+                  int64_t n, const sim::MachineProfile &machine,
+                  const tuner::Config &schema)
+        : sim(transform, sizesFor(n), {kMaxIter}, machine),
+          rule(stageChoiceIds(schema, "Mandelbrot")),
+          splitTun(schema.tunableIndex("Mandelbrot.split"))
+    {}
+};
+
+} // namespace
+
+double
+mandelbrotEscape(double cr, double ci, int64_t maxIter)
+{
+    double zr = 0.0, zi = 0.0;
+    int64_t it = 0;
+    while (it < maxIter && zr * zr + zi * zi <= 4.0) {
+        double t = zr * zr - zi * zi + cr;
+        zi = 2.0 * zr * zi + ci;
+        zr = t;
+        ++it;
+    }
+    return static_cast<double>(it);
+}
+
+MandelbrotBenchmark::MandelbrotBenchmark()
+{
+    transform_ = std::make_shared<lang::Transform>("Mandelbrot");
+    transform_->slot("Cr", lang::SlotRole::Input)
+        .slot("Ci", lang::SlotRole::Input)
+        .slot("Iter", lang::SlotRole::Output);
+    transform_->choice("escape", {mandelbrotRule()});
+}
+
+int64_t
+MandelbrotBenchmark::rowsFor(int64_t n)
+{
+    int64_t rows = static_cast<int64_t>(std::sqrt(
+        static_cast<double>(std::max<int64_t>(n, 1))));
+    return std::max<int64_t>(rows, 1);
+}
+
+tuner::Config
+MandelbrotBenchmark::seedConfig() const
+{
+    tuner::Config config;
+    addBackendChoices(config, "Mandelbrot",
+                      /*hasLocalVariant=*/false);
+    config.addTunable({"Mandelbrot.split", 1, 256, 16, true});
+    return config;
+}
+
+compiler::TransformConfig
+MandelbrotBenchmark::planFor(const tuner::Config &config,
+                             int64_t n) const
+{
+    compiler::TransformConfig plan;
+    plan.choiceIndex = 0;
+    plan.stages = {stageFor(
+        config, "Mandelbrot", n,
+        static_cast<int>(config.tunableValue("Mandelbrot.split")))};
+    return plan;
+}
+
+double
+MandelbrotBenchmark::evaluate(const tuner::Config &config, int64_t n,
+                              const sim::MachineProfile &machine) const
+{
+    auto outcome = compiler::simulateTransform(
+        *transform_, planFor(config, n), sizesFor(n), {kMaxIter},
+        machine);
+    return outcome.seconds;
+}
+
+apps::EvalContextPtr
+MandelbrotBenchmark::makeEvalContext(
+    int64_t n, const sim::MachineProfile &machine) const
+{
+    return std::make_shared<MbEvalContext>(transform_, n, machine,
+                                           seedConfig());
+}
+
+double
+MandelbrotBenchmark::evaluate(const tuner::Config &config, int64_t n,
+                              const sim::MachineProfile &machine,
+                              const EvalContext *ctx) const
+{
+    if (ctx == nullptr)
+        return evaluate(config, n, machine);
+    const auto &mb = static_cast<const MbEvalContext &>(*ctx);
+    int split = static_cast<int>(config.tunableValueAt(mb.splitTun));
+    thread_local compiler::TransformConfig plan;
+    plan.choiceIndex = 0;
+    plan.stages.clear();
+    plan.stages.push_back(stageForIds(config, mb.rule, n, split));
+    return compiler::simulateTransform(mb.sim, plan).seconds;
+}
+
+std::vector<std::string>
+MandelbrotBenchmark::kernelSources(const tuner::Config &config,
+                                   int64_t n) const
+{
+    std::vector<std::string> sources;
+    appendKernelSources(sources, planFor(config, n).stages[0],
+                        "Mandelbrot");
+    return sources;
+}
+
+int
+MandelbrotBenchmark::kernelCount(const tuner::Config &config,
+                                 int64_t n) const
+{
+    return stageKernelCount(planFor(config, n).stages[0]);
+}
+
+std::string
+MandelbrotBenchmark::describeConfig(const tuner::Config &config,
+                                    int64_t n) const
+{
+    return describeStage(planFor(config, n).stages[0]);
+}
+
+lang::Binding
+MandelbrotBenchmark::makeBinding(int64_t n, Rng &rng) const
+{
+    int64_t rows = rowsFor(n);
+    int64_t cols = (n + rows - 1) / rows;
+    lang::Binding binding;
+    MatrixD cr(cols, rows), ci(cols, rows);
+    for (int64_t i = 0; i < cr.size(); ++i) {
+        cr[i] = rng.uniformReal(-2.0, 0.5);
+        ci[i] = rng.uniformReal(-1.25, 1.25);
+    }
+    binding.matrices.emplace("Cr", cr);
+    binding.matrices.emplace("Ci", ci);
+    binding.matrices.emplace("Iter", MatrixD(cols, rows));
+    binding.params = {kMaxIter};
+    return binding;
+}
+
+MatrixD
+MandelbrotBenchmark::reference(const lang::Binding &binding)
+{
+    const MatrixD &cr = binding.matrix("Cr");
+    const MatrixD &ci = binding.matrix("Ci");
+    int64_t maxIter = binding.params[0];
+    MatrixD out(cr.width(), cr.height());
+    for (int64_t i = 0; i < out.size(); ++i)
+        out[i] = mandelbrotEscape(cr[i], ci[i], maxIter);
+    return out;
+}
+
+double
+MandelbrotBenchmark::checkOutput(const lang::Binding &binding) const
+{
+    return maxAbsDiff(binding.matrix("Iter"), reference(binding));
+}
+
+} // namespace apps
+} // namespace petabricks

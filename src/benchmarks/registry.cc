@@ -4,6 +4,7 @@
 
 #include "benchmarks/blackscholes.h"
 #include "benchmarks/convolution.h"
+#include "benchmarks/mandelbrot.h"
 #include "benchmarks/poisson.h"
 #include "benchmarks/sort.h"
 #include "benchmarks/strassen.h"
@@ -24,6 +25,7 @@ allBenchmarks()
         std::make_shared<StrassenBenchmark>(),
         std::make_shared<SvdBenchmark>(),
         std::make_shared<TridiagBenchmark>(),
+        std::make_shared<MandelbrotBenchmark>(),
     };
 }
 

@@ -526,8 +526,13 @@ simulateTransform(const lang::Transform &transform,
 {
     std::vector<StagePlan> plans = planStages(transform, config, sizes);
     for (const StagePlan &plan : plans) {
-        PB_ASSERT(!plan.hasGpuPart() || machine.hasOpenCL,
-                  "OpenCL placement on machine without OpenCL");
+        // An infeasible *configuration*, not a library bug: machines
+        // without an OpenCL runtime exist (BigLittle), and a config
+        // tuned elsewhere may well carry GPU placements. FatalError is
+        // the taxonomy the engines price as +inf.
+        if (plan.hasGpuPart() && !machine.hasOpenCL)
+            PB_FATAL("OpenCL placement on machine without OpenCL ('"
+                     << machine.name << "')");
     }
 
     ReferenceScheduler sched(machine);
@@ -770,8 +775,11 @@ simulateTransform(const EvaluationContext &ctx,
     }
 
     for (const StageDyn &stage : ws.stages) {
-        PB_ASSERT(stage.gpuRows <= 0 || machine.hasOpenCL,
-                  "OpenCL placement on machine without OpenCL");
+        // Same taxonomy as the reference path above: infeasible
+        // configuration, priced as +inf by the engines.
+        if (stage.gpuRows > 0 && !machine.hasOpenCL)
+            PB_FATAL("OpenCL placement on machine without OpenCL ('"
+                     << machine.name << "')");
     }
 
     // ---- Simulation, mirroring the reference path task-for-task (same

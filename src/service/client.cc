@@ -170,6 +170,33 @@ Client::stats()
     return command("GET", "/stats");
 }
 
+KvFile
+Client::machines()
+{
+    return command("GET", "/machines");
+}
+
+KvFile
+Client::portfolio()
+{
+    return command("GET", "/portfolio");
+}
+
+KvFile
+Client::portfolioChampion(const std::string &benchmark,
+                          const std::string &machine, int64_t n)
+{
+    return command("GET", "/portfolio/champion?benchmark=" + benchmark +
+                              "&machine=" + machine +
+                              "&n=" + std::to_string(n));
+}
+
+KvFile
+Client::portfolioTune(const KvFile &options)
+{
+    return command("POST", "/portfolio/tune", options.toString());
+}
+
 void
 Client::shutdownServer()
 {

@@ -84,6 +84,28 @@ class Client
     /** Server + table counters. */
     KvFile stats();
 
+    /** Registered machine profiles with their content fingerprints. */
+    KvFile machines();
+
+    /** Every stored champion (metadata only) + portfolio counters. */
+    KvFile portfolio();
+
+    /**
+     * Input-adaptive dispatch: the stored champion the daemon would
+     * run for (@p benchmark, @p n) on @p machine. Body carries
+     * champion.* metadata, config.* values, and dispatch.* policy.
+     */
+    KvFile portfolioChampion(const std::string &benchmark,
+                             const std::string &machine, int64_t n);
+
+    /**
+     * Tune a champion ladder into the daemon's portfolio (body keys:
+     * `benchmark`, `machine` required; `sizes`/`minSize`/`maxSize`/
+     * `growth`/`population`/`generations`/`seed` optional). Blocks
+     * until every rung finishes.
+     */
+    KvFile portfolioTune(const KvFile &options);
+
     /** Ask the daemon to exit its serve loop. */
     void shutdownServer();
 

@@ -1,11 +1,18 @@
 #include "service/server.h"
 
+#include <bit>
 #include <chrono>
+#include <cinttypes>
+#include <cstdio>
 #include <poll.h>
 #include <vector>
 
+#include "benchmarks/registry.h"
+#include "portfolio/dispatcher.h"
+#include "sim/machine.h"
 #include "support/error.h"
 #include "support/logging.h"
+#include "tuner/portfolio_tuner.h"
 
 namespace petabricks {
 namespace service {
@@ -76,7 +83,43 @@ bool
 routesToWorker(const std::string &path)
 {
     return path == "/step" || path == "/create" || path == "/champion" ||
-           path == "/resume" || path == "/stop";
+           path == "/resume" || path == "/stop" ||
+           path == "/portfolio/tune" || path == "/portfolio/champion";
+}
+
+/** 16-digit lower-case hex, the wire form for every fingerprint. */
+std::string
+hex16(uint64_t value)
+{
+    char buffer[17];
+    std::snprintf(buffer, sizeof(buffer), "%016" PRIx64, value);
+    return buffer;
+}
+
+/** Render one stored champion under @p prefix (fingerprints as hex,
+ * cost both human-readable and bit-exact, config values inline). */
+void
+championToKv(KvFile &kv, const std::string &prefix,
+             const portfolio::ChampionRecord &record)
+{
+    kv.set(prefix + "benchmark", record.benchmark);
+    kv.set(prefix + "machine", record.machineName);
+    kv.set(prefix + "machineFingerprint",
+           hex16(record.machineFingerprint));
+    kv.setInt(prefix + "inputSize", record.inputSize);
+    kv.setDouble(prefix + "seconds", record.seconds);
+    kv.set(prefix + "secondsBits",
+           hex16(std::bit_cast<uint64_t>(record.seconds)));
+    kv.set(prefix + "configFingerprint",
+           hex16(record.configFingerprint));
+}
+
+const std::string &
+requiredBodyField(const KvFile &body, const std::string &key)
+{
+    if (!body.has(key))
+        PB_FATAL("missing required body field '" << key << "'");
+    return body.get(key);
 }
 
 } // namespace
@@ -101,6 +144,8 @@ makeSharedCache(ServerOptions &options)
 
 TuningServer::TuningServer(ServerOptions options)
     : options_(std::move(options)), sharedCache_(makeSharedCache(options_)),
+      portfolio_(std::make_unique<portfolio::ChampionPortfolio>(
+          options_.portfolioDir, options_.portfolioFsck)),
       table_(options_.table)
 {
     PB_ASSERT(options_.workers >= 1, "need at least one worker");
@@ -440,6 +485,125 @@ TuningServer::dispatch(const HttpRequest &request)
         return HttpResponse::ok(kv.toString());
     }
 
+    if (path == "/machines") {
+        // Inventory of registered machine profiles with their content
+        // fingerprints — the keys portfolio champions are stored
+        // under. Pure data, answered inline.
+        KvFile kv;
+        std::vector<sim::MachineProfile> machines =
+            sim::MachineProfile::all();
+        kv.setInt("machines", static_cast<int64_t>(machines.size()));
+        for (size_t i = 0; i < machines.size(); ++i) {
+            const std::string prefix =
+                "machine." + std::to_string(i) + ".";
+            kv.set(prefix + "name", machines[i].name);
+            kv.set(prefix + "fingerprint",
+                   hex16(machines[i].fingerprint()));
+            kv.setInt(prefix + "hasOpenCL",
+                      machines[i].hasOpenCL ? 1 : 0);
+        }
+        return HttpResponse::ok(kv.toString());
+    }
+
+    if (path == "/portfolio") {
+        // Stored-champion listing (metadata only, no config values);
+        // snapshotting the map is cheap enough for the I/O thread.
+        KvFile kv;
+        std::vector<portfolio::ChampionRecord> records =
+            portfolio_->all();
+        portfolio::PortfolioStats stats = portfolio_->stats();
+        kv.setInt("portfolio.entries",
+                  static_cast<int64_t>(records.size()));
+        kv.setInt("portfolio.loaded", stats.loaded);
+        kv.setInt("portfolio.quarantined", stats.quarantined);
+        kv.setInt("portfolio.stored", stats.stored);
+        for (size_t i = 0; i < records.size(); ++i)
+            championToKv(kv, "champion." + std::to_string(i) + ".",
+                         records[i]);
+        return HttpResponse::ok(kv.toString());
+    }
+
+    if (path == "/portfolio/champion") {
+        // Input-adaptive dispatch (worker thread: pricing runs the
+        // model). Unknown benchmark/machine names 400 with the known
+        // lists; an empty portfolio for the benchmark 404s below.
+        apps::BenchmarkPtr benchmark =
+            apps::findBenchmark(requiredParam(request, "benchmark"));
+        sim::MachineProfile machine =
+            sim::MachineProfile::byName(requiredParam(request, "machine"));
+        int64_t n = request.intParam("n", 0);
+        if (n < 1)
+            PB_FATAL("'n' must be a positive input size");
+        portfolio::DispatchOptions options;
+        options.topK =
+            static_cast<int>(request.intParam("topk", options.topK));
+        options.crossMachine = request.intParam("cross", 0) != 0;
+        portfolio::Dispatcher dispatcher(*portfolio_);
+        portfolio::DispatchDecision decision =
+            dispatcher.dispatch(*benchmark, n, machine, options);
+
+        KvFile kv;
+        championToKv(kv, "champion.", decision.champion);
+        kv.set("dispatch.policy", decision.policy);
+        kv.setInt("dispatch.requestedSize", n);
+        kv.setDouble("dispatch.pricedSeconds", decision.pricedSeconds);
+        kv.set("dispatch.pricedSecondsBits",
+               hex16(std::bit_cast<uint64_t>(decision.pricedSeconds)));
+        KvFile config = decision.champion.config.toKv();
+        for (const std::string &key : config.keys())
+            kv.set("config." + key, config.get(key));
+        return HttpResponse::ok(kv.toString());
+    }
+
+    if (path == "/portfolio/tune") {
+        // Fill the portfolio for one (benchmark, machine): a ladder of
+        // tuning sessions sharing the daemon's L2 cache. Long-running
+        // by design — routed to a worker like /step.
+        KvFile body = KvFile::fromString(request.body);
+        apps::BenchmarkPtr benchmark =
+            apps::findBenchmark(requiredBodyField(body, "benchmark"));
+        sim::MachineProfile machine =
+            sim::MachineProfile::byName(requiredBodyField(body, "machine"));
+
+        tuner::PortfolioTunerOptions options;
+        if (body.has("sizes"))
+            options.sizes = body.getIntList("sizes");
+        options.minSize = body.getIntOr("minSize", options.minSize);
+        options.maxSize = body.getIntOr("maxSize", options.maxSize);
+        options.growthFactor = static_cast<int>(
+            body.getIntOr("growth", options.growthFactor));
+        options.tuner.populationSize = static_cast<int>(body.getIntOr(
+            "population", options.tuner.populationSize));
+        options.tuner.generationsPerSize = static_cast<int>(body.getIntOr(
+            "generations", options.tuner.generationsPerSize));
+        options.tuner.seed = static_cast<uint64_t>(
+            body.getIntOr("seed", static_cast<int64_t>(options.tuner.seed)));
+
+        tuner::PortfolioTuner tuner(*portfolio_, sharedCache_.get());
+        std::vector<tuner::PortfolioRung> rungs =
+            tuner.tune(*benchmark, machine, options);
+
+        KvFile kv;
+        kv.set("tune.benchmark", benchmark->name());
+        kv.set("tune.machine", machine.name);
+        kv.set("tune.machineFingerprint", hex16(machine.fingerprint()));
+        kv.setInt("tune.rungs", static_cast<int64_t>(rungs.size()));
+        for (size_t i = 0; i < rungs.size(); ++i) {
+            const std::string prefix = "rung." + std::to_string(i) + ".";
+            kv.setInt(prefix + "inputSize", rungs[i].inputSize);
+            kv.setDouble(prefix + "seconds", rungs[i].champion.seconds);
+            kv.set(prefix + "secondsBits",
+                   hex16(std::bit_cast<uint64_t>(
+                       rungs[i].champion.seconds)));
+            kv.set(prefix + "configFingerprint",
+                   hex16(rungs[i].champion.configFingerprint));
+            kv.setInt(prefix + "sharedHits", rungs[i].sharedHits);
+            kv.setInt(prefix + "sharedPublishes",
+                      rungs[i].sharedPublishes);
+        }
+        return HttpResponse::ok(kv.toString());
+    }
+
     if (path == "/stats")
         return HttpResponse::ok(statsKv().toString());
 
@@ -498,6 +662,16 @@ TuningServer::statsKv() const
     kv.setInt("table.residentCap",
               static_cast<int64_t>(options_.table.residentCap));
     kv.setInt("server.workers", options_.workers);
+    {
+        portfolio::PortfolioStats stats = portfolio_->stats();
+        kv.setInt("portfolio.entries",
+                  static_cast<int64_t>(portfolio_->size()));
+        kv.setInt("portfolio.loaded", stats.loaded);
+        kv.setInt("portfolio.quarantined", stats.quarantined);
+        kv.setInt("portfolio.stored", stats.stored);
+        kv.setInt("portfolio.persistent",
+                  portfolio_->dir().empty() ? 0 : 1);
+    }
     kv.setInt("cache.enabled", sharedCache_ != nullptr ? 1 : 0);
     if (sharedCache_ != nullptr) {
         cache::SharedCacheStats shared = sharedCache_->stats();

@@ -52,6 +52,7 @@
 #include <thread>
 
 #include "cache/shared_cache.h"
+#include "portfolio/portfolio.h"
 #include "service/http.h"
 #include "service/session_table.h"
 #include "support/socket.h"
@@ -81,6 +82,19 @@ struct ServerOptions
      * overwritten by the constructor.
      */
     cache::SharedCacheOptions cache;
+
+    /**
+     * Champion portfolio directory: tuned champions (`POST
+     * /portfolio/tune`) persist here and are served back (`GET
+     * /portfolio/champion`) across daemon restarts. Empty keeps the
+     * portfolio in memory only (still fully functional within one
+     * daemon lifetime).
+     */
+    std::string portfolioDir;
+
+    /** Quarantine torn/corrupt portfolio champion files at boot
+     * (rename to *.quarantine); mirrors the spool/cache fsck flag. */
+    bool portfolioFsck = true;
 
     /** Seconds between idle-GC sweeps. */
     int64_t sweepIntervalSeconds = 5;
@@ -149,6 +163,10 @@ class TuningServer
     /** The shared L2 cache, or nullptr when disabled. */
     cache::SharedEvaluationCache *sharedCache() { return sharedCache_.get(); }
 
+    /** The champion portfolio (always present; memory-only when no
+     * portfolioDir was configured). */
+    portfolio::ChampionPortfolio &portfolio() { return *portfolio_; }
+
     /** True once a client POSTed /shutdown (tunerd polls this). */
     bool shutdownRequested() const { return shutdownRequested_.load(); }
 
@@ -198,6 +216,9 @@ class TuningServer
     /** Declared before table_: sessions hold raw pointers into the
      * cache, so it must outlive every entry the table destroys. */
     std::unique_ptr<cache::SharedEvaluationCache> sharedCache_;
+    /** Loaded at construction (quarantining bad files per
+     * portfolioFsck); worker threads tune into and dispatch from it. */
+    std::unique_ptr<portfolio::ChampionPortfolio> portfolio_;
     SessionTable table_;
     uint16_t port_ = 0;
 

@@ -198,19 +198,98 @@ MachineProfile::laptop()
     return m;
 }
 
+MachineProfile
+MachineProfile::ultrabook()
+{
+    MachineProfile m;
+    m.name = "Ultrabook";
+    m.os = "Windows 8";
+    m.openclRuntime = "Intel OpenCL SDK 2013 (iGPU)";
+
+    m.cpu.name = "Core i5 3317U @1.7GHz";
+    m.cpu.type = DeviceType::Cpu;
+    m.cpu.cores = 2;
+    m.cpu.gflopsPerCore = 3.5;
+    m.cpu.memBandwidthGBs = 12.8;
+    m.cpu.dedicatedLocalMem = false;
+    m.cpu.launchLatencyUs = 2.0;
+    m.cpu.simdWidth = 1;
+
+    // Integrated GPU on the same die: shares the memory controller,
+    // so buffer "transfers" are zero-copy remaps — free like Server's
+    // CPU runtime — but unlike Server the device has its own EUs and
+    // does not contend with the native worker threads.
+    m.hasOpenCL = true;
+    m.ocl.name = "Intel HD Graphics 4000";
+    m.ocl.type = DeviceType::Gpu;
+    m.ocl.cores = 16;
+    m.ocl.gflopsPerCore = 1.0; // double precision: ~16 GFLOP/s
+    m.ocl.memBandwidthGBs = 12.8; // same DDR3 as the host
+    m.ocl.localMemBandwidthGBs = 64.0;
+    m.ocl.dedicatedLocalMem = true;
+    m.ocl.launchLatencyUs = 20.0;
+    m.ocl.simdWidth = 8;
+
+    m.transfer.latencyUs = 0.0;
+    m.transfer.bandwidthGBs = 0.0; // shared memory: zero-copy
+    m.oclSharesCpu = false;
+    m.workerThreads = 2;
+    m.blasSpeedup = 3.0;
+    m.blasThreads = 1;
+    m.kernelCompileSeconds = 1.4;
+    m.irCacheSavings = 0.5;
+    return m;
+}
+
+MachineProfile
+MachineProfile::bigLittle()
+{
+    MachineProfile m;
+    m.name = "BigLittle";
+    m.os = "Android 4.2 GNU/Linux";
+    m.openclRuntime = "none";
+
+    // 4 big + 4 little cores. The scheduler model is homogeneous, so
+    // the per-core throughput is the blended average of the two
+    // clusters; what matters for portability is that this machine has
+    // many weak cores and no OpenCL device at all.
+    m.cpu.name = "Exynos 5410 4xA15+4xA7 @1.6GHz";
+    m.cpu.type = DeviceType::Cpu;
+    m.cpu.cores = 8;
+    m.cpu.gflopsPerCore = 1.8;
+    m.cpu.memBandwidthGBs = 12.8;
+    m.cpu.dedicatedLocalMem = false;
+    m.cpu.launchLatencyUs = 4.0;
+    m.cpu.simdWidth = 1;
+
+    m.hasOpenCL = false;
+
+    m.workerThreads = 8;
+    m.blasSpeedup = 2.0; // netlib cross-compiled for ARM: scalar
+    m.blasThreads = 1;
+    m.kernelCompileSeconds = 1.0;
+    m.irCacheSavings = 0.6;
+    return m;
+}
+
 std::vector<MachineProfile>
 MachineProfile::all()
 {
-    return {desktop(), server(), laptop()};
+    return {desktop(), server(), laptop(), ultrabook(), bigLittle()};
 }
 
 MachineProfile
 MachineProfile::byName(const std::string &name)
 {
-    for (auto &m : all())
+    std::string known;
+    for (auto &m : all()) {
         if (m.name == name)
             return m;
-    PB_FATAL("unknown machine profile '" << name << "'");
+        known += known.empty() ? "" : ", ";
+        known += m.name;
+    }
+    PB_FATAL("unknown machine profile '" << name << "' (known profiles: "
+                                         << known << ")");
 }
 
 } // namespace sim

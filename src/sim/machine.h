@@ -1,11 +1,23 @@
 /**
  * @file
- * The three representative test systems of the paper (Figure 9).
+ * The representative test systems (Figure 9, plus portability extras).
+ *
+ * The paper's three:
  *
  * Desktop: Core i7 920 (4 cores) + NVIDIA Tesla C2070, CUDA OpenCL.
  * Server:  4x Xeon X7550 (32 cores), no GPU; AMD APP CPU OpenCL runtime
  *          that generates optimized SSE code.
  * Laptop:  Core i5 2520M (2 cores) + AMD Radeon HD 6630M.
+ *
+ * Two more exercise the portability claim from a different direction
+ * (the champion-portfolio matrix in bench/fig9_portability):
+ *
+ * Ultrabook: weak dual-core CPU + integrated GPU on shared memory —
+ *            transfers are free but the GPU is modest, so the best
+ *            placement flips per benchmark and per size.
+ * BigLittle: asymmetric 8-core mobile CPU with no OpenCL runtime at
+ *            all — every GPU-placed choice is infeasible, the extreme
+ *            end of the portability spectrum.
  */
 
 #ifndef PETABRICKS_SIM_MACHINE_H
@@ -88,11 +100,18 @@ struct MachineProfile
     static MachineProfile server();
     /** The paper's Laptop system (a Mac Mini). */
     static MachineProfile laptop();
+    /** iGPU-only ultrabook: weak CPU + integrated GPU, zero-copy. */
+    static MachineProfile ultrabook();
+    /** Asymmetric big/little mobile CPU, no OpenCL runtime. */
+    static MachineProfile bigLittle();
 
-    /** All three test systems in presentation order. */
+    /** All registered test systems in presentation order. */
     static std::vector<MachineProfile> all();
 
-    /** Lookup by code name ("Desktop"/"Server"/"Laptop"). */
+    /**
+     * Lookup by code name ("Desktop", "Server", ...). Unknown names
+     * raise a FatalError listing every registered profile name.
+     */
     static MachineProfile byName(const std::string &name);
 };
 

@@ -168,14 +168,18 @@ TEST(Simulator, SplitUsesBothResources)
     EXPECT_GT(out.cpuBusySeconds, 0.0);
 }
 
-TEST(Simulator, OpenClOnMachineWithoutItPanics)
+TEST(Simulator, OpenClOnMachineWithoutItIsInfeasible)
 {
+    // FatalError, not PanicError: a GPU placement on a machine with no
+    // OpenCL runtime is an infeasible *configuration* (the engines
+    // price it +inf), which real machine profiles (BigLittle) and
+    // cross-machine champion dispatch exercise routinely.
     auto t = testfix::makeConvTransform(5);
     sim::MachineProfile noOcl = sim::MachineProfile::desktop();
     noOcl.hasOpenCL = false;
     EXPECT_THROW(simulateTransform(*t, cfg2d(Backend::OpenClGlobal),
                                    convSizes(128, 5), {5}, noOcl),
-                 PanicError);
+                 FatalError);
 }
 
 TEST(Simulator, DeterministicAcrossCalls)

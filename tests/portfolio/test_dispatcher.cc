@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Input-adaptive dispatch: exact hits, determinism of the served
+ * config identity across Dispatcher instances and portfolio reloads,
+ * the neighbor bound for sizes between rungs, foreign fallback, and
+ * cross-machine pricing.
+ */
+
+#include <filesystem>
+#include <gtest/gtest.h>
+#include <limits>
+
+#include "benchmarks/registry.h"
+#include "portfolio/dispatcher.h"
+#include "portfolio/portfolio.h"
+#include "sim/machine.h"
+#include "support/error.h"
+#include "tuner/portfolio_tuner.h"
+
+using namespace petabricks;
+using namespace petabricks::portfolio;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+freshDir(const char *name)
+{
+    std::string path =
+        std::string(::testing::TempDir()) + "pb_dispatch_" + name;
+    fs::remove_all(path);
+    return path;
+}
+
+/** Tune a small real ladder for Black-Scholes on @p machine. */
+void
+tuneLadder(ChampionPortfolio &portfolio,
+           const sim::MachineProfile &machine)
+{
+    tuner::PortfolioTuner tuner(portfolio);
+    tuner::PortfolioTunerOptions options;
+    options.sizes = {4096, 16384, 65536};
+    options.tuner.populationSize = 4;
+    options.tuner.generationsPerSize = 2;
+    tuner.tune(*apps::findBenchmark("Black-Scholes"), machine, options);
+}
+
+} // namespace
+
+TEST(Dispatcher, ExactHitServesTheStoredChampion)
+{
+    ChampionPortfolio portfolio;
+    tuneLadder(portfolio, sim::MachineProfile::desktop());
+    Dispatcher dispatcher(portfolio);
+    apps::BenchmarkPtr benchmark = apps::findBenchmark("Black-Scholes");
+
+    DispatchDecision decision = dispatcher.dispatch(
+        *benchmark, 16384, sim::MachineProfile::desktop());
+    EXPECT_EQ(decision.policy, "exact");
+    EXPECT_EQ(decision.champion.inputSize, 16384);
+    auto stored = portfolio.exact(
+        "Black-Scholes", sim::MachineProfile::desktop().fingerprint(),
+        16384);
+    ASSERT_TRUE(stored.has_value());
+    EXPECT_EQ(decision.champion.configFingerprint,
+              stored->configFingerprint);
+    EXPECT_EQ(decision.pricedSeconds, stored->seconds);
+}
+
+TEST(Dispatcher, DeterministicAcrossInstancesAndReload)
+{
+    std::string dir = freshDir("determinism");
+    apps::BenchmarkPtr benchmark = apps::findBenchmark("Black-Scholes");
+    const sim::MachineProfile machine = sim::MachineProfile::desktop();
+
+    uint64_t firstFingerprint = 0;
+    double firstSeconds = 0.0;
+    {
+        ChampionPortfolio portfolio(dir);
+        tuneLadder(portfolio, machine);
+        Dispatcher dispatcher(portfolio);
+        // 30000 sits between the 16384 and 65536 rungs: the priced
+        // path, not an exact hit.
+        DispatchDecision a =
+            dispatcher.dispatch(*benchmark, 30000, machine);
+        DispatchDecision b =
+            dispatcher.dispatch(*benchmark, 30000, machine);
+        EXPECT_EQ(a.champion.configFingerprint,
+                  b.champion.configFingerprint);
+        EXPECT_EQ(a.pricedSeconds, b.pricedSeconds);
+        EXPECT_EQ(a.policy, "priced");
+        firstFingerprint = a.champion.configFingerprint;
+        firstSeconds = a.pricedSeconds;
+    }
+    // A fresh portfolio instance loaded from disk (the restart case)
+    // serves the identical config identity and the identical price.
+    ChampionPortfolio reloaded(dir);
+    Dispatcher dispatcher(reloaded);
+    DispatchDecision after =
+        dispatcher.dispatch(*benchmark, 30000, machine);
+    EXPECT_EQ(after.champion.configFingerprint, firstFingerprint);
+    EXPECT_EQ(after.pricedSeconds, firstSeconds);
+}
+
+TEST(Dispatcher, UnseenSizeNeverWorseThanEitherNeighbor)
+{
+    ChampionPortfolio portfolio;
+    const sim::MachineProfile machine = sim::MachineProfile::desktop();
+    tuneLadder(portfolio, machine);
+    Dispatcher dispatcher(portfolio);
+    apps::BenchmarkPtr benchmark = apps::findBenchmark("Black-Scholes");
+
+    const int64_t n = 30000; // strictly between two rungs
+    DispatchDecision decision =
+        dispatcher.dispatch(*benchmark, n, machine);
+
+    // Price both ladder neighbors' champions at n; the dispatched
+    // config must be at least as good as the worse of the two (it
+    // prices both, so in fact it is at least as good as the better).
+    apps::EvalContextPtr ctx = benchmark->makeEvalContext(n, machine);
+    for (int64_t rung : {16384, 65536}) {
+        auto neighbor = portfolio.exact("Black-Scholes",
+                                        machine.fingerprint(), rung);
+        ASSERT_TRUE(neighbor.has_value());
+        double neighborSeconds = benchmark->evaluate(
+            neighbor->config, n, machine, ctx.get());
+        EXPECT_LE(decision.pricedSeconds, neighborSeconds)
+            << "dispatch lost to the rung-" << rung << " champion";
+    }
+}
+
+TEST(Dispatcher, ForeignFallbackWhenMachineHasNoChampions)
+{
+    ChampionPortfolio portfolio;
+    tuneLadder(portfolio, sim::MachineProfile::desktop());
+    Dispatcher dispatcher(portfolio);
+    apps::BenchmarkPtr benchmark = apps::findBenchmark("Black-Scholes");
+
+    // The laptop has no champions: dispatch borrows desktop's, priced
+    // on the laptop, and labels the decision foreign.
+    DispatchDecision decision = dispatcher.dispatch(
+        *benchmark, 16384, sim::MachineProfile::laptop());
+    EXPECT_EQ(decision.policy, "foreign");
+    EXPECT_EQ(decision.champion.machineName, "Desktop");
+    EXPECT_TRUE(std::isfinite(decision.pricedSeconds));
+}
+
+TEST(Dispatcher, CrossMachinePricesEveryCandidate)
+{
+    ChampionPortfolio portfolio;
+    const sim::MachineProfile desktop = sim::MachineProfile::desktop();
+    tuneLadder(portfolio, desktop);
+    tuneLadder(portfolio, sim::MachineProfile::laptop());
+    Dispatcher dispatcher(portfolio);
+    apps::BenchmarkPtr benchmark = apps::findBenchmark("Black-Scholes");
+
+    DispatchOptions options;
+    options.crossMachine = true;
+    options.topK = 1000;
+    DispatchDecision decision =
+        dispatcher.dispatch(*benchmark, 16384, desktop, options);
+    // Must beat (or match) every stored champion priced on desktop.
+    apps::EvalContextPtr ctx =
+        benchmark->makeEvalContext(16384, desktop);
+    for (const ChampionRecord &candidate :
+         portfolio.allFor("Black-Scholes")) {
+        double seconds;
+        try {
+            seconds = benchmark->evaluate(candidate.config, 16384,
+                                          desktop, ctx.get());
+        } catch (const FatalError &) {
+            continue;
+        }
+        EXPECT_LE(decision.pricedSeconds, seconds);
+    }
+}
+
+TEST(Dispatcher, UnknownBenchmarkIsFatal)
+{
+    ChampionPortfolio portfolio; // empty
+    Dispatcher dispatcher(portfolio);
+    apps::BenchmarkPtr benchmark = apps::findBenchmark("Black-Scholes");
+    EXPECT_THROW(dispatcher.dispatch(*benchmark, 1024,
+                                     sim::MachineProfile::desktop()),
+                 FatalError);
+}

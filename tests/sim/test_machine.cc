@@ -7,19 +7,53 @@ namespace petabricks {
 namespace sim {
 namespace {
 
-TEST(Machine, ThreeProfilesExist)
+TEST(Machine, FiveProfilesExist)
 {
     auto machines = MachineProfile::all();
-    ASSERT_EQ(machines.size(), 3u);
+    ASSERT_EQ(machines.size(), 5u);
     EXPECT_EQ(machines[0].name, "Desktop");
     EXPECT_EQ(machines[1].name, "Server");
     EXPECT_EQ(machines[2].name, "Laptop");
+    EXPECT_EQ(machines[3].name, "Ultrabook");
+    EXPECT_EQ(machines[4].name, "BigLittle");
 }
 
 TEST(Machine, ByNameLookup)
 {
     EXPECT_EQ(MachineProfile::byName("Server").cpu.cores, 32);
+    EXPECT_EQ(MachineProfile::byName("Ultrabook").cpu.cores, 2);
+    EXPECT_EQ(MachineProfile::byName("BigLittle").cpu.cores, 8);
     EXPECT_THROW(MachineProfile::byName("Phone"), FatalError);
+}
+
+TEST(Machine, ByNameUnknownListsKnownProfiles)
+{
+    try {
+        MachineProfile::byName("Phone");
+        FAIL() << "byName should have thrown";
+    } catch (const FatalError &err) {
+        std::string what = err.what();
+        EXPECT_NE(what.find("Phone"), std::string::npos) << what;
+        for (const auto &m : MachineProfile::all())
+            EXPECT_NE(what.find(m.name), std::string::npos) << what;
+    }
+}
+
+TEST(Machine, UltrabookIsZeroCopyIntegratedGpu)
+{
+    auto m = MachineProfile::ultrabook();
+    EXPECT_TRUE(m.hasOpenCL);
+    EXPECT_EQ(m.ocl.type, DeviceType::Gpu);
+    EXPECT_FALSE(m.oclSharesCpu);
+    EXPECT_TRUE(m.transfer.isFree()); // shared memory: zero-copy
+}
+
+TEST(Machine, BigLittleHasNoOpenCL)
+{
+    auto m = MachineProfile::bigLittle();
+    EXPECT_FALSE(m.hasOpenCL);
+    EXPECT_EQ(m.cpu.cores, 8);
+    EXPECT_EQ(m.workerThreads, 8);
 }
 
 TEST(Machine, CoreCountsMatchPaperFigure9)
@@ -109,14 +143,14 @@ TEST(MachineFingerprint, StableForEqualContent)
     EXPECT_EQ(copy.fingerprint(), MachineProfile::server().fingerprint());
 }
 
-TEST(MachineFingerprint, DistinguishesTheThreeProfiles)
+TEST(MachineFingerprint, DistinguishesEveryRegisteredProfile)
 {
-    uint64_t desktop = MachineProfile::desktop().fingerprint();
-    uint64_t server = MachineProfile::server().fingerprint();
-    uint64_t laptop = MachineProfile::laptop().fingerprint();
-    EXPECT_NE(desktop, server);
-    EXPECT_NE(desktop, laptop);
-    EXPECT_NE(server, laptop);
+    auto machines = MachineProfile::all();
+    for (size_t i = 0; i < machines.size(); ++i)
+        for (size_t j = i + 1; j < machines.size(); ++j)
+            EXPECT_NE(machines[i].fingerprint(),
+                      machines[j].fingerprint())
+                << machines[i].name << " vs " << machines[j].name;
 }
 
 TEST(MachineFingerprint, SensitiveToEveryParameterKind)

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * PortfolioTuner: size-ladder construction, per-rung champions landing
+ * in the portfolio, equivalence with a directly-driven TuningSession,
+ * and shared-cache reuse across rungs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/registry.h"
+#include "cache/shared_cache.h"
+#include "engine/execution_engine.h"
+#include "portfolio/portfolio.h"
+#include "sim/machine.h"
+#include "support/error.h"
+#include "tuner/portfolio_tuner.h"
+#include "tuner/session.h"
+
+using namespace petabricks;
+using namespace petabricks::tuner;
+
+namespace {
+
+PortfolioTunerOptions
+tinyOptions()
+{
+    PortfolioTunerOptions options;
+    options.tuner.populationSize = 4;
+    options.tuner.generationsPerSize = 2;
+    return options;
+}
+
+} // namespace
+
+TEST(PortfolioTuner, LadderIsGeometricAndEndsAtMax)
+{
+    EXPECT_EQ(PortfolioTuner::sizeLadder(64, 4096, 4),
+              (std::vector<int64_t>{64, 256, 1024, 4096}));
+    // A max off the geometric grid still closes the ladder exactly.
+    EXPECT_EQ(PortfolioTuner::sizeLadder(64, 5000, 4),
+              (std::vector<int64_t>{64, 256, 1024, 4096, 5000}));
+    EXPECT_EQ(PortfolioTuner::sizeLadder(100, 100, 4),
+              (std::vector<int64_t>{100}));
+    EXPECT_THROW(PortfolioTuner::sizeLadder(0, 100, 4), FatalError);
+    EXPECT_THROW(PortfolioTuner::sizeLadder(200, 100, 4), FatalError);
+    EXPECT_THROW(PortfolioTuner::sizeLadder(64, 4096, 1), FatalError);
+}
+
+TEST(PortfolioTuner, StoresOneChampionPerRung)
+{
+    portfolio::ChampionPortfolio portfolio;
+    PortfolioTuner tuner(portfolio);
+    PortfolioTunerOptions options = tinyOptions();
+    options.sizes = {1024, 4096, 16384};
+    apps::BenchmarkPtr benchmark = apps::findBenchmark("Black-Scholes");
+    const sim::MachineProfile machine = sim::MachineProfile::desktop();
+
+    std::vector<PortfolioRung> rungs =
+        tuner.tune(*benchmark, machine, options);
+    ASSERT_EQ(rungs.size(), 3u);
+    EXPECT_EQ(portfolio.size(), 3u);
+    for (const PortfolioRung &rung : rungs) {
+        auto stored = portfolio.exact(
+            "Black-Scholes", machine.fingerprint(), rung.inputSize);
+        ASSERT_TRUE(stored.has_value()) << "rung " << rung.inputSize;
+        EXPECT_EQ(stored->configFingerprint,
+                  rung.champion.configFingerprint);
+        EXPECT_EQ(stored->seconds, rung.champion.seconds);
+        EXPECT_EQ(stored->machineName, "Desktop");
+    }
+}
+
+TEST(PortfolioTuner, RungChampionMatchesDirectSession)
+{
+    portfolio::ChampionPortfolio portfolio;
+    PortfolioTuner tuner(portfolio);
+    PortfolioTunerOptions options = tinyOptions();
+    options.sizes = {4096};
+    apps::BenchmarkPtr benchmark = apps::findBenchmark("Black-Scholes");
+    const sim::MachineProfile machine = sim::MachineProfile::laptop();
+
+    std::vector<PortfolioRung> rungs =
+        tuner.tune(*benchmark, machine, options);
+    ASSERT_EQ(rungs.size(), 1u);
+
+    // The same search driven by hand must land on the same champion:
+    // the portfolio driver adds scheduling, not search behavior.
+    engine::ModelEngine engine(machine);
+    TunerOptions direct = options.tuner;
+    engine.configureTuner(direct);
+    direct.maxInputSize = 4096;
+    direct.minInputSize = std::min(direct.minInputSize, int64_t{4096});
+    engine::EngineEvaluator evaluator(*benchmark, engine);
+    TuningSession session(evaluator, benchmark->seedConfig(), direct);
+    TuningResult reference = session.run();
+
+    EXPECT_EQ(rungs[0].champion.configFingerprint,
+              reference.best.valueFingerprint());
+    EXPECT_EQ(rungs[0].champion.seconds, reference.bestSeconds);
+}
+
+TEST(PortfolioTuner, DefaultsLadderFromBenchmarkSizes)
+{
+    portfolio::ChampionPortfolio portfolio;
+    PortfolioTuner tuner(portfolio);
+    PortfolioTunerOptions options = tinyOptions();
+    options.growthFactor = 8;
+    apps::BenchmarkPtr benchmark = apps::findBenchmark("Black-Scholes");
+    const sim::MachineProfile machine = sim::MachineProfile::server();
+
+    std::vector<PortfolioRung> rungs =
+        tuner.tune(*benchmark, machine, options);
+    std::vector<int64_t> expected = PortfolioTuner::sizeLadder(
+        benchmark->minTuningSize(), benchmark->testingInputSize(), 8);
+    ASSERT_EQ(rungs.size(), expected.size());
+    for (size_t i = 0; i < rungs.size(); ++i)
+        EXPECT_EQ(rungs[i].inputSize, expected[i]);
+    EXPECT_EQ(rungs.back().inputSize, benchmark->testingInputSize());
+}
+
+TEST(PortfolioTuner, LaterRungsHitTheSharedCache)
+{
+    cache::SharedCacheOptions cacheOptions;
+    cacheOptions.maxBytes = 8u << 20;
+    cache::SharedEvaluationCache shared(cacheOptions);
+
+    portfolio::ChampionPortfolio portfolio;
+    PortfolioTuner tuner(portfolio, &shared);
+    PortfolioTunerOptions options = tinyOptions();
+    options.sizes = {1024, 4096};
+    apps::BenchmarkPtr benchmark = apps::findBenchmark("Black-Scholes");
+
+    std::vector<PortfolioRung> rungs = tuner.tune(
+        *benchmark, sim::MachineProfile::desktop(), options);
+    ASSERT_EQ(rungs.size(), 2u);
+    EXPECT_GT(rungs[0].sharedPublishes, 0);
+    // Rung 2's session walks up through the sizes rung 1 already
+    // priced with the same seed, so its early generations are L2 hits.
+    EXPECT_GT(rungs[1].sharedHits, 0);
+}

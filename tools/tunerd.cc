@@ -57,6 +57,8 @@ usage()
         "                     warm-start from it at boot (default: memory only)\n"
         "  --cache-bytes N    shared-cache memory bound; 0 disables the\n"
         "                     shared tier entirely (default 64MiB)\n"
+        "  --portfolio-dir DIR  persist tuned champions here and serve\n"
+        "                     them back across restarts (default: memory only)\n"
         "  --no-fsck          skip spool verification at startup\n"
         "  --no-step-checkpoints  checkpoint per step command, not per generation\n"
         "  --verbose          info-level logging\n"
@@ -112,9 +114,12 @@ main(int argc, char **argv)
         else if (arg == "--cache-bytes")
             options.cache.maxBytes =
                 static_cast<size_t>(std::atoll(value()));
+        else if (arg == "--portfolio-dir")
+            options.portfolioDir = value();
         else if (arg == "--no-fsck") {
             options.table.fsckSpool = false;
             options.cache.fsckOnLoad = false;
+            options.portfolioFsck = false;
         }
         else if (arg == "--no-step-checkpoints")
             options.table.checkpointEachStep = false;
