@@ -43,14 +43,16 @@ int
 usage()
 {
     std::cerr << "usage: remote_tuning [--host H] [--port P] "
-                 "[--timeout MS] MODE [--benchmark B] [--session ID] "
-                 "[--steps N] [--seed N] [--nowait] [--machine M] "
-                 "[--sizes A,B,...] [--n N]\n"
+                 "[--timeout MS] [--retries N] MODE [--benchmark B] "
+                 "[--session ID] [--steps N] [--seed N] [--nowait] "
+                 "[--machine M] [--sizes A,B,...] [--n N]\n"
                  "modes: run create step finish resume status stats "
                  "stop local machines portfolio portfolio-tune "
                  "portfolio-champion\n"
                  "--timeout bounds the connect and every response read; "
-                 "expiry exits with a transient error\n";
+                 "expiry exits with a transient error\n"
+                 "--retries retries a 503 (daemon backpressure) up to N "
+                 "times, honoring its Retry-After hint\n";
     return 2;
 }
 
@@ -77,6 +79,7 @@ main(int argc, char **argv)
     std::string session;
     int steps = 4;
     int timeoutMillis = 0;
+    int retries = 0;
     bool nowait = false;
     std::string machine = "Desktop";
     int64_t n = 0;
@@ -104,6 +107,8 @@ main(int argc, char **argv)
             steps = std::atoi(value().c_str());
         else if (arg == "--timeout")
             timeoutMillis = std::atoi(value().c_str());
+        else if (arg == "--retries")
+            retries = std::atoi(value().c_str());
         else if (arg == "--seed")
             createOptions.set("seed", value());
         else if (arg == "--population")
@@ -155,6 +160,11 @@ main(int argc, char **argv)
         }
 
         service::Client client(host, port, timeoutMillis);
+        if (retries > 0) {
+            service::ClientRetryPolicy policy;
+            policy.attempts = retries;
+            client.setRetryPolicy(policy);
+        }
         if (mode == "run") {
             std::string id = client.create(createOptions);
             std::cerr << "session " << id << " created\n";

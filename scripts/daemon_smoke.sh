@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Daemon robustness smoke, three legs:
+# Daemon robustness smoke, seven legs:
 #   1. Crash durability: SIGKILL tunerd mid-search, restart on the same
 #      spool, resume, and assert the finished champion is byte-identical
 #      to the same search run uninterrupted in-process.
@@ -18,6 +18,15 @@
 #      --portfolio-dir, SIGTERM drain, restart on the same directory;
 #      the restarted daemon must serve a byte-identical champion from
 #      the champ-*.kv files it loaded at boot.
+#   6. IO-fault degradation: --crash-at injects ENOSPC into the first
+#      portfolio champion write; the tune must still succeed, the
+#      champion must be served from memory, and /stats must count the
+#      failure in io.writeFailures.
+#   7. Supervisor: tunerd --supervise with a scheduled kill mid-
+#      checkpoint; the supervisor must restart the crashed child on the
+#      same spool, the resumed champion must be byte-identical, /stats
+#      must report server.restartCount = 1, and SIGTERM to the
+#      supervisor must drain the child and exit 0.
 #
 # Usage: scripts/daemon_smoke.sh [BUILD_DIR]   (default: build)
 set -euo pipefail
@@ -257,5 +266,115 @@ LOADED=$(sed -n 's/^portfolio.loaded = //p' "$WORK/portfolio-stats.txt")
     || fail "portfolio leg: expected >=2 loaded champions, got '${LOADED:-}'"
 echo "daemon_smoke: PASS leg 5 (portfolio: byte-identical champion" \
      "served from disk after restart, $LOADED loaded)"
+kill -TERM "$DAEMON_PID" && wait "$DAEMON_PID" || true
+DAEMON_PID=""
+
+# ===========================================================================
+# Leg 6: IO-fault degradation — inject ENOSPC into the first portfolio
+# champion write; the tune succeeds, the champion is served from
+# memory, and the failure shows up in io.writeFailures.
+# ===========================================================================
+SPOOL="$WORK/spool-enospc"
+PORTDIR="$WORK/portfolio-enospc"
+DAEMON_EXTRA_ARGS=(--portfolio-dir "$PORTDIR"
+                   --crash-at "portfolio.champ.write=enospc")
+start_daemon
+echo "daemon_smoke: enospc leg daemon up on port $PORT (pid $DAEMON_PID)"
+
+"$CLIENT" --port "$PORT" portfolio-tune --benchmark Black-Scholes \
+    --machine Desktop --sizes 1024,4096 --seed 7 --population 4 \
+    --generations 2 > "$WORK/enospc-tune.txt" \
+    || fail "enospc leg: tune failed despite degraded persistence"
+"$CLIENT" --port "$PORT" portfolio-champion --benchmark Black-Scholes \
+    --machine Desktop --n 1024 > "$WORK/enospc-champ.txt" \
+    || fail "enospc leg: champion query failed"
+grep -q '^dispatch.policy = exact$' "$WORK/enospc-champ.txt" \
+    || fail "enospc leg: unpersisted champion not served from memory"
+
+"$CLIENT" --port "$PORT" stats > "$WORK/enospc-stats.txt" \
+    || fail "enospc leg: stats failed"
+IOFAIL=$(sed -n 's/^io.writeFailures = //p' "$WORK/enospc-stats.txt")
+[ "${IOFAIL:-0}" -eq 1 ] \
+    || fail "enospc leg: expected io.writeFailures = 1, got '${IOFAIL:-}'"
+# The injected failure hit exactly one champion; the other persisted.
+ls "$PORTDIR"/champ-*-4096.kv >/dev/null 2>&1 \
+    || fail "enospc leg: healthy champion write did not persist"
+echo "daemon_smoke: PASS leg 6 (injected ENOSPC degraded to a counter," \
+     "champion still served)"
+kill -TERM "$DAEMON_PID" && wait "$DAEMON_PID" || true
+DAEMON_PID=""
+DAEMON_EXTRA_ARGS=()
+
+# ===========================================================================
+# Leg 7: supervisor — a scheduled kill mid-checkpoint crashes the
+# child; the supervisor restarts it on the same spool, the resumed
+# champion is byte-identical, and SIGTERM drains everything cleanly.
+# ===========================================================================
+SPOOL="$WORK/spool-supervise"
+rm -f "$PORT_FILE"
+"$TUNERD" --port 0 --port-file "$PORT_FILE" --spool "$SPOOL" \
+    --cap 4 --workers 2 --supervise \
+    --crash-at "spool.ckpt.pre_rename@4=kill" \
+    >"$WORK/supervisor.log" 2>&1 &
+SUPERVISOR_PID=$!
+# cleanup() knows only DAEMON_PID; point it at the supervisor (killing
+# the supervisor tears down its child).
+DAEMON_PID=$SUPERVISOR_PID
+for _ in $(seq 1 100); do
+    [ -s "$PORT_FILE" ] && break
+    kill -0 "$SUPERVISOR_PID" 2>/dev/null \
+        || fail "supervise leg: supervisor died on start"
+    sleep 0.1
+done
+[ -s "$PORT_FILE" ] || fail "supervise leg: no port file from first child"
+PORT=$(cat "$PORT_FILE")
+echo "daemon_smoke: supervised daemon up on port $PORT" \
+     "(supervisor $SUPERVISOR_PID)"
+
+SESSION=$("$CLIENT" --port "$PORT" create "${SEARCH_ARGS[@]}")
+[ -n "$SESSION" ] || fail "supervise leg: create returned no session id"
+# The 4th checkpoint write dies at the scheduled point mid-step; the
+# client sees a dropped connection, which is the expected outcome.
+"$CLIENT" --port "$PORT" step --session "$SESSION" --steps 999 \
+    >/dev/null 2>&1 && fail "supervise leg: step survived a scheduled kill"
+echo "daemon_smoke: supervised child crashed at the scheduled point"
+
+# The supervisor must bring up a fresh child (new ephemeral port).
+NEWPORT=""
+for _ in $(seq 1 200); do
+    if [ -s "$PORT_FILE" ]; then
+        NEWPORT=$(cat "$PORT_FILE")
+        [ "$NEWPORT" != "$PORT" ] && break
+    fi
+    kill -0 "$SUPERVISOR_PID" 2>/dev/null \
+        || fail "supervise leg: supervisor gave up instead of restarting"
+    sleep 0.1
+done
+[ -n "$NEWPORT" ] && [ "$NEWPORT" != "$PORT" ] \
+    || fail "supervise leg: child was never restarted"
+echo "daemon_smoke: supervisor restarted the daemon on port $NEWPORT"
+
+"$CLIENT" --port "$NEWPORT" resume --session "$SESSION" \
+    || fail "supervise leg: resume after the crash failed"
+"$CLIENT" --port "$NEWPORT" finish --session "$SESSION" \
+    > "$WORK/supervised.txt" || fail "supervise leg: finish failed"
+if ! diff -u "$WORK/expected.txt" "$WORK/supervised.txt"; then
+    fail "supervise leg: champion after supervised restart differs"
+fi
+"$CLIENT" --port "$NEWPORT" stats > "$WORK/supervise-stats.txt" \
+    || fail "supervise leg: stats failed"
+RESTARTS=$(sed -n 's/^server.restartCount = //p' "$WORK/supervise-stats.txt")
+[ "${RESTARTS:-0}" -eq 1 ] \
+    || fail "supervise leg: expected server.restartCount = 1," \
+            "got '${RESTARTS:-}'"
+
+# Graceful shutdown: TERM to the supervisor drains the child, both
+# exit 0.
+kill -TERM "$SUPERVISOR_PID"
+wait "$SUPERVISOR_PID" \
+    || fail "supervise leg: supervisor exited nonzero on graceful TERM"
+DAEMON_PID=""
+echo "daemon_smoke: PASS leg 7 (supervisor: auto-restart after crash," \
+     "identical champion, clean drain)"
 
 echo "daemon_smoke: PASS (all legs)"

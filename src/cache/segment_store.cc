@@ -6,7 +6,9 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "support/crashpoint.h"
 #include "support/error.h"
+#include "support/fsck.h"
 #include "support/hash.h"
 #include "support/kvfile.h"
 #include "support/logging.h"
@@ -150,8 +152,7 @@ SegmentStore::loadAll()
             all.insert(all.end(), records.begin(), records.end());
         } catch (const std::exception &e) {
             if (fsck_) {
-                std::error_code ec;
-                fs::rename(path, path + ".quarantine", ec);
+                fsck::quarantine(path);
                 ++stats_.segmentsQuarantined;
                 PB_WARN("cache: quarantined segment '" << path << "' ("
                                                        << e.what() << ")");
@@ -179,12 +180,10 @@ SegmentStore::append(const std::vector<SegmentRecord> &records)
                   recordsChecksum(records));
     kv.set("segment.checksum", checksum);
 
-    const std::string path = segmentPath(nextIndex_++);
-    const std::string temp = path + ".tmp";
-    kv.save(temp);
-    if (std::rename(temp.c_str(), path.c_str()) != 0)
-        PB_FATAL("failed to move cache segment into place at '" << path
-                                                                << "'");
+    // The index advances even if the write fails: a later retry gets a
+    // fresh slot, and the failed slot's number is never reused (same
+    // rule as quarantined corpses).
+    kv.saveAtomic(segmentPath(nextIndex_++), "cache.seg");
     ++stats_.segmentsWritten;
 }
 

@@ -224,7 +224,19 @@ SharedEvaluationCache::flush()
     }
     if (batch.empty())
         return;
-    store_->append(batch);
+    try {
+        store_->append(batch);
+    } catch (const IoError &e) {
+        // Durability degraded, serving unaffected: put the batch back
+        // at the journal's front (order preserved) so a later flush
+        // retries it, and keep answering from memory.
+        writeFailures_.fetch_add(1, std::memory_order_relaxed);
+        PB_WARN("cache: segment write failed, re-queued "
+                << batch.size() << " records (" << e.what() << ")");
+        std::lock_guard lock(journalMutex_);
+        journal_.insert(journal_.begin(), batch.begin(), batch.end());
+        return;
+    }
     flushes_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -240,6 +252,7 @@ SharedEvaluationCache::stats() const
         rejectedNonFinite_.load(std::memory_order_relaxed);
     out.evictions = evictions_.load(std::memory_order_relaxed);
     out.flushes = flushes_.load(std::memory_order_relaxed);
+    out.writeFailures = writeFailures_.load(std::memory_order_relaxed);
     out.loadedEntries = loadedEntries_;
     if (store_ != nullptr) {
         out.segmentsLoaded = store_->stats().segmentsLoaded;

@@ -111,6 +111,11 @@ struct SharedCacheStats
     int64_t evictions = 0;         ///< entries dropped by the byte bound
     int64_t flushes = 0;           ///< segments written from the journal
 
+    /** Segment writes that failed (ENOSPC/EIO, injected or real). The
+     * batch is re-queued and retried on a later flush; in-memory
+     * serving is unaffected. */
+    int64_t writeFailures = 0;
+
     /** Warm-start accounting (from the backing SegmentStore). */
     int64_t loadedEntries = 0;
     int64_t segmentsLoaded = 0;
@@ -239,6 +244,7 @@ class SharedEvaluationCache
     std::atomic<int64_t> rejectedNonFinite_{0};
     std::atomic<int64_t> evictions_{0};
     std::atomic<int64_t> flushes_{0};
+    std::atomic<int64_t> writeFailures_{0};
     int64_t loadedEntries_ = 0; ///< set once at construction
 };
 

@@ -9,7 +9,9 @@
 #include <limits>
 
 #include "benchmarks/registry.h"
+#include "support/crashpoint.h"
 #include "support/error.h"
+#include "support/fsck.h"
 #include "support/hash.h"
 #include "support/kvfile.h"
 #include "support/logging.h"
@@ -167,8 +169,7 @@ ChampionPortfolio::loadExisting()
             ++stats_.loaded;
         } catch (const std::exception &e) {
             if (fsck_) {
-                std::error_code renameEc;
-                fs::rename(path, path + ".quarantine", renameEc);
+                fsck::quarantine(path);
                 ++stats_.quarantined;
                 PB_WARN("portfolio: quarantined champion '"
                         << path << "' (" << e.what() << ")");
@@ -195,11 +196,17 @@ ChampionPortfolio::put(ChampionRecord record)
     std::lock_guard<std::mutex> lock(mutex_);
     if (!dir_.empty()) {
         const std::string path = championPath(record);
-        const std::string temp = path + ".tmp";
-        recordToKv(record).save(temp);
-        if (std::rename(temp.c_str(), path.c_str()) != 0)
-            PB_FATAL("failed to move champion into place at '" << path
-                                                               << "'");
+        try {
+            recordToKv(record).saveAtomic(path, "portfolio.champ");
+        } catch (const IoError &e) {
+            // Keep the in-memory champion serving dispatches; the
+            // previous on-disk champion (if any) is still intact, so a
+            // restart falls back to it — strictly older, never torn.
+            ++stats_.writeFailures;
+            PB_WARN("portfolio: champion write failed, keeping "
+                    "in-memory record ("
+                    << e.what() << ")");
+        }
     }
     Key key{record.benchmark, record.machineFingerprint,
             record.inputSize};

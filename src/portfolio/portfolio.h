@@ -63,6 +63,10 @@ struct PortfolioStats
     int64_t loaded = 0;      ///< records read back at construction
     int64_t quarantined = 0; ///< files renamed *.quarantine at load
     int64_t stored = 0;      ///< put() calls this process
+
+    /** Champion writes that failed (ENOSPC/EIO, injected or real); the
+     * in-memory record is kept and keeps serving dispatches. */
+    int64_t writeFailures = 0;
 };
 
 /** See file comment. */

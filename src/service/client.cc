@@ -1,7 +1,10 @@
 #include "service/client.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <sstream>
+#include <thread>
 
 #include "support/error.h"
 
@@ -26,6 +29,7 @@ Client::command(const std::string &method, const std::string &target,
     stream_.writeAll(request.str());
 
     // ---- Read one response (headers, then Content-Length body) --------
+    lastTransientWas503_ = false;
     auto readMore = [&] {
         if (timeoutMillis_ > 0 &&
             !net::waitReadable(stream_.fd(), timeoutMillis_))
@@ -62,22 +66,72 @@ Client::command(const std::string &method, const std::string &target,
     }
     while (inbox_.size() < headerEnd + 4 + bodySize)
         readMore();
+    std::string headerBlock = inbox_.substr(0, headerEnd);
     std::string responseBody = inbox_.substr(headerEnd + 4, bodySize);
     inbox_.erase(0, headerEnd + 4 + bodySize);
 
     KvFile kv = KvFile::fromString(responseBody);
-    if (code == 503)
+    if (code == 503) {
         // Backpressure or drain: the daemon asked us to come back, so
         // callers with a retry loop must be able to tell this apart
-        // from a genuine failure.
+        // from a genuine failure. Remember its Retry-After hint (the
+        // daemon always spells the header exactly "Retry-After", like
+        // "Content-Length" above).
+        lastRetryAfterSeconds_ = -1;
+        if (size_t pos = headerBlock.find("Retry-After:");
+            pos != std::string::npos)
+            lastRetryAfterSeconds_ = static_cast<int>(
+                std::strtol(headerBlock.c_str() + pos + 12, nullptr, 10));
+        lastTransientWas503_ = true;
         PB_TRANSIENT("daemon busy (503): "
                      << (kv.has("error") ? kv.get("error")
                                          : responseBody));
+    }
     if (code >= 400)
         PB_FATAL("daemon error " << code << ": "
                                  << (kv.has("error") ? kv.get("error")
                                                      : responseBody));
     return kv;
+}
+
+KvFile
+Client::commandWithRetry(const std::string &method,
+                         const std::string &target,
+                         const std::string &body)
+{
+    for (int attempt = 0;; ++attempt) {
+        try {
+            return command(method, target, body);
+        } catch (const TransientError &) {
+            // Only a completed 503 is safe to resend (see
+            // ClientRetryPolicy) — a timeout may have executed.
+            if (!lastTransientWas503_ || attempt >= retry_.attempts)
+                throw;
+        }
+        // Honor the server's Retry-After hint when it sent one;
+        // exponential fallback otherwise. Both capped, both jittered —
+        // deterministically (xorshift64), so tests can bound the total.
+        long long sleepMillis =
+            lastRetryAfterSeconds_ >= 0
+                ? 1000LL * lastRetryAfterSeconds_
+                : static_cast<long long>(retry_.fallbackBaseMillis)
+                      << std::min(attempt, 20);
+        sleepMillis = std::min(
+            sleepMillis, static_cast<long long>(retry_.maxSleepMillis));
+        if (retry_.jitterCapMillis > 0) {
+            if (jitterState_ == 0)
+                jitterState_ = retry_.jitterSeed | 1;
+            jitterState_ ^= jitterState_ << 13;
+            jitterState_ ^= jitterState_ >> 7;
+            jitterState_ ^= jitterState_ << 17;
+            sleepMillis += static_cast<long long>(
+                jitterState_ %
+                static_cast<uint64_t>(retry_.jitterCapMillis));
+        }
+        if (sleepMillis > 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(sleepMillis));
+    }
 }
 
 void
@@ -89,7 +143,8 @@ Client::ping()
 std::string
 Client::create(const KvFile &options)
 {
-    return command("POST", "/create", options.toString()).get("session");
+    return commandWithRetry("POST", "/create", options.toString())
+        .get("session");
 }
 
 int
@@ -99,7 +154,7 @@ Client::step(const std::string &sessionId, int steps, bool wait)
                          "&steps=" + std::to_string(steps);
     if (!wait)
         target += "&wait=0";
-    KvFile kv = command("POST", target);
+    KvFile kv = commandWithRetry("POST", target);
     return wait ? static_cast<int>(kv.getInt("step.advanced")) : 0;
 }
 
@@ -149,19 +204,19 @@ Client::runToCompletion(const std::string &sessionId, int stepsPerCall)
 KvFile
 Client::champion(const std::string &sessionId)
 {
-    return command("GET", "/champion?session=" + sessionId);
+    return commandWithRetry("GET", "/champion?session=" + sessionId);
 }
 
 void
 Client::stopSession(const std::string &sessionId)
 {
-    command("POST", "/stop?session=" + sessionId);
+    commandWithRetry("POST", "/stop?session=" + sessionId);
 }
 
 void
 Client::resume(const std::string &sessionId)
 {
-    command("POST", "/resume?session=" + sessionId);
+    commandWithRetry("POST", "/resume?session=" + sessionId);
 }
 
 KvFile
@@ -186,15 +241,16 @@ KvFile
 Client::portfolioChampion(const std::string &benchmark,
                           const std::string &machine, int64_t n)
 {
-    return command("GET", "/portfolio/champion?benchmark=" + benchmark +
-                              "&machine=" + machine +
-                              "&n=" + std::to_string(n));
+    return commandWithRetry("GET",
+                            "/portfolio/champion?benchmark=" + benchmark +
+                                "&machine=" + machine +
+                                "&n=" + std::to_string(n));
 }
 
 KvFile
 Client::portfolioTune(const KvFile &options)
 {
-    return command("POST", "/portfolio/tune", options.toString());
+    return commandWithRetry("POST", "/portfolio/tune", options.toString());
 }
 
 void

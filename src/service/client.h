@@ -29,6 +29,35 @@
 namespace petabricks {
 namespace service {
 
+/**
+ * Opt-in retry behavior for 503 backpressure responses. Only a
+ * *completed* 503 is ever retried: the daemon finished the exchange and
+ * explicitly said "come back later", so resending is safe. A timeout is
+ * never retried automatically — the request may have been executed, and
+ * re-POSTing a `/step` could silently double the work.
+ */
+struct ClientRetryPolicy
+{
+    /** Retries after the first 503 (0 = give up immediately, the
+     * default — existing callers see no behavior change). */
+    int attempts = 0;
+
+    /** Base for the exponential fallback sleep used when the 503
+     * carried no Retry-After header (millis, doubled per retry). */
+    int fallbackBaseMillis = 100;
+
+    /** Hard cap on any single sleep, hinted or not (millis). A daemon
+     * that says "Retry-After: 3600" should not wedge a client. */
+    int maxSleepMillis = 5000;
+
+    /** Cap on the deterministic jitter added to every sleep so a herd
+     * of clients told "Retry-After: 1" does not return in lockstep. */
+    int jitterCapMillis = 100;
+
+    /** Seed for the jitter sequence (deterministic per client). */
+    uint64_t jitterSeed = 1;
+};
+
 /** See file comment. */
 class Client
 {
@@ -117,11 +146,34 @@ class Client
     KvFile command(const std::string &method, const std::string &target,
                    const std::string &body = std::string());
 
+    /** Enable retry-on-503 for the session commands (see
+     * ClientRetryPolicy; default policy retries nothing). */
+    void setRetryPolicy(const ClientRetryPolicy &policy)
+    {
+        retry_ = policy;
+    }
+
+    /**
+     * The Retry-After hint (seconds) carried by the most recent 503,
+     * or -1 when the last 503 had none / none was ever received.
+     */
+    int lastRetryAfterSeconds() const { return lastRetryAfterSeconds_; }
+
   private:
+    /** command(), retried per retry_ when the daemon answers 503. */
+    KvFile commandWithRetry(const std::string &method,
+                            const std::string &target,
+                            const std::string &body = std::string());
+
     std::string host_;
     int timeoutMillis_ = 0;
     net::TcpStream stream_;
     std::string inbox_; ///< bytes read past the previous response
+
+    ClientRetryPolicy retry_;
+    int lastRetryAfterSeconds_ = -1;
+    bool lastTransientWas503_ = false; ///< vs. a timeout (never retried)
+    uint64_t jitterState_ = 0;         ///< lazily seeded from retry_
 };
 
 } // namespace service

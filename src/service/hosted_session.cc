@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "engine/fault_injection.h"
+#include "support/crashpoint.h"
 #include "support/error.h"
 
 namespace petabricks {
@@ -197,11 +198,7 @@ HostedSession::championKv() const
 void
 HostedSession::save(const std::string &path) const
 {
-    const std::string temp = path + ".tmp";
-    session_.save(temp);
-    if (std::rename(temp.c_str(), path.c_str()) != 0)
-        PB_FATAL("failed to move checkpoint into place at '" << path
-                                                             << "'");
+    session_.checkpointKv().saveAtomic(path, "spool.ckpt");
 }
 
 void

@@ -165,6 +165,7 @@ TuningServer::start()
     port_ = listener_->port();
     stopping_.store(false);
     running_.store(true);
+    startTime_ = std::chrono::steady_clock::now();
 
     ioThread_ = std::thread([this] { ioLoop(); });
 
@@ -416,6 +417,11 @@ TuningServer::dispatch(const HttpRequest &request)
                   static_cast<int64_t>(table.total));
         kv.setInt("health.spoolQuarantined", table.spoolQuarantined);
         kv.setInt("health.evaluationFailures", table.evaluationFailures);
+        int64_t ioWriteFailures = table.spoolWriteFailures +
+                                  portfolio_->stats().writeFailures;
+        if (sharedCache_ != nullptr)
+            ioWriteFailures += sharedCache_->stats().writeFailures;
+        kv.setInt("health.ioWriteFailures", ioWriteFailures);
         kv.setInt("health.ok", 1);
         return HttpResponse::ok(kv.toString());
     }
@@ -620,6 +626,11 @@ KvFile
 TuningServer::statsKv() const
 {
     KvFile kv;
+    kv.setInt("server.uptimeSeconds",
+              std::chrono::duration_cast<std::chrono::seconds>(
+                  std::chrono::steady_clock::now() - startTime_)
+                  .count());
+    kv.setInt("server.restartCount", options_.restartCount);
     {
         std::lock_guard<std::mutex> lock(statsMutex_);
         kv.setInt("server.connectionsAccepted", connectionsAccepted_);
@@ -648,6 +659,7 @@ TuningServer::statsKv() const
     kv.setInt("server.deadlineRejections", deadlineRejections_.load());
     SessionTableStats table = table_.stats();
     kv.setInt("table.spoolQuarantined", table.spoolQuarantined);
+    kv.setInt("table.spoolWriteFailures", table.spoolWriteFailures);
     kv.setInt("table.evaluationFailures", table.evaluationFailures);
     kv.setInt("table.created", table.created);
     kv.setInt("table.resumed", table.resumed);
@@ -662,6 +674,7 @@ TuningServer::statsKv() const
     kv.setInt("table.residentCap",
               static_cast<int64_t>(options_.table.residentCap));
     kv.setInt("server.workers", options_.workers);
+    int64_t ioWriteFailures = table.spoolWriteFailures;
     {
         portfolio::PortfolioStats stats = portfolio_->stats();
         kv.setInt("portfolio.entries",
@@ -669,12 +682,16 @@ TuningServer::statsKv() const
         kv.setInt("portfolio.loaded", stats.loaded);
         kv.setInt("portfolio.quarantined", stats.quarantined);
         kv.setInt("portfolio.stored", stats.stored);
+        kv.setInt("portfolio.writeFailures", stats.writeFailures);
         kv.setInt("portfolio.persistent",
                   portfolio_->dir().empty() ? 0 : 1);
+        ioWriteFailures += stats.writeFailures;
     }
     kv.setInt("cache.enabled", sharedCache_ != nullptr ? 1 : 0);
     if (sharedCache_ != nullptr) {
         cache::SharedCacheStats shared = sharedCache_->stats();
+        ioWriteFailures += shared.writeFailures;
+        kv.setInt("cache.writeFailures", shared.writeFailures);
         kv.setInt("cache.hits", shared.hits);
         kv.setInt("cache.misses", shared.misses);
         kv.setInt("cache.insertions", shared.insertions);
@@ -693,6 +710,9 @@ TuningServer::statsKv() const
         kv.setInt("cache.persistent",
                   sharedCache_->persistent() ? 1 : 0);
     }
+    // The one number an operator watches: every persistence-layer
+    // write failure (spool + portfolio + cache), all survived.
+    kv.setInt("io.writeFailures", ioWriteFailures);
     return kv;
 }
 

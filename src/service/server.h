@@ -117,6 +117,14 @@ struct ServerOptions
      * out and retried by then, so running it would double the work.
      */
     int64_t requestDeadlineSeconds = 0;
+
+    /**
+     * How many times a supervisor (`tunerd --supervise`) has restarted
+     * this daemon over the same state dirs. Purely informational —
+     * surfaced as `server.restartCount` in `/stats` so operators (and
+     * the smoke test) can see recovery happening.
+     */
+    int64_t restartCount = 0;
 };
 
 /** Per-command request/latency counters (`stats` endpoint). */
@@ -252,6 +260,7 @@ class TuningServer
     std::map<std::string, CommandStats> commandStats_;
     int64_t connectionsAccepted_ = 0;
     int64_t requestsServed_ = 0;
+    std::chrono::steady_clock::time_point startTime_{};
 };
 
 } // namespace service

@@ -3,7 +3,9 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "support/crashpoint.h"
 #include "support/error.h"
+#include "support/fsck.h"
 #include "support/logging.h"
 
 namespace petabricks {
@@ -53,7 +55,7 @@ SessionTable::fsckSpoolDir()
              {metaPath(id), checkpointPath(id)}) {
             std::error_code ec;
             if (fs::exists(path, ec))
-                fs::rename(path, path + ".quarantine", ec);
+                fsck::quarantine(path);
         }
         ++stats_.spoolQuarantined;
         PB_WARN("service: quarantined spooled session '" << id << "' ("
@@ -128,7 +130,17 @@ SessionTable::evict(Entry &entry)
     PB_ASSERT(entry.session && !entry.busy,
               "evicting a session that is not resident and idle");
     entry.lastStatus = entry.session->introspect();
-    entry.session->save(checkpointPath(entry.id));
+    try {
+        entry.session->save(checkpointPath(entry.id));
+    } catch (const IoError &e) {
+        // Evict anyway: the spool keeps the last good checkpoint, and
+        // resuming it replays to the identical champion (the same
+        // guarantee a SIGKILL mid-step leans on).
+        spoolWriteFailures_.fetch_add(1, std::memory_order_relaxed);
+        PB_WARN("service: eviction checkpoint for session "
+                << entry.id << " failed, spool keeps last good state ("
+                << e.what() << ")");
+    }
     entry.session.reset();
     --resident_;
     ++stats_.evictions;
@@ -193,8 +205,18 @@ SessionTable::create(const SessionSpec &spec)
     entry->lastTouch = std::chrono::steady_clock::now();
     entries_[id] = entry;
     // The spec is immutable: persist it now, so the session survives a
-    // daemon crash from the moment create returns.
-    spec.toKv().save(metaPath(id));
+    // daemon crash from the moment create returns. A failed meta write
+    // degrades to memory-only (the session works but will not survive
+    // a restart; its orphan checkpoint is quarantined by the next
+    // boot's fsck) — the daemon itself must keep serving.
+    try {
+        spec.toKv().saveAtomic(metaPath(id), "spool.meta");
+    } catch (const IoError &e) {
+        spoolWriteFailures_.fetch_add(1, std::memory_order_relaxed);
+        PB_WARN("service: meta write for session "
+                << id << " failed, session is memory-only (" << e.what()
+                << ")");
+    }
     // Residency accounting (including the rehydration counter: a
     // create is the first hydration) goes through the same path as a
     // spool reload.
@@ -248,13 +270,27 @@ SessionTable::step(const std::string &id, int steps)
     // loadable on-trajectory checkpoint.
     int advanced = 0;
     std::exception_ptr error;
+    // A failed checkpoint write must not fail the step: the in-memory
+    // search is intact, and the spool still holds the last good
+    // checkpoint — which, by the determinism guarantee, resumes to the
+    // identical champion. Count it, warn, keep tuning.
+    auto checkpoint = [&] {
+        try {
+            session->save(checkpointPath(id));
+        } catch (const IoError &e) {
+            spoolWriteFailures_.fetch_add(1, std::memory_order_relaxed);
+            PB_WARN("service: checkpoint write for session "
+                    << id << " failed, spool keeps last good state ("
+                    << e.what() << ")");
+        }
+    };
     try {
         std::function<void()> afterStep;
         if (options_.checkpointEachStep)
-            afterStep = [&] { session->save(checkpointPath(id)); };
+            afterStep = checkpoint;
         advanced = session->stepMany(steps, afterStep);
         if (!options_.checkpointEachStep)
-            session->save(checkpointPath(id));
+            checkpoint();
     } catch (...) {
         error = std::current_exception();
     }
@@ -373,7 +409,13 @@ SessionTable::checkpointAll()
             continue;
         }
         entry->lastStatus = entry->session->introspect();
-        entry->session->save(checkpointPath(id));
+        try {
+            entry->session->save(checkpointPath(id));
+        } catch (const IoError &e) {
+            spoolWriteFailures_.fetch_add(1, std::memory_order_relaxed);
+            PB_WARN("service: checkpointAll write for session "
+                    << id << " failed (" << e.what() << ")");
+        }
     }
 }
 
@@ -382,6 +424,8 @@ SessionTable::stats() const
 {
     std::unique_lock<std::mutex> lock(mutex_);
     SessionTableStats stats = stats_;
+    stats.spoolWriteFailures =
+        spoolWriteFailures_.load(std::memory_order_relaxed);
     stats.resident = resident_;
     stats.total = entries_.size();
     for (const auto &[id, entry] : entries_) {

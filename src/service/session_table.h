@@ -35,6 +35,7 @@
 #ifndef PETABRICKS_SERVICE_SESSION_TABLE_H
 #define PETABRICKS_SERVICE_SESSION_TABLE_H
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <map>
@@ -109,6 +110,12 @@ struct SessionTableStats
     /** Spooled sessions set aside by the startup fsck (corrupt .meta
      * or .ckpt, renamed `*.quarantine`). */
     int64_t spoolQuarantined = 0;
+
+    /** Spool writes (meta or checkpoint) that failed with an IoError
+     * (ENOSPC/EIO, injected or real). The session keeps serving from
+     * memory; its spool falls back to the last good checkpoint, which
+     * resumes to the identical champion. */
+    int64_t spoolWriteFailures = 0;
 
     /** Sum of evaluation failures (retries exhausted) across every
      * session in the table, live or spooled. */
@@ -226,6 +233,9 @@ class SessionTable
     uint64_t nextId_ = 0;
     size_t resident_ = 0;
     SessionTableStats stats_;
+    // Atomic (not folded into stats_): step() checkpoints with the
+    // table mutex released, so the counter cannot live under it.
+    std::atomic<int64_t> spoolWriteFailures_{0};
 };
 
 } // namespace service

@@ -34,5 +34,11 @@ throwTransient(const char *file, int line, const std::string &msg)
     throw TransientError(decorate("transient", file, line, msg));
 }
 
+void
+throwIo(const char *file, int line, const std::string &msg)
+{
+    throw IoError(decorate("io", file, line, msg));
+}
+
 } // namespace detail
 } // namespace petabricks

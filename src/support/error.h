@@ -52,6 +52,19 @@ class TransientError : public EvaluationError
     {}
 };
 
+/**
+ * A persistence write failed (disk full, injected EIO, rename error).
+ * The in-memory state is still good; only durability is degraded.
+ * Persistence call sites catch this, bump a counter, warn, and keep
+ * serving from memory — an IoError must never corrupt prior on-disk
+ * state, because every write goes through write-temp + rename.
+ */
+class IoError : public FatalError
+{
+  public:
+    explicit IoError(const std::string &msg) : FatalError(msg) {}
+};
+
 /** Exception thrown for internal invariant violations (library bugs). */
 class PanicError : public std::logic_error
 {
@@ -67,6 +80,8 @@ namespace detail {
                              const std::string &msg);
 [[noreturn]] void throwTransient(const char *file, int line,
                                  const std::string &msg);
+[[noreturn]] void throwIo(const char *file, int line,
+                          const std::string &msg);
 
 } // namespace detail
 
@@ -88,6 +103,14 @@ namespace detail {
         pb_oss_ << msg;                                                     \
         ::petabricks::detail::throwTransient(__FILE__, __LINE__,            \
                                              pb_oss_.str());                \
+    } while (0)
+
+/** Report a persistence write failure (see IoError). */
+#define PB_IO_FAIL(msg)                                                     \
+    do {                                                                    \
+        std::ostringstream pb_oss_;                                         \
+        pb_oss_ << msg;                                                     \
+        ::petabricks::detail::throwIo(__FILE__, __LINE__, pb_oss_.str());   \
     } while (0)
 
 /** Report an internal invariant violation (a bug in this library). */

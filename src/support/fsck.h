@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared quarantine/fsck helpers for the three persistence stores.
+ *
+ * The checkpoint spool, the shared-cache segment store, and the
+ * champion portfolio all follow the same discipline: on boot, any file
+ * that fails to parse is renamed aside to `<name>.quarantine` — never
+ * deleted, never fatal — and serving continues without it. This header
+ * factors the rename-aside and the directory-scan logic the stores and
+ * the `pbfsck` CLI share.
+ */
+
+#ifndef PETABRICKS_SUPPORT_FSCK_H
+#define PETABRICKS_SUPPORT_FSCK_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace petabricks {
+namespace fsck {
+
+/** What kind of artifact a file in a store directory is. */
+enum class FileKind {
+    SpoolMeta,       ///< `<id>.meta` — session spec
+    SpoolCheckpoint, ///< `<id>.ckpt` — session checkpoint
+    CacheSegment,    ///< `seg-NNNNNNNN.kv` — cache segment
+    Champion,        ///< `champ-*.kv` — portfolio champion
+    Temp,            ///< `*.tmp` — in-flight write, crash debris
+    Quarantine,      ///< `*.quarantine` — fsck'd wreckage
+    Other,           ///< anything else
+};
+
+/** Classify @p path (by filename pattern only; no I/O). For a
+ *  quarantined file the kind is Quarantine; use classify() on the
+ *  original name (strip the suffix) to learn what it was. */
+FileKind classify(const std::string &path);
+
+/** Human-readable name for @p kind ("cache segment", ...). */
+const char *kindName(FileKind kind);
+
+/**
+ * Rename @p path aside to `<path>.quarantine`. If that name is taken
+ * (a previous boot already quarantined one), appends `.1`, `.2`, ...
+ * so nothing is ever overwritten. Returns the quarantine path, or ""
+ * if the rename itself failed (logged as a warning — fsck must never
+ * make boot worse).
+ */
+std::string quarantine(const std::string &path);
+
+/** One entry from scanning a store directory. */
+struct ScanEntry {
+    std::string path;
+    FileKind kind = FileKind::Other;
+    uintmax_t bytes = 0;
+};
+
+/**
+ * List regular files in @p dir (non-recursive), classified and sorted
+ * by path. A missing directory yields an empty list.
+ */
+std::vector<ScanEntry> scan(const std::string &dir);
+
+/**
+ * Delete quarantine files (and, when @p alsoTemps, `*.tmp` debris)
+ * under @p dir. Returns the number of files removed.
+ */
+size_t purge(const std::string &dir, bool alsoTemps);
+
+} // namespace fsck
+} // namespace petabricks
+
+#endif // PETABRICKS_SUPPORT_FSCK_H

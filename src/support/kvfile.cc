@@ -1,8 +1,16 @@
 #include "support/kvfile.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "support/crashpoint.h"
 #include "support/error.h"
 
 namespace petabricks {
@@ -186,6 +194,79 @@ KvFile::save(const std::string &path) const
     out << toString();
     if (!out)
         PB_FATAL("write to '" << path << "' failed");
+}
+
+void
+KvFile::saveAtomic(const std::string &path,
+                   const std::string &crashPrefix) const
+{
+    const std::string temp = path + ".tmp";
+    const std::string payload = toString();
+
+    crashpoint::fire(crashPrefix + ".pre_write");
+
+    int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        PB_IO_FAIL("cannot open '" << temp
+                                   << "' for writing: " << strerror(errno));
+
+    crashpoint::WriteFault fault =
+        crashpoint::fireWrite(crashPrefix + ".write");
+    size_t toWrite = payload.size();
+    if (fault.action != crashpoint::Action::None) {
+        // Injected short write: keepBytes if given, else half — enough
+        // to leave a recognisably torn file, never a complete one.
+        size_t keep = fault.explicitBytes ? fault.keepBytes
+                                          : payload.size() / 2;
+        toWrite = std::min(keep, payload.size());
+    }
+
+    size_t written = 0;
+    while (written < toWrite) {
+        ssize_t n =
+            ::write(fd, payload.data() + written, toWrite - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            int err = errno;
+            ::close(fd);
+            PB_IO_FAIL("write to '" << temp
+                                    << "' failed: " << strerror(err));
+        }
+        written += static_cast<size_t>(n);
+    }
+
+    if (fault.action == crashpoint::Action::Enospc) {
+        ::close(fd);
+        PB_IO_FAIL("write to '" << temp << "' failed: "
+                                << strerror(ENOSPC) << " (injected)");
+    }
+    if (fault.action == crashpoint::Action::Eio) {
+        ::close(fd);
+        PB_IO_FAIL("write to '" << temp << "' failed: " << strerror(EIO)
+                                << " (injected)");
+    }
+
+    // Fsync before rename: otherwise a crash shortly after could leave
+    // the *renamed* file empty on some filesystems, defeating the
+    // old-or-new guarantee the spool fsck relies on.
+    if (::fsync(fd) != 0) {
+        int err = errno;
+        ::close(fd);
+        PB_IO_FAIL("fsync of '" << temp
+                                << "' failed: " << strerror(err));
+    }
+    if (::close(fd) != 0)
+        PB_IO_FAIL("close of '" << temp
+                                << "' failed: " << strerror(errno));
+
+    crashpoint::fire(crashPrefix + ".pre_rename");
+
+    if (std::rename(temp.c_str(), path.c_str()) != 0)
+        PB_IO_FAIL("rename '" << temp << "' -> '" << path
+                              << "' failed: " << strerror(errno));
+
+    crashpoint::fire(crashPrefix + ".post_rename");
 }
 
 KvFile

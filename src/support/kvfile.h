@@ -55,6 +55,19 @@ class KvFile
     /** Write to @p path; fatal error on I/O failure. */
     void save(const std::string &path) const;
 
+    /**
+     * Crash-safe write: render to `path + ".tmp"`, fsync, rename over
+     * @p path. Readers either see the old complete file or the new
+     * complete file, never a partial one. @p crashPrefix names the
+     * crash-point family traversed during the sequence (see
+     * support/crashpoint.h); pass the prefix registered for this
+     * store, e.g. "spool.ckpt". Throws IoError (not FatalError) on
+     * write/rename failure — injected or real — with the temp file
+     * left behind and the destination untouched.
+     */
+    void saveAtomic(const std::string &path,
+                    const std::string &crashPrefix) const;
+
     /** Read from @p path; fatal error on I/O failure or bad syntax. */
     static KvFile load(const std::string &path);
 

@@ -372,8 +372,8 @@ memberPrefix(size_t index)
 
 } // namespace
 
-void
-TuningSession::save(const std::string &path) const
+KvFile
+TuningSession::checkpointKv() const
 {
     KvFile kv;
     kv.setInt(kVersionKey, 1);
@@ -412,7 +412,13 @@ TuningSession::save(const std::string &path) const
         for (const std::string &key : values.keys())
             kv.set(prefix + key, values.get(key));
     }
-    kv.save(path);
+    return kv;
+}
+
+void
+TuningSession::save(const std::string &path) const
+{
+    checkpointKv().save(path);
 }
 
 void

@@ -187,6 +187,13 @@ class TuningSession
     void save(const std::string &path) const;
 
     /**
+     * The checkpoint as a KvFile, without touching disk — callers that
+     * need crash-safe persistence render this and use
+     * KvFile::saveAtomic (the daemon's spool does).
+     */
+    KvFile checkpointKv() const;
+
+    /**
      * Restore a checkpoint written by save(). The session must have
      * been constructed with the same seed configuration and options as
      * the saved one (validated via the seed fingerprint); the
